@@ -1,0 +1,13 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module maps to a
+paper artifact (see DESIGN.md's experiment index):
+
+* ``bench_table1``      — Table 1 (type-check + verification seconds).
+* ``bench_figures``     — Figures 1/6/10/11/12 (program transformation).
+* ``bench_alignment``   — Figure 2 (the selective-alignment trace) and
+  the relational soundness validation (Section 5, executable).
+* ``bench_inference``   — Section 6.4 (annotation discovery).
+* ``bench_bugfinding``  — Sections 1/8 (counterexamples for buggy SVTs).
+* ``bench_ablation``    — design-choice ablations from DESIGN.md.
+"""

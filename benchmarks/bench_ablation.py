@@ -1,0 +1,102 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+1. **Shadow execution on/off** — LightDP mode must reject Report Noisy
+   Max while accepting the aligned-only algorithms (expressiveness gap,
+   paper Section 7).
+2. **Nonlinear lemmas on/off** — without the monomial instantiation
+   lemmas, the general-parameter SVT proof must fail (this is the
+   paper's "CPAChecker needs rewrites" phenomenon, reproduced).
+3. **Dead-store elimination on/off** — output size of the transformed
+   programs (the paper's "slightly simplified for readability").
+4. **Unroll-depth sweep** — fixed-regime verification cost as the
+   concrete size grows.
+"""
+
+import pytest
+
+from repro.algorithms import get
+from repro.baselines import check_lightdp
+from repro.core.checker import check_function
+from repro.core.errors import ShadowDPTypeError
+from repro.lang import ast
+from repro.lang.pretty import pretty_command
+from repro.target.transform import to_target
+from repro.verify.verifier import VerificationConfig, verify_target
+
+
+class TestShadowAblation:
+    def test_lightdp_rejects_noisy_max(self, benchmark):
+        function = get("noisy_max").function()
+
+        def attempt():
+            try:
+                check_lightdp(function)
+                return False
+            except ShadowDPTypeError:
+                return True
+
+        rejected = benchmark.pedantic(attempt, rounds=3, iterations=1)
+        assert rejected
+
+    @pytest.mark.parametrize("name", ["svt", "gap_svt", "partial_sum"])
+    def test_lightdp_handles_aligned_only(self, benchmark, name):
+        function = get(name).function()
+        checked = benchmark.pedantic(lambda: check_lightdp(function), rounds=3, iterations=1)
+        assert checked.aligned_only
+
+
+class TestLemmaAblation:
+    def test_svt_needs_nonlinear_lemmas(self, benchmark):
+        spec = get("svt")
+        target = spec.target()
+
+        def verify(use_lemmas):
+            config = VerificationConfig(
+                mode="invariant",
+                assumptions=spec.assumption_exprs(),
+                use_lemmas=use_lemmas,
+                collect_models=False,
+            )
+            return verify_target(target, config)
+
+        with_lemmas = benchmark.pedantic(lambda: verify(True), rounds=1, iterations=1)
+        without = verify(False)
+        assert with_lemmas.verified
+        assert not without.verified  # the abstraction alone cannot prove it
+
+
+class TestDeadStoreAblation:
+    @pytest.mark.parametrize("name", ["noisy_max", "smart_sum"])
+    def test_output_size_shrinks(self, benchmark, name):
+        checked = check_function(get(name).function())
+
+        optimized = benchmark.pedantic(
+            lambda: to_target(checked, optimize=True), rounds=3, iterations=1
+        )
+        raw = to_target(checked, optimize=False)
+        size_opt = len(pretty_command(optimized.body).splitlines())
+        size_raw = len(pretty_command(raw.body).splitlines())
+        assert size_opt <= size_raw
+
+    def test_noisy_max_drops_dead_max_shadow(self):
+        checked = check_function(get("noisy_max").function())
+        raw = pretty_command(to_target(checked, optimize=False).body)
+        opt = pretty_command(to_target(checked, optimize=True).body)
+        assert "max^s" in raw
+        assert "max^s" not in opt
+
+
+class TestUnrollSweep:
+    @pytest.mark.parametrize("size", [2, 4, 6])
+    def test_noisy_max_scaling(self, benchmark, size):
+        spec = get("noisy_max")
+        target = spec.target()
+        config = VerificationConfig(
+            mode="unroll",
+            bindings={"size": size},
+            assumptions=spec.assumption_exprs(),
+            unroll_limit=size + 2,
+            collect_models=False,
+        )
+        outcome = benchmark.pedantic(lambda: verify_target(target, config), rounds=1, iterations=1)
+        assert outcome.verified

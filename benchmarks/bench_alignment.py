@@ -1,0 +1,63 @@
+"""Figure 2 and the executable soundness check (Section 5).
+
+Benchmarks the relational alignment validator: running the instrumented
+program, rebuilding ``f(H)`` from the annotations, and replaying the
+aligned run on the adjacent database.  Also times raw interpretation as
+the substrate baseline.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import get
+from repro.semantics.interpreter import RandomNoise, run_function
+from repro.semantics.relational import validate_alignment
+
+
+def test_figure2_trace(benchmark):
+    """The concrete Figure 2 scenario, validated end to end."""
+    spec = get("noisy_max")
+    inputs = {"eps": 1.0, "size": 4.0, "q": (1.0, 2.0, 2.0, 4.0)}
+    hats = {"q^o": (1.0, -1.0, 0.0, 0.0), "q^s": (1.0, -1.0, 0.0, 0.0)}
+    checked = spec.checked()
+
+    report = benchmark.pedantic(
+        lambda: validate_alignment(checked, inputs, hats, [1.0, 2.0, 1.0, 1.0]),
+        rounds=20,
+        iterations=5,
+    )
+    assert report.aligned_noise == (1.0, 2.0, 1.0, 3.0)
+    assert report.ok
+
+
+@pytest.mark.parametrize(
+    "name", ["noisy_max", "svt", "gap_svt", "smart_sum"]
+)
+def test_alignment_validation_throughput(benchmark, name):
+    spec = get(name)
+    checked = spec.checked()
+    rng = random.Random(11)
+    inputs = spec.example_inputs()
+    hats = spec.adjacent_offsets(inputs, rng)
+    noise = [rng.uniform(-3, 3) for _ in range(32)]
+
+    report = benchmark.pedantic(
+        lambda: validate_alignment(checked, inputs, hats, list(noise)),
+        rounds=10,
+        iterations=3,
+    )
+    assert report.ok
+
+
+@pytest.mark.parametrize("name", ["noisy_max", "svt", "smart_sum"])
+def test_interpreter_throughput(benchmark, name):
+    spec = get(name)
+    function = spec.function()
+    inputs = spec.example_inputs()
+
+    def run():
+        return run_function(function, inputs, noise=RandomNoise(seed=5))[0]
+
+    result = benchmark.pedantic(run, rounds=10, iterations=10)
+    assert result is not None

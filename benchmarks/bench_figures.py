@@ -1,0 +1,36 @@
+"""Figures 1, 6, 10, 11, 12: program-transformation benchmarks.
+
+Each figure shows a source program and its transformed target; the
+benchmark times the full transformation (parse → type check → lower →
+optimize) and asserts the characteristic lines of the figure are
+present, so a timing regression or output drift both fail here.
+"""
+
+import pytest
+
+from repro.algorithms import get
+from repro.core.checker import check_function
+from repro.lang.parser import parse_function
+from repro.lang.pretty import pretty_command
+from repro.target.transform import to_target
+
+FIGURES = [
+    ("noisy_max", "Figure 1", "v_eps := q[i] + eta > bq || i == 0 ? eps : v_eps;"),
+    ("svt", "Figure 6", "assert(q[i] + q^o[i] + (eta2 + 2) >= Tt + 1);"),
+    ("num_svt", "Figure 10", "v_eps := v_eps + eps / 3;"),
+    ("partial_sum", "Figure 11", "sum^o := sum^o + q^o[i];"),
+    ("smart_sum", "Figure 12", "assert(v_eps <= 2 * eps);"),
+]
+
+
+@pytest.mark.parametrize("name,figure,marker", FIGURES, ids=[f[0] for f in FIGURES])
+def test_transformation(benchmark, name, figure, marker):
+    source = get(name).source
+
+    def transform():
+        function = parse_function(source)
+        return to_target(check_function(function))
+
+    target = benchmark.pedantic(transform, rounds=3, iterations=1)
+    text = pretty_command(target.body)
+    assert marker in text, f"{figure} marker line missing"

@@ -1,0 +1,59 @@
+"""Section 6.4: annotation-inference benchmarks.
+
+Times the discovery of sampling annotations from the paper's heuristic
+pools (branch-condition selectors, small-arithmetic alignments) and the
+Houdini invariant inference that makes Report Noisy Max verify without
+any manual invariants.
+"""
+
+import pytest
+
+from repro.algorithms import get
+from repro.automation.inference import infer_annotations
+from repro.lang import ast
+from repro.verify.houdini import infer_invariants
+from repro.verify.verifier import VerificationConfig
+
+
+def test_noisy_max_annotation_discovery(benchmark):
+    spec = get("noisy_max")
+    config = VerificationConfig(
+        mode="unroll",
+        bindings={"size": 3},
+        assumptions=spec.assumption_exprs(),
+        unroll_limit=5,
+        collect_models=False,
+    )
+    result = benchmark.pedantic(
+        lambda: infer_annotations(spec.function(), config), rounds=1, iterations=1
+    )
+    assert result.found
+    selector, _ = result.annotations["eta"]
+    assert ast.selector_uses_shadow(selector)
+
+
+def test_svt_annotation_discovery(benchmark):
+    spec = get("svt")
+    config = VerificationConfig(
+        mode="unroll",
+        bindings={"size": 3, "N": 1},
+        assumptions=spec.assumption_exprs(),
+        unroll_limit=5,
+        collect_models=False,
+    )
+    result = benchmark.pedantic(
+        lambda: infer_annotations(spec.function(), config, max_candidates=600),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.found
+
+
+def test_houdini_noisy_max(benchmark):
+    spec = get("noisy_max")
+    config = VerificationConfig(mode="invariant", assumptions=spec.assumption_exprs())
+    target = spec.target()
+    result = benchmark.pedantic(
+        lambda: infer_invariants(target, config, peel=1), rounds=1, iterations=1
+    )
+    assert result.outcome.verified

@@ -1,0 +1,129 @@
+"""Regeneration of the paper's Table 1.
+
+For each of the nine rows the paper reports: type-check seconds,
+verification seconds for ShadowDP (with a "Rewrite" column — their
+general-parameter run with rewrites/manual invariants — and a "Fix ε"
+column), and the verification seconds of the coupling-proof synthesiser
+of Albarghouthi & Hsu [2] (quoted from the paper; their system is not
+available).
+
+Our two regimes correspond exactly:
+
+* **Rewrite → invariant mode**: unbounded verification with the manual
+  loop invariants carried in the sources (plus the monomial lemmas that
+  replace the paper's hand rewrites of nonlinear cost updates).
+* **Fix ε → unroll mode**: concrete loop bounds / parameters, full
+  unrolling (parameters we keep symbolic wherever linearity allows).
+
+The reproduction claim is about *shape*: every algorithm checks and
+verifies in seconds, one-to-two orders of magnitude below the quoted
+coupling-verifier times; Gap SVT (the novel variant) verifies where [2]
+has no entry at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.algorithms import TABLE1_ORDER, get
+from repro.baselines import COUPLING_VERIFIER_SECONDS
+from repro.core.checker import check_function
+from repro.target.transform import to_target
+from repro.verify.verifier import VerificationConfig, verify_target
+
+ROW_LABELS = {
+    ("noisy_max", None): ("noisy_max", "Report Noisy Max"),
+    ("svt", "n1"): ("svt_n1", "Sparse Vector Technique (N = 1)"),
+    ("svt", None): ("svt", "Sparse Vector Technique"),
+    ("num_svt", "n1"): ("num_svt_n1", "Numerical SVT (N = 1)"),
+    ("num_svt", None): ("num_svt", "Numerical SVT"),
+    ("gap_svt", None): ("gap_svt", "Gap Sparse Vector Technique"),
+    ("partial_sum", None): ("partial_sum", "Partial Sum"),
+    ("prefix_sum", None): ("prefix_sum", "Prefix Sum"),
+    ("smart_sum", None): ("smart_sum", "Smart Sum"),
+}
+
+
+@dataclass
+class Table1Row:
+    key: str
+    label: str
+    typecheck_seconds: float
+    invariant_seconds: Optional[float]
+    fixed_seconds: float
+    coupling_seconds: Optional[float]
+    verified: bool
+
+
+def _time_typecheck(spec) -> float:
+    function = spec.function()
+    start = time.perf_counter()
+    check_function(function)
+    return time.perf_counter() - start
+
+
+def measure_row(name: str, extra_bindings: Optional[Dict] = None) -> Table1Row:
+    spec = get(name)
+    key, label = ROW_LABELS[(name, "n1" if extra_bindings else None)]
+
+    t_check = _time_typecheck(spec)
+    target = to_target(check_function(spec.function()))
+
+    # "Rewrite" regime: unbounded, symbolic parameters, manual invariants.
+    inv_config = VerificationConfig(mode="invariant", assumptions=spec.assumption_exprs())
+    if extra_bindings:
+        inv_config = VerificationConfig(
+            mode="invariant",
+            bindings=dict(extra_bindings),
+            assumptions=spec.assumption_exprs(),
+        )
+    inv_outcome = verify_target(target, inv_config)
+
+    # "Fix ε" regime: concrete loop bounds (and N where applicable).
+    bindings = dict(spec.fixed_bindings)
+    bindings.update(extra_bindings or {})
+    fix_config = VerificationConfig(
+        mode="unroll", bindings=bindings, assumptions=spec.assumption_exprs(), unroll_limit=16
+    )
+    fix_outcome = verify_target(target, fix_config)
+
+    return Table1Row(
+        key=key,
+        label=label,
+        typecheck_seconds=t_check,
+        invariant_seconds=inv_outcome.seconds if inv_outcome.verified else None,
+        fixed_seconds=fix_outcome.seconds,
+        coupling_seconds=COUPLING_VERIFIER_SECONDS.get(key),
+        verified=inv_outcome.verified and fix_outcome.verified,
+    )
+
+
+def generate_table1() -> List[Table1Row]:
+    rows = []
+    for name, extra in TABLE1_ORDER:
+        rows.append(measure_row(name, extra))
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    header = (
+        f"{'Algorithm':38s} {'Check(s)':>9s} {'Rewrite(s)':>11s} "
+        f"{'Fix-param(s)':>13s} {'[2](s)':>8s} {'OK':>3s}"
+    )
+    lines = ["Table 1 — type checking and verification time", header, "-" * len(header)]
+    for row in rows:
+        inv = f"{row.invariant_seconds:.3f}" if row.invariant_seconds is not None else "—"
+        coupling = f"{row.coupling_seconds:.0f}" if row.coupling_seconds else "N/A"
+        lines.append(
+            f"{row.label:38s} {row.typecheck_seconds:>9.3f} {inv:>11s} "
+            f"{row.fixed_seconds:>13.3f} {coupling:>8s} {'yes' if row.verified else 'NO':>3s}"
+        )
+    total_check = sum(r.typecheck_seconds for r in rows)
+    total_fix = sum(r.fixed_seconds for r in rows)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'TOTAL':38s} {total_check:>9.3f} {'':>11s} {total_fix:>13.3f}"
+    )
+    return "\n".join(lines)

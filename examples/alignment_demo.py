@@ -1,0 +1,58 @@
+"""Figure 2, executed: the selective alignment of Report Noisy Max.
+
+The paper's Figure 2 walks two adjacent databases
+
+    D1: q = [1, 2, 2, 4]        D2: q = [2, 1, 2, 4]
+
+through Report Noisy Max with noise H = [1, 2, 1, 1] and shows how the
+shadow execution builds the randomness alignment: whenever a new max is
+found the previous samples switch to their shadow alignment (identity)
+and the new sample shifts by +2.  The expected alignment is therefore
+f(H) = [1, 2, 1, 3] — identity everywhere except the final, max-setting
+sample.
+
+This script replays that trace with the *actual* instrumented program
+produced by the type checker, confirms outputs agree, and prints the
+per-sample alignment.
+
+Run:  python examples/alignment_demo.py
+"""
+
+from repro.algorithms import get
+from repro.semantics.relational import validate_alignment
+
+
+def main() -> None:
+    spec = get("noisy_max")
+    checked = spec.checked()
+
+    inputs = {"eps": 1.0, "size": 4.0, "q": (1.0, 2.0, 2.0, 4.0)}
+    # D2 = [2, 1, 2, 4]: q[0] moves +1, q[1] moves -1.
+    hats = {"q^o": (1.0, -1.0, 0.0, 0.0), "q^s": (1.0, -1.0, 0.0, 0.0)}
+    noise = [1.0, 2.0, 1.0, 1.0]
+
+    report = validate_alignment(checked, inputs, hats, noise)
+
+    print("Figure 2 — selective alignment for Report Noisy Max")
+    print(f"  D1 query answers : {inputs['q']}")
+    d2 = tuple(a + b for a, b in zip(inputs["q"], hats["q^o"]))
+    print(f"  D2 query answers : {d2}")
+    print(f"  noise H on D1    : {tuple(noise)}")
+    print(f"  aligned f(H)     : {report.aligned_noise}")
+    print(f"  output on D1     : index {report.original_output}")
+    print(f"  output on D2     : index {report.aligned_output}")
+    print(f"  privacy cost     : {report.cost} (budget eps = {report.budget})")
+    assert report.ok
+    print("  -> same output, cost within budget: the alignment is real.")
+
+    print("\nIntermediate trace (first three queries, Figure 2 top):")
+    inputs3 = {"eps": 1.0, "size": 3.0, "q": (1.0, 2.0, 2.0)}
+    hats3 = {"q^o": (1.0, -1.0, 0.0), "q^s": (1.0, -1.0, 0.0)}
+    report3 = validate_alignment(checked, inputs3, hats3, [1.0, 2.0, 1.0])
+    print(f"  aligned f(H)     : {report3.aligned_noise}   (the max at index 1 shifts by +2)")
+    print(f"  outputs          : {report3.original_output} == {report3.aligned_output}")
+    assert report3.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Statistical cross-validation of the verification verdicts.
+
+Every verified algorithm should look ε-DP to a StatDP-style estimator,
+and every refuted one should (on adversarial inputs) exhibit an event
+whose likelihood ratio statistically exceeds e^ε.  This script runs the
+estimator over the whole registry — the empirical counterpart of
+Table 1's "verified" column.
+
+Run:  python examples/empirical_validation.py
+"""
+
+from repro.algorithms import all_specs, get
+from repro.empirical import estimate_epsilon_lower_bound
+
+TRIALS = 12_000
+
+
+def adversarial_inputs(spec):
+    """A pair of adjacent inputs that stresses each mechanism."""
+    inputs = dict(spec.example_inputs())
+    n = len(inputs["q"])
+    if "T" in inputs:
+        # Threshold family: push all queries across the threshold.
+        inputs["T"] = 0.0
+        one = dict(inputs, q=tuple([0.6] * n))
+        two = dict(inputs, q=tuple([-0.4] * n))
+    elif "d" in inputs:
+        # One-query-differs family: move exactly query 0 by 1.
+        one = dict(inputs, q=tuple([1.0] + [0.0] * (n - 1)), d=0.0, delta=-1.0)
+        two = dict(inputs, q=tuple([0.0] * n), d=0.0, delta=-1.0)
+    else:
+        # Sensitivity-1 family (Report Noisy Max).
+        one = dict(inputs, q=tuple([1.0] + [0.0] * (n - 1)))
+        two = dict(inputs, q=tuple([0.0] * n))
+    return one, two
+
+
+def buggy_inputs(spec):
+    """Detection-friendly adjacent inputs for the broken SVT variants.
+
+    iSVT1/iSVT3's true epsilon is ~size*eps/(4N), so a violation only
+    *exists* for size > 4N; eps = 4 makes the per-query likelihood-ratio
+    gap large enough to detect with modest trial counts.  Queries sit at
+    +0.5 vs -0.5 around the threshold — a genuinely adjacent pair.
+    """
+    n = 8
+    base = {"eps": 4.0, "size": float(n), "T": 0.0, "N": 1.0}
+    one = dict(base, q=tuple([0.5] * n))
+    two = dict(base, q=tuple([-0.5] * n))
+    return one, two
+
+
+def main() -> None:
+    print(f"{'algorithm':30s} {'claimed eps':>12s} {'empirical lb':>13s} {'verdict':>10s}")
+    print("-" * 70)
+    detected = {}
+    for spec in all_specs():
+        if spec.expect_verified:
+            inputs1, inputs2 = adversarial_inputs(spec)
+        else:
+            inputs1, inputs2 = buggy_inputs(spec)
+        claimed = inputs1["eps"] * spec.epsilon_multiplier
+        result = estimate_epsilon_lower_bound(
+            spec.reference, inputs1, inputs2, claimed_epsilon=claimed,
+            trials=TRIALS, digits=0,
+        )
+        detected[spec.name] = result.violates
+        verdict = "VIOLATES" if result.violates else "ok"
+        print(
+            f"{spec.name:30s} {claimed:>12.2f} {result.epsilon_lower_bound:>13.3f} "
+            f"{verdict:>10s}"
+        )
+    print("-" * 70)
+    print(f"({TRIALS} trials per input; bounds are 99.9%-confidence lower bounds)")
+    # Verified algorithms must never look violating.
+    assert not any(detected[s.name] for s in all_specs(include_buggy=False))
+    # The unprotected-threshold bug is statistically obvious; the other
+    # two variants hide the violation behind threshold-noise correlation
+    # (iSVT 1) or need correlated-event analysis (iSVT 4) — simple
+    # bucketing at these trial counts cannot see them, which is exactly
+    # why symbolic counterexamples (examples/bug_finding.py) matter.
+    assert detected["bad_svt_no_threshold_noise"]
+    print("Verified mechanisms are consistent; iSVT 3 is statistically")
+    print("detected.  iSVT 1/4 hide from naive event bucketing — their")
+    print("reliable witnesses are the verifier's symbolic counterexamples")
+    print("(examples/bug_finding.py).")
+
+
+if __name__ == "__main__":
+    main()

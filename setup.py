@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has no `wheel` package, so the
+PEP 517 editable path (`bdist_wheel`) is unavailable.  This shim lets
+`pip install -e . --no-use-pep517` (and plain `python setup.py develop`)
+work using setuptools' classic develop mode.
+"""
+
+from setuptools import setup
+
+setup()

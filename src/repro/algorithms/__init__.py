@@ -1,0 +1,18 @@
+"""The paper's case-study algorithms (Section 6.2, Appendix C) and the
+known-buggy Sparse Vector variants used for bug finding.
+
+Every algorithm is an :class:`~repro.algorithms.spec.AlgorithmSpec`
+bundling the annotated ShadowDP source (with the paper's sampling
+annotations and, where needed, the loop invariants the paper supplies to
+CPAChecker manually), verification configurations for the regimes of
+Table 1, a plain-Python reference implementation, and input generators
+for the empirical and relational validators.
+
+Use :func:`repro.algorithms.registry.get` /
+:func:`repro.algorithms.registry.all_specs` to enumerate them.
+"""
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.algorithms.registry import all_specs, get, names, TABLE1_ORDER
+
+__all__ = ["AlgorithmSpec", "all_specs", "get", "names", "TABLE1_ORDER"]

@@ -1,0 +1,169 @@
+"""Known-buggy Sparse Vector variants (after Lyu, Su & Li, VLDB 2017).
+
+The paper's Sections 1 and 8 point at bug finding on transformed
+programs as the natural companion application: a buggy program can still
+*type check* under some annotation, but the transformed program's
+assertions are then refutable, and the refutation model is a concrete
+counterexample (adjacent inputs + noise) witnessing the privacy
+violation.  These specs exercise exactly that path; ``expect_verified``
+is False for all of them.
+
+* ``bad_svt_no_threshold_noise`` — iSVT 3 of Lyu et al.: the threshold
+  is not noised; the branch-alignment assertion fails.
+* ``bad_svt_leaks_value`` — iSVT 4: outputs the noisy query value used
+  for the comparison; with the alignment that protects the value, the
+  comparison is no longer aligned.
+* ``bad_svt_no_budget`` — iSVT 1: never counts answers, so the privacy
+  cost grows without bound; the final budget assertion fails.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.algorithms.sparse_vector import adjacent_offsets, example_inputs
+from repro.semantics.distributions import laplace_sample
+
+NO_THRESHOLD_NOISE_SOURCE = """
+function BadSVT1(eps: num<0,0>, size: num<0,0>, T: num<0,0>, N: num<0,0>, q: list num<*,*>)
+returns out: list bool
+precondition forall k :: -1 <= q^o[k] && q^o[k] <= 1 && q^s[k] == q^o[k];
+define Omega = q[i] + eta2 >= T;
+{
+    count := 0; i := 0;
+    while (count <= N - 1 && i < size)
+    {
+        eta2 := Lap(4 * N / eps), aligned, Omega ? 2 : 0;
+        if (Omega) {
+            out := true :: out;
+            count := count + 1;
+        } else {
+            out := false :: out;
+        }
+        i := i + 1;
+    }
+    return out;
+}
+"""
+
+LEAKS_VALUE_SOURCE = """
+function BadSVT2(eps: num<0,0>, size: num<0,0>, T: num<0,0>, N: num<0,0>, q: list num<*,*>)
+returns out: list num<0,->
+precondition forall k :: -1 <= q^o[k] && q^o[k] <= 1 && q^s[k] == q^o[k];
+define Omega = q[i] + eta2 >= Tt;
+{
+    eta1 := Lap(2 / eps), aligned, 1;
+    Tt := T + eta1;
+    count := 0; i := 0;
+    while (count <= N - 1 && i < size)
+    {
+        eta2 := Lap(4 * N / eps), aligned, -q^o[i];
+        if (Omega) {
+            out := q[i] + eta2 :: out;
+            count := count + 1;
+        } else {
+            out := 0 :: out;
+        }
+        i := i + 1;
+    }
+    return out;
+}
+"""
+
+NO_BUDGET_SOURCE = """
+function BadSVT3(eps: num<0,0>, size: num<0,0>, T: num<0,0>, N: num<0,0>, q: list num<*,*>)
+returns out: list bool
+precondition forall k :: -1 <= q^o[k] && q^o[k] <= 1 && q^s[k] == q^o[k];
+define Omega = q[i] + eta2 >= Tt;
+{
+    eta1 := Lap(2 / eps), aligned, 1;
+    Tt := T + eta1;
+    i := 0;
+    while (i < size)
+    {
+        eta2 := Lap(4 * N / eps), aligned, Omega ? 2 : 0;
+        if (Omega) {
+            out := true :: out;
+        } else {
+            out := false :: out;
+        }
+        i := i + 1;
+    }
+    return out;
+}
+"""
+
+
+def bad_svt1_reference(rng: random.Random, eps, size, T, N, q):
+    out: List[bool] = []
+    count = 0
+    for i in range(int(size)):
+        if count > N - 1:
+            break
+        eta2 = laplace_sample(rng, 4.0 * N / eps)
+        if q[i] + eta2 >= T:
+            out.insert(0, True)
+            count += 1
+        else:
+            out.insert(0, False)
+    return tuple(out)
+
+
+def bad_svt2_reference(rng: random.Random, eps, size, T, N, q):
+    noisy_t = T + laplace_sample(rng, 2.0 / eps)
+    out: List[float] = []
+    count = 0
+    for i in range(int(size)):
+        if count > N - 1:
+            break
+        eta2 = laplace_sample(rng, 4.0 * N / eps)
+        if q[i] + eta2 >= noisy_t:
+            out.insert(0, q[i] + eta2)
+            count += 1
+        else:
+            out.insert(0, 0.0)
+    return tuple(out)
+
+
+def bad_svt3_reference(rng: random.Random, eps, size, T, N, q):
+    noisy_t = T + laplace_sample(rng, 2.0 / eps)
+    out: List[bool] = []
+    for i in range(int(size)):
+        eta2 = laplace_sample(rng, 4.0 * N / eps)
+        out.insert(0, q[i] + eta2 >= noisy_t)
+    return tuple(out)
+
+
+_COMMON = dict(
+    assumptions=("eps > 0", "N >= 1", "size >= 0"),
+    fixed_bindings={"size": 3, "N": 1},
+    expect_verified=False,
+    example_inputs=example_inputs,
+    adjacent_offsets=adjacent_offsets,
+)
+
+BAD_SVT1_SPEC = AlgorithmSpec(
+    name="bad_svt_no_threshold_noise",
+    paper_ref="Lyu et al. iSVT 3; paper Sections 1/8 (bug finding)",
+    source=NO_THRESHOLD_NOISE_SOURCE,
+    reference=bad_svt1_reference,
+    **_COMMON,
+)
+
+BAD_SVT2_SPEC = AlgorithmSpec(
+    name="bad_svt_leaks_value",
+    paper_ref="Lyu et al. iSVT 4; paper Sections 1/8 (bug finding)",
+    source=LEAKS_VALUE_SOURCE,
+    reference=bad_svt2_reference,
+    **_COMMON,
+)
+
+BAD_SVT3_SPEC = AlgorithmSpec(
+    name="bad_svt_no_budget",
+    paper_ref="Lyu et al. iSVT 1; paper Sections 1/8 (bug finding)",
+    source=NO_BUDGET_SOURCE,
+    reference=bad_svt3_reference,
+    **_COMMON,
+)

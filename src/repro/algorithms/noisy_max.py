@@ -1,0 +1,77 @@
+"""Report Noisy Max (paper Section 2.3, Figure 1).
+
+Returns the index of the (noisily) largest query answer.  The sampling
+annotation is the paper's: switch to the shadow execution and align the
+fresh sample by 2 exactly when a new maximum is found.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.semantics.distributions import laplace_sample
+
+SOURCE = """
+function NoisyMax(eps: num<0,0>, size: num<0,0>, q: list num<*,*>)
+returns max: num<0,*>
+precondition forall k :: -1 <= q^o[k] && q^o[k] <= 1 && q^s[k] == q^o[k];
+define Omega = q[i] + eta > bq || i == 0;
+{
+    i := 0; bq := 0; max := 0;
+    while (i < size)
+    invariant v_eps <= eps;
+    invariant i == 0 && bq^o == 0 && bq^s == 0 || i >= 1 && 1 <= bq^o && -1 <= bq^s && bq^s <= 1;
+    {
+        eta := Lap(2 / eps), Omega ? shadow : aligned, Omega ? 2 : 0;
+        if (Omega) {
+            max := i;
+            bq := q[i] + eta;
+        }
+        i := i + 1;
+    }
+    return max;
+}
+"""
+
+
+def reference(rng: random.Random, eps: float, size: float, q) -> int:
+    """Plain-Python Report Noisy Max."""
+    best = 0.0
+    best_index = 0
+    for i in range(int(size)):
+        noisy = q[i] + laplace_sample(rng, 2.0 / eps)
+        if noisy > best or i == 0:
+            best_index = i
+            best = noisy
+    return best_index
+
+
+def example_inputs() -> Dict:
+    q = [1.0, 2.0, 2.0, 4.0, 0.5]
+    return {"eps": 1.0, "size": float(len(q)), "q": tuple(q)}
+
+
+def adjacent_offsets(inputs: Dict, rng: random.Random) -> Dict:
+    """Every query may move by up to 1 (sensitivity-1 adjacency)."""
+    n = len(inputs["q"])
+    offsets = tuple(rng.uniform(-1.0, 1.0) for _ in range(n))
+    return {"q^o": offsets, "q^s": offsets}
+
+
+SPEC = AlgorithmSpec(
+    name="noisy_max",
+    paper_ref="Figure 1; Table 1 row 'Report Noisy Max'",
+    source=SOURCE,
+    assumptions=("eps > 0", "size >= 0"),
+    fixed_bindings={"size": 4},
+    uses_shadow=True,
+    reference=reference,
+    example_inputs=example_inputs,
+    adjacent_offsets=adjacent_offsets,
+    notes=(
+        "The algorithm LightDP cannot verify: the alignment for query i "
+        "depends on future samples, which the shadow execution resolves."
+    ),
+)

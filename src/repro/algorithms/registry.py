@@ -1,0 +1,53 @@
+"""Registry of all case-study algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algorithms.buggy import BAD_SVT1_SPEC, BAD_SVT2_SPEC, BAD_SVT3_SPEC
+from repro.algorithms.noisy_max import SPEC as NOISY_MAX_SPEC
+from repro.algorithms.sparse_vector import GAP_SVT_SPEC, NUM_SVT_SPEC, SVT_SPEC
+from repro.algorithms.spec import AlgorithmSpec
+from repro.algorithms.sums import PARTIAL_SUM_SPEC, PREFIX_SUM_SPEC, SMART_SUM_SPEC
+
+_SPECS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        NOISY_MAX_SPEC,
+        SVT_SPEC,
+        NUM_SVT_SPEC,
+        GAP_SVT_SPEC,
+        PARTIAL_SUM_SPEC,
+        PREFIX_SUM_SPEC,
+        SMART_SUM_SPEC,
+        BAD_SVT1_SPEC,
+        BAD_SVT2_SPEC,
+        BAD_SVT3_SPEC,
+    )
+}
+
+#: The nine rows of Table 1, in the paper's order.  (N=1) rows reuse the
+#: general spec with the binding N=1.
+TABLE1_ORDER = (
+    ("noisy_max", None),
+    ("svt", {"N": 1}),
+    ("svt", None),
+    ("num_svt", {"N": 1}),
+    ("num_svt", None),
+    ("gap_svt", None),
+    ("partial_sum", None),
+    ("prefix_sum", None),
+    ("smart_sum", None),
+)
+
+
+def get(name: str) -> AlgorithmSpec:
+    return _SPECS[name]
+
+
+def names(include_buggy: bool = True) -> List[str]:
+    return [n for n, s in _SPECS.items() if include_buggy or s.expect_verified]
+
+
+def all_specs(include_buggy: bool = True) -> List[AlgorithmSpec]:
+    return [s for s in _SPECS.values() if include_buggy or s.expect_verified]

@@ -1,0 +1,86 @@
+"""The algorithm-specification container."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.checker import CheckedProgram, check_function
+from repro.lang import ast
+from repro.lang.parser import parse_expr, parse_function
+from repro.target.transform import TargetProgram, to_target
+
+
+@dataclass
+class AlgorithmSpec:
+    """Everything the pipeline, benches and tests need about one algorithm.
+
+    Attributes
+    ----------
+    name / paper_ref:
+        Identification; ``paper_ref`` points at the table/figure.
+    source:
+        Annotated ShadowDP concrete syntax.  Loop invariants for the
+        Hoare regime are written inline (``invariant ...;``), mirroring
+        the paper's manually-supplied CPAChecker invariants.
+    assumptions:
+        Parameter facts (as source expressions) assumed by verification,
+        e.g. ``eps > 0``; these are facts the paper's C encoding gets
+        from types (unsigned ints) or harness code.
+    fixed_bindings:
+        Concrete parameters for the unroll/BMC regime (the paper's
+        "fix ε" column; we additionally fix loop bounds, which CPAChecker
+        gets from finite-state exploration).
+    expect_verified:
+        False for the known-buggy variants: they type check but the
+        verifier must refute them.
+    reference:
+        Plain-Python implementation ``f(rng, **inputs) -> output`` used
+        by the empirical estimator and interpreter cross-checks.
+    example_inputs:
+        A callable producing a representative concrete input dict.
+    adjacent_offsets:
+        A callable ``(inputs, rng) -> hats`` drawing a random adjacency
+        witness (hat arrays) satisfying the precondition.
+    """
+
+    name: str
+    paper_ref: str
+    source: str
+    assumptions: Tuple[str, ...] = ()
+    fixed_bindings: Dict[str, Fraction] = field(default_factory=dict)
+    epsilon_multiplier: int = 1
+    expect_verified: bool = True
+    uses_shadow: bool = False
+    reference: Optional[Callable] = None
+    example_inputs: Optional[Callable[[], Dict]] = None
+    adjacent_offsets: Optional[Callable[[Dict, random.Random], Dict]] = None
+    notes: str = ""
+
+    # -- cached pipeline products -------------------------------------------
+
+    def function(self) -> ast.FunctionDef:
+        if not hasattr(self, "_function"):
+            self._function = parse_function(self.source)
+        return self._function
+
+    def checked(self) -> CheckedProgram:
+        if not hasattr(self, "_checked"):
+            self._checked = check_function(self.function())
+        return self._checked
+
+    def target(self) -> TargetProgram:
+        if not hasattr(self, "_target"):
+            self._target = to_target(self.checked())
+        return self._target
+
+    def assumption_exprs(self) -> Tuple[ast.Expr, ...]:
+        return tuple(parse_expr(a) for a in self.assumptions)
+
+    def has_invariants(self) -> bool:
+        return any(
+            isinstance(c, ast.While) and c.invariants
+            for c in ast.command_iter(self.function().body)
+        )

@@ -1,0 +1,204 @@
+"""Partial Sum, Prefix Sum and Smart Sum (paper Appendix C.2–C.3).
+
+These use the *one-query-differs* adjacency: at most one query answer
+changes, by at most 1.  The paper writes it as a quantified implication
+(``q̂°[i] ≠ 0 ⇒ ∀j>i. q̂°[j] = 0``); we encode it equivalently with two
+ghost parameters ``d`` (the differing index, −1 when none) and ``delta``
+(the difference): ``q̂°[k] = (k = d ? delta : 0)``.  The extra conjuncts
+``k <= d-1 || k >= d`` and ``d >= 0 || d <= -1`` are integrality facts
+(trivially true for integer indices) that linear *real* arithmetic needs
+spelled out; CPAChecker gets them for free from C's int semantics.
+
+Smart Sum is written with an explicit block counter ``blk`` instead of
+``(i+1) mod M`` — the semantics of Fig. 12 without a modulo operator.
+It certifies a ``2·eps`` budget (``costbound 2 * eps``), matching the
+paper's Appendix C.3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.semantics.distributions import laplace_sample
+
+_ADJACENCY = (
+    "-1 <= delta && delta <= 1 && (d >= 0 || delta == 0) && (d >= 0 || d <= -1)"
+    " && (forall k :: q^o[k] == (k == d ? delta : 0) && q^s[k] == q^o[k]"
+    " && (k <= d - 1 || k >= d))"
+)
+
+PARTIAL_SUM_SOURCE = f"""
+function PartialSum(eps: num<0,0>, size: num<0,0>, d: num<0,0>, delta: num<0,0>, q: list num<*,*>)
+returns out: num<0,->
+precondition {_ADJACENCY};
+{{
+    sum := 0; i := 0;
+    while (i < size)
+    invariant sum^o == (i > d ? delta : 0);
+    {{
+        sum := sum + q[i];
+        i := i + 1;
+    }}
+    eta := Lap(1 / eps), aligned, -sum^o;
+    out := sum + eta;
+    return out;
+}}
+"""
+
+PREFIX_SUM_SOURCE = f"""
+function PrefixSum(eps: num<0,0>, size: num<0,0>, d: num<0,0>, delta: num<0,0>, q: list num<*,*>)
+returns out: list num<0,->
+precondition {_ADJACENCY};
+{{
+    next := 0; i := 0;
+    while (i < size)
+    invariant i <= d && v_eps == 0 || i > d && v_eps <= abs(delta) * eps;
+    {{
+        eta := Lap(1 / eps), aligned, -q^o[i];
+        next := next + q[i] + eta;
+        out := next :: out;
+        i := i + 1;
+    }}
+    return out;
+}}
+"""
+
+SMART_SUM_SOURCE = f"""
+function SmartSum(eps: num<0,0>, size: num<0,0>, M: num<0,0>, T: num<0,0>, d: num<0,0>, delta: num<0,0>, q: list num<*,*>)
+returns out: list num<0,->
+precondition {_ADJACENCY};
+costbound 2 * eps;
+{{
+    next := 0; i := 0; sum := 0; blk := 0;
+    while (i <= T && i < size)
+    invariant blk >= 0;
+    invariant i <= d && v_eps == 0 && sum^o == 0
+        || i > d && d >= i - blk && v_eps <= abs(delta) * eps && sum^o == delta
+        || i > d && d <= i - blk - 1 && v_eps <= 2 * abs(delta) * eps && sum^o == 0;
+    {{
+        blk := blk + 1;
+        if (blk == M) {{
+            eta1 := Lap(1 / eps), aligned, -sum^o - q^o[i];
+            next := sum + q[i] + eta1;
+            sum := 0;
+            out := next :: out;
+            blk := 0;
+        }} else {{
+            eta2 := Lap(1 / eps), aligned, -q^o[i];
+            next := next + q[i] + eta2;
+            sum := sum + q[i];
+            out := next :: out;
+        }}
+        i := i + 1;
+    }}
+    return out;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations
+# ---------------------------------------------------------------------------
+
+
+def partial_sum_reference(rng: random.Random, eps: float, size: float, d: float, delta: float, q):
+    total = sum(q[i] for i in range(int(size)))
+    return total + laplace_sample(rng, 1.0 / eps)
+
+
+def prefix_sum_reference(rng: random.Random, eps: float, size: float, d: float, delta: float, q):
+    out: List[float] = []
+    running = 0.0
+    for i in range(int(size)):
+        running = running + q[i] + laplace_sample(rng, 1.0 / eps)
+        out.insert(0, running)
+    return tuple(out)
+
+
+def smart_sum_reference(
+    rng: random.Random, eps: float, size: float, M: float, T: float, d: float, delta: float, q
+):
+    out: List[float] = []
+    next_value = 0.0
+    block_sum = 0.0
+    blk = 0
+    i = 0
+    while i <= T and i < int(size):
+        blk += 1
+        if blk == int(M):
+            next_value = block_sum + q[i] + laplace_sample(rng, 1.0 / eps)
+            block_sum = 0.0
+            out.insert(0, next_value)
+            blk = 0
+        else:
+            next_value = next_value + q[i] + laplace_sample(rng, 1.0 / eps)
+            block_sum += q[i]
+            out.insert(0, next_value)
+        i += 1
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Inputs and adjacency witnesses
+# ---------------------------------------------------------------------------
+
+
+def _one_diff_offsets(inputs: Dict, rng: random.Random) -> Dict:
+    n = len(inputs["q"])
+    offsets = [0.0] * n
+    d = int(inputs["d"])
+    if 0 <= d < n:
+        offsets[d] = float(inputs["delta"])
+    offsets = tuple(offsets)
+    return {"q^o": offsets, "q^s": offsets}
+
+
+def _sum_inputs(extra: Dict = None) -> Dict:
+    q = [1.0, -0.5, 2.0, 0.0, 1.5]
+    inputs = {
+        "eps": 1.0,
+        "size": float(len(q)),
+        "d": 2.0,
+        "delta": 1.0,
+        "q": tuple(q),
+    }
+    inputs.update(extra or {})
+    return inputs
+
+
+PARTIAL_SUM_SPEC = AlgorithmSpec(
+    name="partial_sum",
+    paper_ref="Figure 11 (Appendix C.2); Table 1 row 'Partial Sum'",
+    source=PARTIAL_SUM_SOURCE,
+    assumptions=("eps > 0", "size >= 0"),
+    fixed_bindings={"size": 4},
+    reference=partial_sum_reference,
+    example_inputs=lambda: _sum_inputs(),
+    adjacent_offsets=_one_diff_offsets,
+)
+
+PREFIX_SUM_SPEC = AlgorithmSpec(
+    name="prefix_sum",
+    paper_ref="Appendix C.3 (variant of Smart Sum from [2]); Table 1 row 'Prefix Sum'",
+    source=PREFIX_SUM_SOURCE,
+    assumptions=("eps > 0", "size >= 0"),
+    fixed_bindings={"size": 4},
+    reference=prefix_sum_reference,
+    example_inputs=lambda: _sum_inputs(),
+    adjacent_offsets=_one_diff_offsets,
+)
+
+SMART_SUM_SPEC = AlgorithmSpec(
+    name="smart_sum",
+    paper_ref="Figure 12 (Appendix C.3); Table 1 row 'Smart Sum'",
+    source=SMART_SUM_SOURCE,
+    assumptions=("eps > 0", "size >= 0", "M >= 1", "T >= 0"),
+    fixed_bindings={"size": 6, "M": 2, "T": 5},
+    epsilon_multiplier=2,
+    reference=smart_sum_reference,
+    example_inputs=lambda: _sum_inputs({"M": 2.0, "T": 4.0}),
+    adjacent_offsets=_one_diff_offsets,
+    notes="Satisfies 2*eps-differential privacy (paper Appendix C.3).",
+)

@@ -1,0 +1,15 @@
+"""Annotation inference (paper Section 6.4)."""
+
+from repro.automation.inference import (
+    InferenceResult,
+    candidate_selectors,
+    candidate_alignments,
+    infer_annotations,
+)
+
+__all__ = [
+    "InferenceResult",
+    "candidate_selectors",
+    "candidate_alignments",
+    "infer_annotations",
+]

@@ -1,0 +1,5 @@
+"""Baselines the paper compares against (Section 7)."""
+
+from repro.baselines.lightdp import check_lightdp, LIGHTDP_SUPPORTED, COUPLING_VERIFIER_SECONDS
+
+__all__ = ["check_lightdp", "LIGHTDP_SUPPORTED", "COUPLING_VERIFIER_SECONDS"]

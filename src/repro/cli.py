@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``check FILE``
+    Type check an annotated ShadowDP source file.
+``transform FILE``
+    Type check and print the transformed target program.
+``verify FILE [--mode unroll|invariant] [--bind name=value ...]``
+    Run the full pipeline and report the verification outcome.
+``run FILE [--input name=value ...] [--seed N]``
+    Execute the source program with real Laplace noise.
+``table1``
+    Regenerate the paper's Table 1 (see also benchmarks/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from repro.core.checker import check_function
+from repro.core.errors import ShadowDPError
+from repro.lang.parser import parse_expr, parse_function
+from repro.lang.pretty import pretty_command
+from repro.target.transform import to_target
+from repro.verify.verifier import VerificationConfig, verify_target
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return parse_function(handle.read())
+
+
+def _parse_bindings(pairs):
+    bindings = {}
+    for pair in pairs or ():
+        name, _, value = pair.partition("=")
+        bindings[name] = Fraction(value)
+    return bindings
+
+
+def cmd_check(args) -> int:
+    function = _load(args.file)
+    checked = check_function(function)
+    mode = "aligned-only (LightDP fragment)" if checked.aligned_only else "shadow execution"
+    print(f"{function.name}: type checks [{mode}; {checked.solver_queries} solver queries]")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    function = _load(args.file)
+    target = to_target(check_function(function))
+    print(pretty_command(target.body))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    function = _load(args.file)
+    target = to_target(check_function(function))
+    config = VerificationConfig(
+        mode=args.mode,
+        bindings=_parse_bindings(args.bind),
+        assumptions=tuple(parse_expr(a) for a in (args.assume or ())),
+        unroll_limit=args.unroll,
+    )
+    outcome = verify_target(target, config)
+    print(outcome.describe())
+    for failure in outcome.failures:
+        print("  " + failure.describe())
+    return 0 if outcome.verified else 1
+
+
+def cmd_run(args) -> int:
+    from repro.semantics.interpreter import RandomNoise, run_function
+
+    function = _load(args.file)
+    inputs = {}
+    for pair in args.input or ():
+        name, _, value = pair.partition("=")
+        if "," in value:
+            inputs[name] = tuple(float(v) for v in value.split(","))
+        else:
+            inputs[name] = float(value)
+    result, interp = run_function(function, inputs, noise=RandomNoise(seed=args.seed))
+    print(f"result: {result}")
+    print(f"samples drawn: {len(interp.samples)}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from benchmarks.table1 import generate_table1, render_table1  # type: ignore
+
+    rows = generate_table1()
+    print(render_table1(rows))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="type check a ShadowDP file")
+    p_check.add_argument("file")
+    p_check.set_defaults(func=cmd_check)
+
+    p_tr = sub.add_parser("transform", help="print the transformed program")
+    p_tr.add_argument("file")
+    p_tr.set_defaults(func=cmd_transform)
+
+    p_ver = sub.add_parser("verify", help="verify the transformed program")
+    p_ver.add_argument("file")
+    p_ver.add_argument("--mode", choices=("unroll", "invariant"), default="unroll")
+    p_ver.add_argument("--bind", action="append", metavar="NAME=VALUE")
+    p_ver.add_argument("--assume", action="append", metavar="EXPR")
+    p_ver.add_argument("--unroll", type=int, default=32)
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_run = sub.add_parser("run", help="execute with real noise")
+    p_run.add_argument("file")
+    p_run.add_argument("--input", action="append", metavar="NAME=VALUE")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=cmd_run)
+
+    p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_t1.set_defaults(func=cmd_table1)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ShadowDPError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

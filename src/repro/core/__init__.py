@@ -1,0 +1,30 @@
+"""The ShadowDP type system: the paper's primary contribution.
+
+Layout (one module per ingredient of Section 4):
+
+* :mod:`repro.core.errors` — typed failure modes of the checker.
+* :mod:`repro.core.simplify` — the expression simplifier behind the
+  "branch-condition optimization" of Section 4.3.1 and the readable
+  privacy-cost updates of Section 4.4.
+* :mod:`repro.core.environment` — flow-sensitive typing environments,
+  distances and the two-level lattice join.
+* :mod:`repro.core.preconditions` — quantifier instantiation for the
+  global invariant ``Psi``.
+* :mod:`repro.core.expr_rules` — expression typing (Fig. 4 top).
+* :mod:`repro.core.shadow` — aligned/shadow expression substitution and
+  shadow-execution construction (Appendix B).
+* :mod:`repro.core.instrumentation` — the ``Γ1, Γ2, pc ⇛ c'`` rule.
+* :mod:`repro.core.checker` — command typing and program transformation
+  (Fig. 4 bottom), producing the instrumented probabilistic program.
+"""
+
+from repro.core.errors import ShadowDPError, ShadowDPTypeError
+from repro.core.checker import TypeChecker, CheckedProgram, check_function
+
+__all__ = [
+    "ShadowDPError",
+    "ShadowDPTypeError",
+    "TypeChecker",
+    "CheckedProgram",
+    "check_function",
+]

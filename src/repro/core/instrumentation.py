@@ -1,0 +1,59 @@
+"""The instrumentation rule ``Γ1, Γ2, pc ⇛ c′`` (paper Fig. 4, bottom).
+
+When the environment join promotes a variable's distance from a tracked
+expression ``n`` to ``*``, the dynamic hat variable must be initialised
+with the value the type system tracked statically: ``x̂° := n`` (and
+``x̂† := n`` when ``pc = ⊥``).  Trivial self-assignments like
+``x̂° := x̂°`` are elided.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.environment import NUM, TypeEnv
+from repro.core.errors import ShadowDPTypeError
+from repro.core.simplify import simplify
+from repro.lang import ast
+
+PC_LOW = "low"  # the paper's ⊥: shadow execution takes the same branch
+PC_HIGH = "high"  # the paper's ⊤: shadow execution may diverge
+
+
+def transition_commands(env_from: TypeEnv, env_to: TypeEnv, pc: str) -> ast.Command:
+    """Commands realising ``env_from ⇛ env_to`` (requires ``env_from ⊑ env_to``).
+
+    For every variable whose aligned (resp. shadow) distance is promoted
+    to ``*``, emit ``x̂° := n`` (resp. ``x̂† := n``) where ``n`` is the
+    previously tracked distance.  Under ``pc = ⊤`` only aligned distances
+    are written — the shadow execution's state must not be touched by
+    code the shadow run might not execute (paper rule ⇛).
+    """
+    aligned_updates: List[ast.Command] = []
+    shadow_updates: List[ast.Command] = []
+    for name in env_to:
+        before = env_from.get(name)
+        after = env_to.get(name)
+        if before is None or after is None or before.kind != NUM:
+            continue
+        if before.is_list:
+            if _promoted(before.aligned, after.aligned) or _promoted(before.shadow, after.shadow):
+                raise ShadowDPTypeError(
+                    f"list {name!r} requires per-element dynamic distances "
+                    f"(unsupported promotion)",
+                    reason="list-promotion",
+                )
+            continue
+        if _promoted(before.aligned, after.aligned):
+            value = simplify(before.aligned)
+            if value != ast.Hat(name, ast.ALIGNED):
+                aligned_updates.append(ast.Assign(ast.hat_name(name, ast.ALIGNED), value))
+        if _promoted(before.shadow, after.shadow) and pc == PC_LOW:
+            value = simplify(before.shadow)
+            if value != ast.Hat(name, ast.SHADOW):
+                shadow_updates.append(ast.Assign(ast.hat_name(name, ast.SHADOW), value))
+    return ast.seq(*aligned_updates, *shadow_updates)
+
+
+def _promoted(before: ast.Distance, after: ast.Distance) -> bool:
+    return ast.is_star(after) and not ast.is_star(before)

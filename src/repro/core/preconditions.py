@@ -1,0 +1,60 @@
+"""Handling of the global invariant ``Psi`` (function preconditions).
+
+Preconditions quantify over query indices (``forall i :: -1 <= q̂°[i] <=
+1``).  The solver is quantifier-free, so before any validity query the
+quantifiers are instantiated at every index term that occurs in the
+query — the standard e-matching-with-syntactic-triggers recipe, which is
+complete for the array-reads-only use the type system makes of ``Psi``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.lang import ast
+
+
+def split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
+    """Flatten top-level conjunction structure."""
+    if isinstance(expr, ast.BinOp) and expr.op == "&&":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    if expr == ast.TRUE:
+        return []
+    return [expr]
+
+
+def index_terms(exprs: Iterable[ast.Expr]) -> Set[ast.Expr]:
+    """All index expressions used to read a list or hat-list anywhere."""
+    found: Set[ast.Expr] = set()
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Index):
+                found.add(node.index)
+    return found
+
+
+def instantiate(psi: ast.Expr, queries: Sequence[ast.Expr], extra_indices: Iterable[ast.Expr] = ()) -> List[ast.Expr]:
+    """Ground instances of ``psi`` relevant to ``queries``.
+
+    Non-quantified conjuncts pass through unchanged.  Each ``forall``
+    conjunct is instantiated at every index term occurring in the queries
+    (plus ``extra_indices``); if there are none, the quantified conjunct
+    is dropped (it cannot influence a query that reads no list).
+    """
+    indices = index_terms(queries) | set(extra_indices)
+    premises: List[ast.Expr] = []
+    for conjunct in split_conjuncts(psi):
+        premises.extend(_instances(conjunct, indices))
+    return premises
+
+
+def _instances(conjunct: ast.Expr, indices: Set[ast.Expr]) -> List[ast.Expr]:
+    """Instantiate (possibly nested) quantifiers at every index term."""
+    if not isinstance(conjunct, ast.ForAll):
+        return [conjunct]
+    out: List[ast.Expr] = []
+    for index in indices:
+        body = ast.substitute(conjunct.body, {ast.Var(conjunct.var): index})
+        for inner in split_conjuncts(body):
+            out.extend(_instances(inner, indices))
+    return out

@@ -1,0 +1,121 @@
+"""Aligned/shadow expression substitution and shadow execution.
+
+Implements the paper's Appendix B:
+
+* ``⟦e, Γ⟧⋆`` (Fig. 8): rewrite an expression to its value in the aligned
+  (``°``) or shadow (``†``) execution by adding each variable's resolved
+  distance — :func:`versioned_expr`.
+* ``⟦c, Γ⟧†`` (Fig. 9): the *shadow execution* of a command — the
+  self-composition-style instrumentation that updates ``x̂†`` so that
+  ``x + x̂†`` tracks the shadow run even when it takes a different branch
+  than the original run — :func:`shadow_command`.
+"""
+
+from __future__ import annotations
+
+from repro.core.environment import NUM, TypeEnv
+from repro.core.errors import ShadowDPTypeError
+from repro.core.simplify import simplify
+from repro.lang import ast
+
+
+def versioned_expr(expr: ast.Expr, env: TypeEnv, version: str) -> ast.Expr:
+    """``⟦expr, env⟧^version``: the expression's value in that execution."""
+    return simplify(_versioned(expr, env, version))
+
+
+def _versioned(expr: ast.Expr, env: TypeEnv, version: str) -> ast.Expr:
+    if isinstance(expr, (ast.Real, ast.BoolLit, ast.Hat)):
+        return expr
+    if isinstance(expr, ast.Var):
+        entry = env.lookup(expr.name)
+        if entry.is_list or entry.kind != NUM:
+            return expr
+        if version == ast.ALIGNED:
+            distance = env.aligned_expr(expr.name)
+        else:
+            distance = env.shadow_expr(expr.name)
+        return ast.BinOp("+", expr, distance)
+    if isinstance(expr, ast.Index):
+        if isinstance(expr.base, ast.Hat):
+            return ast.Index(expr.base, _versioned(expr.index, env, version))
+        if isinstance(expr.base, ast.Var):
+            entry = env.lookup(expr.base.name)
+            if not entry.is_list:
+                raise ShadowDPTypeError(f"{expr.base.name!r} is not a list")
+            index = _versioned(expr.index, env, version)
+            base = ast.Index(expr.base, index)
+            if entry.kind != NUM:
+                return base
+            distance = env.element_expr(expr.base.name, index, version)
+            return ast.BinOp("+", base, distance)
+        raise ShadowDPTypeError("cannot version a computed list")
+    if isinstance(expr, ast.Neg):
+        return ast.Neg(_versioned(expr.operand, env, version))
+    if isinstance(expr, ast.Not):
+        return ast.Not(_versioned(expr.operand, env, version))
+    if isinstance(expr, ast.Abs):
+        return ast.Abs(_versioned(expr.operand, env, version))
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op,
+            _versioned(expr.left, env, version),
+            _versioned(expr.right, env, version),
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            _versioned(expr.cond, env, version),
+            _versioned(expr.then, env, version),
+            _versioned(expr.orelse, env, version),
+        )
+    if isinstance(expr, ast.Cons):
+        return ast.Cons(
+            _versioned(expr.head, env, version),
+            _versioned(expr.tail, env, version),
+        )
+    raise ShadowDPTypeError(f"cannot version expression {expr!r}")
+
+
+def shadow_command(cmd: ast.Command, env: TypeEnv) -> ast.Command:
+    """``⟦cmd, env⟧†``: the shadow execution of a (sampling-free) command.
+
+    Numeric assignments become updates to the shadow-distance variable:
+    ``⟦x := e⟧† = x̂† := ⟦e⟧† − x``.  List and boolean assignments carry no
+    numeric shadow distance and become ``skip`` (their shadow values are
+    pinned to ⟨·, 0⟩ or are write-only outputs with don't-care shadow
+    distance; see Section 4.3.2's discussion of return types like
+    ``num⟨0,∗⟩``).
+    """
+    if isinstance(cmd, ast.Skip):
+        return ast.Skip()
+    if isinstance(cmd, ast.Seq):
+        return ast.seq(*[shadow_command(c, env) for c in cmd.commands])
+    if isinstance(cmd, ast.Assign):
+        entry = env.get(cmd.name)
+        if entry is None or entry.is_list or entry.kind != NUM:
+            return ast.Skip()
+        value = versioned_expr(cmd.expr, env, ast.SHADOW)
+        return ast.Assign(
+            ast.hat_name(cmd.name, ast.SHADOW),
+            simplify(ast.BinOp("-", value, ast.Var(cmd.name))),
+        )
+    if isinstance(cmd, ast.If):
+        return ast.If(
+            versioned_expr(cmd.cond, env, ast.SHADOW),
+            shadow_command(cmd.then, env),
+            shadow_command(cmd.orelse, env),
+        )
+    if isinstance(cmd, ast.While):
+        return ast.While(
+            versioned_expr(cmd.cond, env, ast.SHADOW),
+            shadow_command(cmd.body, env),
+        )
+    if isinstance(cmd, ast.Sample):
+        # Fig. 9 deliberately has no case for sampling: if the original
+        # execution draws a sample the shadow execution must draw the
+        # same one, so a diverged branch may not sample.
+        raise ShadowDPTypeError(
+            "sampling command inside a branch whose shadow execution may diverge",
+            reason="sample-under-high-pc",
+        )
+    raise ShadowDPTypeError(f"no shadow execution for {cmd!r}")

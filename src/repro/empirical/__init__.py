@@ -1,0 +1,9 @@
+"""Statistical cross-checks of differential privacy claims."""
+
+from repro.empirical.estimator import (
+    EmpiricalResult,
+    estimate_epsilon_lower_bound,
+    event_probabilities,
+)
+
+__all__ = ["EmpiricalResult", "estimate_epsilon_lower_bound", "event_probabilities"]

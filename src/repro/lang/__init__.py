@@ -1,0 +1,42 @@
+"""The ShadowDP language: abstract syntax, concrete syntax and printing.
+
+This subpackage implements Figure 3 of the paper (the source language) plus
+the target-language extensions of Section 4.4 (``havoc``, ``assert`` and
+``assume``).  The pieces are:
+
+``repro.lang.ast``
+    Immutable AST node definitions for expressions, commands, types,
+    distances, selectors and whole functions.
+
+``repro.lang.lexer`` / ``repro.lang.parser``
+    A hand-written lexer and recursive-descent parser for the concrete
+    syntax used by the case studies (see ``repro.algorithms``).
+
+``repro.lang.pretty``
+    A pretty printer producing concrete syntax that round-trips through
+    the parser.
+
+``repro.lang.builder``
+    Small combinator helpers for constructing ASTs programmatically.
+"""
+
+from repro.lang import ast
+from repro.lang.lexer import Lexer, Token, LexError
+from repro.lang.parser import Parser, ParseError, parse_function, parse_expr, parse_command
+from repro.lang.pretty import pretty_expr, pretty_command, pretty_function, pretty_type
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "Token",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse_function",
+    "parse_expr",
+    "parse_command",
+    "pretty_expr",
+    "pretty_command",
+    "pretty_function",
+    "pretty_type",
+]

@@ -1,0 +1,631 @@
+"""Abstract syntax for ShadowDP (paper Figure 3) and the target language.
+
+All nodes are immutable (frozen dataclasses), hashable and comparable by
+structure, which lets the type checker use syntactic equality of distance
+expressions when joining typing environments, and lets tests compare
+transformed programs against golden ASTs directly.
+
+Naming conventions used throughout the code base:
+
+* ``aligned`` corresponds to the paper's ``°`` (circle) version — the
+  execution on the adjacent database whose randomness has been aligned.
+* ``shadow`` corresponds to the paper's ``†`` (dagger) version — the
+  execution on the adjacent database that reuses the original noise.
+* A *hat* variable ``Hat("x", ALIGNED)`` is the paper's ``x̂°`` — the
+  dynamically tracked distance of ``x`` for the aligned execution; in the
+  concrete syntax it is written ``x^o`` (and ``x^s`` for ``x̂†``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Mapping, Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Version tags
+# ---------------------------------------------------------------------------
+
+ALIGNED = "o"
+SHADOW = "s"
+VERSIONS = (ALIGNED, SHADOW)
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate sub-expressions, used by generic traversals."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Real(Expr):
+    """A rational literal.  All arithmetic in the pipeline is exact."""
+
+    value: Fraction
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, Fraction):
+            object.__setattr__(self, "value", Fraction(self.value))
+
+    def __repr__(self) -> str:
+        return f"Real({self.value})"
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    """A boolean literal ``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A normal or random program variable.
+
+    The AST does not distinguish ``NVars`` from ``RVars`` (paper Fig. 3);
+    the type checker tracks which names were bound by sampling commands.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Hat(Expr):
+    """A distance-tracking variable ``x̂°`` (version ``ALIGNED``) or ``x̂†``.
+
+    These are invisible in source programs except inside preconditions and
+    sampling annotations; the type system introduces them when a distance
+    is promoted to ``*`` (paper Section 4.3.1).
+    """
+
+    base: str
+    version: str
+
+    def __post_init__(self) -> None:
+        if self.version not in VERSIONS:
+            raise ValueError(f"bad hat version {self.version!r}")
+
+
+def hat_name(base: str, version: str) -> str:
+    """The canonical memory/assignment name of a hat variable (``x^o``)."""
+    return f"{base}^{version}"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Arithmetic negation ``-e``."""
+
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation ``!e``."""
+
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Abs(Expr):
+    """Absolute value ``abs(e)``.
+
+    Not part of the source syntax of Fig. 3; it appears in target programs
+    for the privacy-cost update ``v_eps := ... + |n_eta| / r`` (Fig. 5) and
+    in the rewrite assertions of Section 6.2.2.
+    """
+
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+
+# Operator sets (paper Fig. 3: linear ops, other ops, comparators).
+LINEAR_OPS = ("+", "-")
+OTHER_OPS = ("*", "/")
+COMPARATORS = ("<", "<=", ">", ">=", "==", "!=")
+BOOL_OPS = ("&&", "||")
+ALL_BINOPS = LINEAR_OPS + OTHER_OPS + COMPARATORS + BOOL_OPS
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation.  ``op`` is one of ``ALL_BINOPS``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_BINOPS:
+            raise ValueError(f"bad binary operator {self.op!r}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """The numeric/boolean choice ``cond ? then : orelse``."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then, self.orelse)
+
+
+@dataclass(frozen=True)
+class Cons(Expr):
+    """List extension ``head :: tail`` (paper ``e1 :: e2``)."""
+
+    head: Expr
+    tail: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.head, self.tail)
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """List indexing ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.base, self.index)
+
+
+@dataclass(frozen=True)
+class ForAll(Expr):
+    """A universally quantified formula ``forall x :: body``.
+
+    Only allowed in function preconditions, where it expresses the
+    adjacency relation over whole query lists (e.g. Fig. 1's
+    ``forall i >= 0. -1 <= q̂°[i] <= 1``).
+    """
+
+    var: str
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+# ---------------------------------------------------------------------------
+# Convenience literals
+# ---------------------------------------------------------------------------
+
+ZERO = Real(Fraction(0))
+ONE = Real(Fraction(1))
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+# ---------------------------------------------------------------------------
+# Distances and types
+# ---------------------------------------------------------------------------
+
+
+class Star:
+    """The ``*`` distance: tracked dynamically through hat variables.
+
+    A singleton — use the module-level ``STAR``.
+    """
+
+    _instance: Optional["Star"] = None
+
+    def __new__(cls) -> "Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "STAR"
+
+
+STAR = Star()
+
+#: A distance is either a numeric expression or ``STAR`` (paper Fig. 3).
+Distance = Union[Expr, Star]
+
+
+def is_star(d: Distance) -> bool:
+    """True when a distance is the dynamically-tracked ``*``."""
+    return isinstance(d, Star)
+
+
+class Type:
+    """Base class for ShadowDP types."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumType(Type):
+    """``num<d_aligned, d_shadow>`` — a real with two distances."""
+
+    aligned: Distance = ZERO
+    shadow: Distance = ZERO
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """``bool`` — always at distance ``<0,0>``."""
+
+
+@dataclass(frozen=True)
+class ListType(Type):
+    """``list t`` — a list whose elements all have type ``t``."""
+
+    elem: Type
+
+
+# ---------------------------------------------------------------------------
+# Selectors (paper Fig. 3: S ::= e ? S1 : S2 | k)
+# ---------------------------------------------------------------------------
+
+
+class Selector:
+    """Base class for sampling-annotation selectors."""
+
+    __slots__ = ()
+
+    def apply(self, aligned: Expr, shadow: Expr) -> Expr:
+        """The select function ``S(<e1, e2>)`` of Figure 4."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SelectLeaf(Selector):
+    """A constant selector: the aligned (``°``) or shadow (``†``) version."""
+
+    version: str
+
+    def __post_init__(self) -> None:
+        if self.version not in VERSIONS:
+            raise ValueError(f"bad selector version {self.version!r}")
+
+    def apply(self, aligned: Expr, shadow: Expr) -> Expr:
+        return aligned if self.version == ALIGNED else shadow
+
+
+@dataclass(frozen=True)
+class SelectCond(Selector):
+    """A conditional selector ``e ? S1 : S2``."""
+
+    cond: Expr
+    then: Selector
+    orelse: Selector
+
+    def apply(self, aligned: Expr, shadow: Expr) -> Expr:
+        left = self.then.apply(aligned, shadow)
+        right = self.orelse.apply(aligned, shadow)
+        if left == right:
+            return left
+        return Ternary(self.cond, left, right)
+
+
+SELECT_ALIGNED = SelectLeaf(ALIGNED)
+SELECT_SHADOW = SelectLeaf(SHADOW)
+
+
+def selector_uses_shadow(sel: Selector) -> bool:
+    """True when any leaf of the selector picks the shadow execution.
+
+    LightDP is exactly the restriction of ShadowDP where this is never the
+    case (paper Section 7); ``repro.baselines.lightdp`` rejects programs
+    whose selectors use the shadow execution.
+    """
+    if isinstance(sel, SelectLeaf):
+        return sel.version == SHADOW
+    if isinstance(sel, SelectCond):
+        return selector_uses_shadow(sel.then) or selector_uses_shadow(sel.orelse)
+    raise TypeError(f"not a selector: {sel!r}")
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+class Command:
+    """Base class for all command nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Command):
+    """The no-op command."""
+
+
+@dataclass(frozen=True)
+class Assign(Command):
+    """Assignment ``x := e`` to a normal variable."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Sample(Command):
+    """The sampling command ``eta := Lap(scale), selector, align``.
+
+    ``selector`` and ``align`` are the programmer annotations of Section 3.1;
+    they have no effect on the semantics and only guide the type system.
+    """
+
+    name: str
+    scale: Expr
+    selector: Selector
+    align: Expr
+
+
+@dataclass(frozen=True)
+class Seq(Command):
+    """Sequential composition of zero or more commands."""
+
+    commands: Tuple[Command, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Flatten nested sequences so Seq((Seq((a,)), b)) == Seq((a, b)).
+        flat: list[Command] = []
+        for cmd in self.commands:
+            if isinstance(cmd, Seq):
+                flat.extend(cmd.commands)
+            elif isinstance(cmd, Skip):
+                continue
+            else:
+                flat.append(cmd)
+        object.__setattr__(self, "commands", tuple(flat))
+
+
+@dataclass(frozen=True)
+class If(Command):
+    """Branching ``if (e) { c1 } else { c2 }``."""
+
+    cond: Expr
+    then: Command
+    orelse: Command = field(default_factory=Skip)
+
+
+@dataclass(frozen=True)
+class While(Command):
+    """Looping ``while (e) { c }``.
+
+    ``invariants`` carries optional programmer-supplied loop invariants
+    used by the Hoare-mode verifier (the paper supplies these manually to
+    CPAChecker when its own invariant inference fails, Section 6.2).
+    """
+
+    cond: Expr
+    body: Command
+    invariants: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Return(Command):
+    """``return e`` — by convention the last command of a function."""
+
+    expr: Expr
+
+
+# Target-language extensions (paper Section 4.4 / Appendix E).
+
+
+@dataclass(frozen=True)
+class Havoc(Command):
+    """``havoc x`` — set ``x`` to an arbitrary real (target language only)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Assert(Command):
+    """``assert(e)`` — proof obligation inserted by the type system."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Assume(Command):
+    """``assume(e)`` — verifier-facing assumption (target language only)."""
+
+    expr: Expr
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A typed function parameter."""
+
+    name: str
+    type: Type
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """A complete ShadowDP function.
+
+    Attributes
+    ----------
+    name:
+        Function name.
+    params:
+        Typed parameters; their types carry the adjacency distances.
+    ret_name / ret_type:
+        The declared return variable and its type (listed below the
+        signature in the paper's figures).
+    precondition:
+        The global invariant ``Psi``: sensitivity assumptions over the hat
+        variables of starred parameters.
+    body:
+        The function body (a command).
+    cost_bound:
+        The privacy budget the transformed program must respect, i.e. the
+        right-hand side of the final ``assert(v_eps <= bound)``.  Defaults
+        to the variable ``eps``; SmartSum uses ``2 * eps`` (Appendix C.3).
+    """
+
+    name: str
+    params: Tuple[Parameter, ...]
+    ret_name: str
+    ret_type: Type
+    precondition: Expr
+    body: Command
+    cost_bound: Expr = Var("eps")
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def param(self, name: str) -> Parameter:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Generic traversals
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def free_vars(expr: Expr) -> frozenset:
+    """The free ``Var`` names of an expression (bound quantifier vars excluded)."""
+    names: set = set()
+    bound: set = set()
+
+    def go(e: Expr) -> None:
+        if isinstance(e, Var):
+            if e.name not in bound:
+                names.add(e.name)
+        elif isinstance(e, ForAll):
+            already = e.var in bound
+            bound.add(e.var)
+            go(e.body)
+            if not already:
+                bound.discard(e.var)
+        else:
+            for child in e.children():
+                go(child)
+
+    go(expr)
+    return frozenset(names)
+
+
+def hat_vars(expr: Expr) -> frozenset:
+    """All ``Hat`` nodes occurring in an expression."""
+    return frozenset(node for node in walk(expr) if isinstance(node, Hat))
+
+
+def substitute(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
+    """Capture-avoiding simultaneous substitution of whole sub-expressions.
+
+    ``mapping`` keys may be any expression nodes (typically ``Var`` or
+    ``Hat``); every occurrence is replaced structurally.
+    """
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, (Real, BoolLit, Var, Hat)):
+        return expr
+    if isinstance(expr, Neg):
+        return Neg(substitute(expr.operand, mapping))
+    if isinstance(expr, Not):
+        return Not(substitute(expr.operand, mapping))
+    if isinstance(expr, Abs):
+        return Abs(substitute(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, Ternary):
+        return Ternary(
+            substitute(expr.cond, mapping),
+            substitute(expr.then, mapping),
+            substitute(expr.orelse, mapping),
+        )
+    if isinstance(expr, Cons):
+        return Cons(substitute(expr.head, mapping), substitute(expr.tail, mapping))
+    if isinstance(expr, Index):
+        return Index(substitute(expr.base, mapping), substitute(expr.index, mapping))
+    if isinstance(expr, ForAll):
+        shadowed = {k: v for k, v in mapping.items() if not (isinstance(k, Var) and k.name == expr.var)}
+        return ForAll(expr.var, substitute(expr.body, shadowed))
+    raise TypeError(f"substitute: unknown expression node {expr!r}")
+
+
+def substitute_selector(sel: Selector, mapping: Mapping[Expr, Expr]) -> Selector:
+    """Apply :func:`substitute` inside selector conditions."""
+    if isinstance(sel, SelectLeaf):
+        return sel
+    if isinstance(sel, SelectCond):
+        return SelectCond(
+            substitute(sel.cond, mapping),
+            substitute_selector(sel.then, mapping),
+            substitute_selector(sel.orelse, mapping),
+        )
+    raise TypeError(f"not a selector: {sel!r}")
+
+
+def command_iter(cmd: Command) -> Iterator[Command]:
+    """Yield ``cmd`` and every sub-command, pre-order."""
+    stack = [cmd]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Seq):
+            stack.extend(reversed(node.commands))
+        elif isinstance(node, If):
+            stack.append(node.orelse)
+            stack.append(node.then)
+        elif isinstance(node, While):
+            stack.append(node.body)
+
+
+def assigned_vars(cmd: Command) -> frozenset:
+    """``Asgnd(c)``: names assigned (or sampled, or havocked) anywhere in ``cmd``."""
+    names: set = set()
+    for node in command_iter(cmd):
+        if isinstance(node, Assign):
+            names.add(node.name)
+        elif isinstance(node, (Sample, Havoc)):
+            names.add(node.name)
+    return frozenset(names)
+
+
+def seq(*commands: Command) -> Command:
+    """Build a command from parts, collapsing ``Skip`` and nested ``Seq``."""
+    node = Seq(tuple(commands))
+    if not node.commands:
+        return Skip()
+    if len(node.commands) == 1:
+        return node.commands[0]
+    return node

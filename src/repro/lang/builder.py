@@ -1,0 +1,150 @@
+"""Combinator helpers for building ShadowDP ASTs in Python code.
+
+These shorthands keep golden tests and programmatic program construction
+readable; they are a thin layer over :mod:`repro.lang.ast`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from repro.lang import ast
+
+Number = Union[int, float, Fraction, str]
+
+
+def num(value: Number) -> ast.Real:
+    """A rational literal from an int, Fraction or exact string."""
+    return ast.Real(Fraction(value))
+
+
+def var(name: str) -> ast.Var:
+    return ast.Var(name)
+
+
+def hat(name: str, version: str = ast.ALIGNED) -> ast.Hat:
+    return ast.Hat(name, version)
+
+
+def coerce(value: Union[ast.Expr, Number]) -> ast.Expr:
+    """Coerce a Python number into a literal, passing expressions through."""
+    if isinstance(value, ast.Expr):
+        return value
+    return num(value)
+
+
+def _binop(op: str, left, right) -> ast.BinOp:
+    return ast.BinOp(op, coerce(left), coerce(right))
+
+
+def add(left, right) -> ast.BinOp:
+    return _binop("+", left, right)
+
+
+def sub(left, right) -> ast.BinOp:
+    return _binop("-", left, right)
+
+
+def mul(left, right) -> ast.BinOp:
+    return _binop("*", left, right)
+
+
+def div(left, right) -> ast.BinOp:
+    return _binop("/", left, right)
+
+
+def lt(left, right) -> ast.BinOp:
+    return _binop("<", left, right)
+
+
+def le(left, right) -> ast.BinOp:
+    return _binop("<=", left, right)
+
+
+def gt(left, right) -> ast.BinOp:
+    return _binop(">", left, right)
+
+
+def ge(left, right) -> ast.BinOp:
+    return _binop(">=", left, right)
+
+
+def eq(left, right) -> ast.BinOp:
+    return _binop("==", left, right)
+
+
+def ne(left, right) -> ast.BinOp:
+    return _binop("!=", left, right)
+
+
+def and_(*parts) -> ast.Expr:
+    exprs = [coerce(p) for p in parts]
+    if not exprs:
+        return ast.TRUE
+    result = exprs[0]
+    for part in exprs[1:]:
+        result = ast.BinOp("&&", result, part)
+    return result
+
+
+def or_(*parts) -> ast.Expr:
+    exprs = [coerce(p) for p in parts]
+    if not exprs:
+        return ast.FALSE
+    result = exprs[0]
+    for part in exprs[1:]:
+        result = ast.BinOp("||", result, part)
+    return result
+
+
+def not_(operand) -> ast.Not:
+    return ast.Not(coerce(operand))
+
+
+def neg(operand) -> ast.Neg:
+    return ast.Neg(coerce(operand))
+
+
+def abs_(operand) -> ast.Abs:
+    return ast.Abs(coerce(operand))
+
+
+def ite(cond, then, orelse) -> ast.Ternary:
+    return ast.Ternary(coerce(cond), coerce(then), coerce(orelse))
+
+
+def index(base, idx) -> ast.Index:
+    return ast.Index(coerce(base), coerce(idx))
+
+
+def cons(head, tail) -> ast.Cons:
+    return ast.Cons(coerce(head), coerce(tail))
+
+
+def forall(name: str, body) -> ast.ForAll:
+    return ast.ForAll(name, coerce(body))
+
+
+def assign(name: str, expr) -> ast.Assign:
+    return ast.Assign(name, coerce(expr))
+
+
+def sample(name: str, scale, selector: ast.Selector, align) -> ast.Sample:
+    return ast.Sample(name, coerce(scale), selector, coerce(align))
+
+
+def if_(cond, then: ast.Command, orelse: ast.Command = None) -> ast.If:
+    return ast.If(coerce(cond), then, orelse if orelse is not None else ast.Skip())
+
+
+def while_(cond, body: ast.Command, invariants=()) -> ast.While:
+    return ast.While(coerce(cond), body, tuple(coerce(i) for i in invariants))
+
+
+def ret(expr) -> ast.Return:
+    return ast.Return(coerce(expr))
+
+
+def select_cond(cond, then: ast.Selector, orelse: ast.Selector) -> ast.SelectCond:
+    return ast.SelectCond(coerce(cond), then, orelse)

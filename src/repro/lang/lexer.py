@@ -1,0 +1,207 @@
+"""A hand-written lexer for the ShadowDP concrete syntax.
+
+The concrete syntax follows the paper's figures as closely as ASCII allows:
+
+* ``x^o`` and ``x^s`` stand for the hat variables ``x̂°`` and ``x̂†``;
+* ``aligned`` / ``shadow`` stand for the selector versions ``°`` / ``†``;
+* ``:=`` is assignment, ``::`` is list cons, and ``?:`` is the ternary.
+
+Comments run from ``#`` or ``//`` to the end of the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, List, Optional
+
+
+class LexError(ValueError):
+    """Raised on malformed input, with a line/column position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``NUMBER``, ``IDENT``, ``HAT``, ``KEYWORD``, ``OP``
+    or ``EOF``.  ``value`` holds the decoded payload: a ``Fraction`` for
+    numbers, the identifier text for ``IDENT``/``KEYWORD``, a
+    ``(base, version)`` pair for ``HAT`` and the operator text for ``OP``.
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+KEYWORDS = frozenset(
+    {
+        "function",
+        "returns",
+        "precondition",
+        "costbound",
+        "define",
+        "while",
+        "invariant",
+        "if",
+        "else",
+        "skip",
+        "return",
+        "true",
+        "false",
+        "Lap",
+        "aligned",
+        "shadow",
+        "forall",
+        "assert",
+        "assume",
+        "havoc",
+        "abs",
+        "list",
+        "num",
+        "bool",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = (
+    ":=",
+    "::",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "?",
+    ":",
+    ";",
+    ",",
+    "!",
+    "=",
+)
+
+
+class Lexer:
+    """Streaming tokenizer over a source string."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "#" or (ch == "/" and self._peek(1) == "/"):
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, column = self._line, self._column
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start : self._pos]
+        return Token("NUMBER", Fraction(text), line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self._line, self._column
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        # A hat suffix turns `q^o` into a HAT token for q-hat-aligned.
+        if self._peek() == "^":
+            version = self._peek(1)
+            if version not in ("o", "s"):
+                raise self._error(f"bad hat suffix ^{version!r} (expected ^o or ^s)")
+            after = self._peek(2)
+            if after.isalnum() or after == "_":
+                raise self._error("hat suffix must be exactly ^o or ^s")
+            self._advance(2)
+            return Token("HAT", (text, version), line, column)
+        if text in KEYWORDS:
+            return Token("KEYWORD", text, line, column)
+        return Token("IDENT", text, line, column)
+
+    def next_token(self) -> Token:
+        """Return the next token (``EOF`` at end of input)."""
+        self._skip_trivia()
+        line, column = self._line, self._column
+        if self._pos >= len(self._source):
+            return Token("EOF", None, line, column)
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        for op in OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token("OP", op, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def tokens(self) -> Iterator[Token]:
+        """Iterate all tokens, ending with a single ``EOF``."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind == "EOF":
+                return
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a whole source string into a list ending with ``EOF``."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,495 @@
+"""Recursive-descent parser for the ShadowDP concrete syntax.
+
+Grammar (informal)::
+
+    function  := "function" IDENT "(" params ")"
+                 "returns" param
+                 ("precondition" expr ";")?
+                 ("costbound" expr ";")?
+                 ("define" IDENT "=" expr ";")*
+                 block
+    params    := param ("," param)*
+    param     := IDENT ":" type
+    type      := "num" ("<" dist "," dist ">")? | "bool" | "list" type
+    dist      := "*" | "-" | expr
+    block     := "{" cmd* "}"
+    cmd       := "skip" ";"
+               | IDENT ":=" "Lap" "(" expr ")" "," selector "," expr ";"
+               | IDENT ":=" expr ";"
+               | "if" "(" expr ")" block ("else" (block | if-cmd))?
+               | "while" "(" expr ")" ("invariant" expr ";")* block
+               | "return" expr ";"
+               | "assert" "(" expr ")" ";"
+               | "assume" "(" expr ")" ";"
+               | "havoc" IDENT ";"
+    selector  := "aligned" | "shadow" | expr "?" selector ":" selector
+
+Expression precedence, loosest to tightest: ``?:``, ``||``, ``&&``,
+``::`` (right associative), comparisons (non-associative), ``+ -``,
+``* /``, unary ``- !``, postfix indexing, atoms.
+
+``define`` clauses are hygienic textual macros: every later occurrence of
+the defined name (in the body, annotations and invariants) is replaced by
+the definition.  The case studies use them to name the branch condition
+``Omega`` exactly as the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.lexer import Lexer, Token
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line}, column {token.column} (got {token!r})")
+        self.token = token
+
+
+class Parser:
+    """A single-use parser over one source string."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = list(Lexer(source).tokens())
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value: object = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _match(self, kind: str, value: object = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: object = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}", token)
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._expect("IDENT")
+        return str(token.value)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        """Entry point for a full expression (including ``forall``)."""
+        if self._check("KEYWORD", "forall"):
+            self._advance()
+            var = self._expect_ident()
+            self._expect("OP", "::")
+            body = self.parse_expr()
+            return ast.ForAll(var, body)
+        return self._ternary()
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._or()
+        if self._match("OP", "?"):
+            then = self._ternary()
+            self._expect("OP", ":")
+            orelse = self._ternary()
+            return ast.Ternary(cond, then, orelse)
+        return cond
+
+    def _or(self) -> ast.Expr:
+        left = self._and()
+        while self._match("OP", "||"):
+            right = self._and()
+            left = ast.BinOp("||", left, right)
+        return left
+
+    def _and(self) -> ast.Expr:
+        left = self._cons()
+        while self._match("OP", "&&"):
+            right = self._cons()
+            left = ast.BinOp("&&", left, right)
+        return left
+
+    def _cons(self) -> ast.Expr:
+        head = self._comparison()
+        if self._match("OP", "::"):
+            tail = self._cons()
+            return ast.Cons(head, tail)
+        return head
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if self._check("OP", op):
+                self._advance()
+                right = self._additive()
+                return ast.BinOp(op, left, right)
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            if self._match("OP", "+"):
+                left = ast.BinOp("+", left, self._multiplicative())
+            elif self._match("OP", "-"):
+                left = ast.BinOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            if self._match("OP", "*"):
+                left = ast.BinOp("*", left, self._unary())
+            elif self._match("OP", "/"):
+                right = self._unary()
+                # Fold rational literals (`1 / 2` denotes the constant 1/2,
+                # which is also how the pretty printer emits non-integers).
+                if isinstance(left, ast.Real) and isinstance(right, ast.Real) and right.value != 0:
+                    left = ast.Real(left.value / right.value)
+                else:
+                    left = ast.BinOp("/", left, right)
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self._match("OP", "-"):
+            operand = self._unary()
+            # Fold negative literals so `-1` denotes the constant -1.
+            if isinstance(operand, ast.Real):
+                return ast.Real(-operand.value)
+            return ast.Neg(operand)
+        if self._match("OP", "!"):
+            return ast.Not(self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        node = self._atom()
+        while self._match("OP", "["):
+            index = self.parse_expr()
+            self._expect("OP", "]")
+            node = ast.Index(node, index)
+        return node
+
+    def _atom(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            return ast.Real(token.value)
+        if token.kind == "KEYWORD" and token.value == "true":
+            self._advance()
+            return ast.TRUE
+        if token.kind == "KEYWORD" and token.value == "false":
+            self._advance()
+            return ast.FALSE
+        if token.kind == "KEYWORD" and token.value == "abs":
+            self._advance()
+            self._expect("OP", "(")
+            inner = self.parse_expr()
+            self._expect("OP", ")")
+            return ast.Abs(inner)
+        if token.kind == "HAT":
+            self._advance()
+            base, version = token.value
+            return ast.Hat(base, version)
+        if token.kind == "IDENT":
+            self._advance()
+            return ast.Var(str(token.value))
+        if self._match("OP", "("):
+            inner = self.parse_expr()
+            self._expect("OP", ")")
+            return inner
+        raise ParseError("expected an expression", token)
+
+    # -- selectors ----------------------------------------------------------
+
+    def parse_selector(self) -> ast.Selector:
+        if self._match("KEYWORD", "aligned"):
+            return ast.SELECT_ALIGNED
+        if self._match("KEYWORD", "shadow"):
+            return ast.SELECT_SHADOW
+        cond = self._or()
+        self._expect("OP", "?")
+        then = self.parse_selector()
+        self._expect("OP", ":")
+        orelse = self.parse_selector()
+        return ast.SelectCond(cond, then, orelse)
+
+    # -- types --------------------------------------------------------------
+
+    def parse_type(self) -> ast.Type:
+        token = self._peek()
+        if self._match("KEYWORD", "bool"):
+            return ast.BoolType()
+        if self._match("KEYWORD", "list"):
+            return ast.ListType(self.parse_type())
+        if self._match("KEYWORD", "num"):
+            if not self._match("OP", "<"):
+                return ast.NumType(ast.ZERO, ast.ZERO)
+            aligned = self._parse_distance()
+            self._expect("OP", ",")
+            shadow = self._parse_distance()
+            self._expect("OP", ">")
+            return ast.NumType(aligned, shadow)
+        raise ParseError("expected a type", token)
+
+    def _parse_distance(self) -> ast.Distance:
+        if self._match("OP", "*"):
+            return ast.STAR
+        # A lone `-` (immediately followed by `,` or `>`) is the paper's
+        # "don't care" distance, which we model as STAR.
+        if self._check("OP", "-") and self._peek(1).value in (",", ">"):
+            self._advance()
+            return ast.STAR
+        return self._additive()
+
+    # -- commands -----------------------------------------------------------
+
+    def parse_block(self) -> ast.Command:
+        self._expect("OP", "{")
+        commands: List[ast.Command] = []
+        while not self._check("OP", "}"):
+            commands.append(self.parse_command())
+        self._expect("OP", "}")
+        return ast.seq(*commands)
+
+    def parse_command(self) -> ast.Command:
+        token = self._peek()
+        if self._match("KEYWORD", "skip"):
+            self._expect("OP", ";")
+            return ast.Skip()
+        if self._match("KEYWORD", "return"):
+            expr = self.parse_expr()
+            self._expect("OP", ";")
+            return ast.Return(expr)
+        if self._match("KEYWORD", "assert"):
+            self._expect("OP", "(")
+            expr = self.parse_expr()
+            self._expect("OP", ")")
+            self._expect("OP", ";")
+            return ast.Assert(expr)
+        if self._match("KEYWORD", "assume"):
+            self._expect("OP", "(")
+            expr = self.parse_expr()
+            self._expect("OP", ")")
+            self._expect("OP", ";")
+            return ast.Assume(expr)
+        if self._match("KEYWORD", "havoc"):
+            name = self._expect_ident()
+            self._expect("OP", ";")
+            return ast.Havoc(name)
+        if self._match("KEYWORD", "if"):
+            return self._if_tail()
+        if self._match("KEYWORD", "while"):
+            self._expect("OP", "(")
+            cond = self.parse_expr()
+            self._expect("OP", ")")
+            invariants: List[ast.Expr] = []
+            while self._match("KEYWORD", "invariant"):
+                invariants.append(self.parse_expr())
+                self._expect("OP", ";")
+            body = self.parse_block()
+            return ast.While(cond, body, tuple(invariants))
+        if token.kind == "HAT":
+            # Instrumented programs assign to hat variables: `x^o := e;`.
+            self._advance()
+            base, version = token.value
+            self._expect("OP", ":=")
+            expr = self.parse_expr()
+            self._expect("OP", ";")
+            return ast.Assign(ast.hat_name(base, version), expr)
+        if token.kind == "IDENT":
+            name = self._expect_ident()
+            self._expect("OP", ":=")
+            if self._check("KEYWORD", "Lap"):
+                self._advance()
+                self._expect("OP", "(")
+                scale = self.parse_expr()
+                self._expect("OP", ")")
+                self._expect("OP", ",")
+                selector = self.parse_selector()
+                self._expect("OP", ",")
+                align = self.parse_expr()
+                self._expect("OP", ";")
+                return ast.Sample(name, scale, selector, align)
+            expr = self.parse_expr()
+            self._expect("OP", ";")
+            return ast.Assign(name, expr)
+        raise ParseError("expected a command", token)
+
+    def _if_tail(self) -> ast.Command:
+        self._expect("OP", "(")
+        cond = self.parse_expr()
+        self._expect("OP", ")")
+        then = self.parse_block()
+        orelse: ast.Command = ast.Skip()
+        if self._match("KEYWORD", "else"):
+            if self._match("KEYWORD", "if"):
+                orelse = self._if_tail()
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond, then, orelse)
+
+    # -- functions ----------------------------------------------------------
+
+    def parse_function(self) -> ast.FunctionDef:
+        self._expect("KEYWORD", "function")
+        name = self._expect_ident()
+        self._expect("OP", "(")
+        params: List[ast.Parameter] = []
+        if not self._check("OP", ")"):
+            params.append(self._parse_param())
+            while self._match("OP", ","):
+                params.append(self._parse_param())
+        self._expect("OP", ")")
+        self._expect("KEYWORD", "returns")
+        ret = self._parse_param()
+
+        precondition: ast.Expr = ast.TRUE
+        if self._match("KEYWORD", "precondition"):
+            precondition = self.parse_expr()
+            self._expect("OP", ";")
+
+        cost_bound: ast.Expr = ast.Var("eps")
+        if self._match("KEYWORD", "costbound"):
+            cost_bound = self.parse_expr()
+            self._expect("OP", ";")
+
+        defines: Dict[str, ast.Expr] = {}
+        while self._match("KEYWORD", "define"):
+            macro_name = self._expect_ident()
+            self._expect("OP", "=")
+            defines[macro_name] = self.parse_expr()
+            self._expect("OP", ";")
+
+        body = self.parse_block()
+        self._expect("EOF")
+
+        function = ast.FunctionDef(
+            name=name,
+            params=tuple(params),
+            ret_name=ret.name,
+            ret_type=ret.type,
+            precondition=precondition,
+            body=body,
+            cost_bound=cost_bound,
+        )
+        if defines:
+            function = _expand_macros(function, defines)
+        return function
+
+    def _parse_param(self) -> ast.Parameter:
+        name = self._expect_ident()
+        self._expect("OP", ":")
+        return ast.Parameter(name, self.parse_type())
+
+
+# ---------------------------------------------------------------------------
+# Macro expansion
+# ---------------------------------------------------------------------------
+
+
+def _expand_macros(function: ast.FunctionDef, defines: Dict[str, ast.Expr]) -> ast.FunctionDef:
+    """Substitute ``define`` macros throughout a function.
+
+    Macros may reference earlier macros; expansion is iterated until fixed
+    point (definitions are required to be non-recursive).
+    """
+    mapping: Dict[ast.Expr, ast.Expr] = {}
+    for macro, definition in defines.items():
+        expanded = definition
+        for _ in range(len(defines) + 1):
+            new = ast.substitute(expanded, mapping)
+            if new == expanded:
+                break
+            expanded = new
+        mapping[ast.Var(macro)] = expanded
+
+    def fix_expr(expr: ast.Expr) -> ast.Expr:
+        return ast.substitute(expr, mapping)
+
+    def fix_cmd(cmd: ast.Command) -> ast.Command:
+        if isinstance(cmd, ast.Skip):
+            return cmd
+        if isinstance(cmd, ast.Assign):
+            return ast.Assign(cmd.name, fix_expr(cmd.expr))
+        if isinstance(cmd, ast.Sample):
+            return ast.Sample(
+                cmd.name,
+                fix_expr(cmd.scale),
+                ast.substitute_selector(cmd.selector, mapping),
+                fix_expr(cmd.align),
+            )
+        if isinstance(cmd, ast.Seq):
+            return ast.Seq(tuple(fix_cmd(c) for c in cmd.commands))
+        if isinstance(cmd, ast.If):
+            return ast.If(fix_expr(cmd.cond), fix_cmd(cmd.then), fix_cmd(cmd.orelse))
+        if isinstance(cmd, ast.While):
+            return ast.While(fix_expr(cmd.cond), fix_cmd(cmd.body), tuple(fix_expr(i) for i in cmd.invariants))
+        if isinstance(cmd, ast.Return):
+            return ast.Return(fix_expr(cmd.expr))
+        if isinstance(cmd, ast.Havoc):
+            return cmd
+        if isinstance(cmd, ast.Assert):
+            return ast.Assert(fix_expr(cmd.expr))
+        if isinstance(cmd, ast.Assume):
+            return ast.Assume(fix_expr(cmd.expr))
+        raise TypeError(f"unknown command {cmd!r}")
+
+    return ast.FunctionDef(
+        name=function.name,
+        params=function.params,
+        ret_name=function.ret_name,
+        ret_type=function.ret_type,
+        precondition=fix_expr(function.precondition),
+        body=fix_cmd(function.body),
+        cost_bound=fix_expr(function.cost_bound),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public helpers
+# ---------------------------------------------------------------------------
+
+
+def parse_function(source: str) -> ast.FunctionDef:
+    """Parse a complete ShadowDP function definition."""
+    return Parser(source).parse_function()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (useful in tests and the CLI)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    parser._expect("EOF")
+    return expr
+
+
+def parse_command(source: str) -> ast.Command:
+    """Parse a command sequence (wrap in braces for a block)."""
+    parser = Parser(source)
+    if parser._check("OP", "{"):
+        cmd = parser.parse_block()
+    else:
+        commands = []
+        while not parser._check("EOF"):
+            commands.append(parser.parse_command())
+        cmd = ast.seq(*commands)
+    parser._expect("EOF")
+    return cmd

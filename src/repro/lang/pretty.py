@@ -1,0 +1,203 @@
+"""Pretty printer for ShadowDP ASTs.
+
+The output is valid concrete syntax: for every expression, command and
+function ``parse(pretty(x)) == x`` (tested property, see
+``tests/lang/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.lang import ast
+
+# Precedence levels, matching the parser (higher binds tighter).
+_PREC_TERNARY = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_CONS = 4
+_PREC_CMP = 5
+_PREC_ADD = 6
+_PREC_MUL = 7
+_PREC_UNARY = 8
+_PREC_POSTFIX = 9
+_PREC_ATOM = 10
+
+_BINOP_PREC = {
+    "||": _PREC_OR,
+    "&&": _PREC_AND,
+    "<": _PREC_CMP,
+    "<=": _PREC_CMP,
+    ">": _PREC_CMP,
+    ">=": _PREC_CMP,
+    "==": _PREC_CMP,
+    "!=": _PREC_CMP,
+    "+": _PREC_ADD,
+    "-": _PREC_ADD,
+    "*": _PREC_MUL,
+    "/": _PREC_MUL,
+}
+
+
+def _format_fraction(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    # Emit an exact division so the parser reconstructs the same Fraction.
+    return f"{value.numerator} / {value.denominator}"
+
+
+def pretty_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesising only where precedence requires."""
+    text, prec = _render(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _render(expr: ast.Expr) -> tuple:
+    if isinstance(expr, ast.Real):
+        if expr.value < 0:
+            # `-1 / 2` reads as a division chain, so keep MUL precedence
+            # for non-integers to force parentheses where needed.
+            prec = _PREC_MUL if expr.value.denominator != 1 else _PREC_UNARY
+            return f"-{_format_fraction(-expr.value)}", prec
+        if expr.value.denominator != 1:
+            return _format_fraction(expr.value), _PREC_MUL
+        return _format_fraction(expr.value), _PREC_ATOM
+    if isinstance(expr, ast.BoolLit):
+        return ("true" if expr.value else "false"), _PREC_ATOM
+    if isinstance(expr, ast.Var):
+        return expr.name, _PREC_ATOM
+    if isinstance(expr, ast.Hat):
+        return f"{expr.base}^{expr.version}", _PREC_ATOM
+    if isinstance(expr, ast.Neg):
+        inner = pretty_expr(expr.operand, _PREC_UNARY + 1)
+        return f"-{inner}", _PREC_UNARY
+    if isinstance(expr, ast.Not):
+        inner = pretty_expr(expr.operand, _PREC_UNARY + 1)
+        return f"!{inner}", _PREC_UNARY
+    if isinstance(expr, ast.Abs):
+        return f"abs({pretty_expr(expr.operand)})", _PREC_ATOM
+    if isinstance(expr, ast.BinOp):
+        prec = _BINOP_PREC[expr.op]
+        if expr.op in ast.COMPARATORS:
+            # Comparisons are non-associative: parenthesise nested ones.
+            left = pretty_expr(expr.left, prec + 1)
+            right = pretty_expr(expr.right, prec + 1)
+        else:
+            left = pretty_expr(expr.left, prec)
+            right = pretty_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, ast.Ternary):
+        cond = pretty_expr(expr.cond, _PREC_OR)
+        then = pretty_expr(expr.then, _PREC_TERNARY)
+        orelse = pretty_expr(expr.orelse, _PREC_TERNARY)
+        return f"{cond} ? {then} : {orelse}", _PREC_TERNARY
+    if isinstance(expr, ast.Cons):
+        head = pretty_expr(expr.head, _PREC_CONS + 1)
+        tail = pretty_expr(expr.tail, _PREC_CONS)
+        return f"{head} :: {tail}", _PREC_CONS
+    if isinstance(expr, ast.Index):
+        base = pretty_expr(expr.base, _PREC_POSTFIX)
+        return f"{base}[{pretty_expr(expr.index)}]", _PREC_POSTFIX
+    if isinstance(expr, ast.ForAll):
+        return f"forall {expr.var} :: {pretty_expr(expr.body)}", _PREC_TERNARY
+    raise TypeError(f"pretty_expr: unknown node {expr!r}")
+
+
+def pretty_distance(d: ast.Distance) -> str:
+    if ast.is_star(d):
+        return "*"
+    return pretty_expr(d)
+
+
+def pretty_type(t: ast.Type) -> str:
+    if isinstance(t, ast.BoolType):
+        return "bool"
+    if isinstance(t, ast.ListType):
+        return f"list {pretty_type(t.elem)}"
+    if isinstance(t, ast.NumType):
+        if t.aligned == ast.ZERO and t.shadow == ast.ZERO:
+            return "num<0,0>"
+        return f"num<{pretty_distance(t.aligned)},{pretty_distance(t.shadow)}>"
+    raise TypeError(f"pretty_type: unknown type {t!r}")
+
+
+def pretty_selector(sel: ast.Selector) -> str:
+    if isinstance(sel, ast.SelectLeaf):
+        return "aligned" if sel.version == ast.ALIGNED else "shadow"
+    if isinstance(sel, ast.SelectCond):
+        cond = pretty_expr(sel.cond, _PREC_OR)
+        return f"{cond} ? {pretty_selector(sel.then)} : {pretty_selector(sel.orelse)}"
+    raise TypeError(f"pretty_selector: unknown selector {sel!r}")
+
+
+def pretty_command(cmd: ast.Command, indent: int = 0) -> str:
+    """Render a command with 4-space indentation."""
+    lines = _command_lines(cmd, indent)
+    return "\n".join(lines)
+
+
+def _command_lines(cmd: ast.Command, indent: int) -> List[str]:
+    pad = "    " * indent
+    if isinstance(cmd, ast.Skip):
+        return [f"{pad}skip;"]
+    if isinstance(cmd, ast.Assign):
+        return [f"{pad}{cmd.name} := {pretty_expr(cmd.expr)};"]
+    if isinstance(cmd, ast.Sample):
+        scale = pretty_expr(cmd.scale)
+        selector = pretty_selector(cmd.selector)
+        align = pretty_expr(cmd.align, _PREC_TERNARY)
+        return [f"{pad}{cmd.name} := Lap({scale}), {selector}, {align};"]
+    if isinstance(cmd, ast.Seq):
+        lines: List[str] = []
+        for part in cmd.commands:
+            lines.extend(_command_lines(part, indent))
+        if not lines:
+            lines = [f"{pad}skip;"]
+        return lines
+    if isinstance(cmd, ast.If):
+        lines = [f"{pad}if ({pretty_expr(cmd.cond)}) {{"]
+        lines.extend(_command_lines(cmd.then, indent + 1))
+        if isinstance(cmd.orelse, ast.Skip) or (
+            isinstance(cmd.orelse, ast.Seq) and not cmd.orelse.commands
+        ):
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_command_lines(cmd.orelse, indent + 1))
+            lines.append(f"{pad}}}")
+        return lines
+    if isinstance(cmd, ast.While):
+        lines = [f"{pad}while ({pretty_expr(cmd.cond)})"]
+        for inv in cmd.invariants:
+            lines.append(f"{pad}invariant {pretty_expr(inv)};")
+        lines.append(f"{pad}{{")
+        lines.extend(_command_lines(cmd.body, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(cmd, ast.Return):
+        return [f"{pad}return {pretty_expr(cmd.expr)};"]
+    if isinstance(cmd, ast.Havoc):
+        return [f"{pad}havoc {cmd.name};"]
+    if isinstance(cmd, ast.Assert):
+        return [f"{pad}assert({pretty_expr(cmd.expr)});"]
+    if isinstance(cmd, ast.Assume):
+        return [f"{pad}assume({pretty_expr(cmd.expr)});"]
+    raise TypeError(f"pretty_command: unknown node {cmd!r}")
+
+
+def pretty_function(function: ast.FunctionDef) -> str:
+    """Render a full function definition."""
+    params = ", ".join(f"{p.name}: {pretty_type(p.type)}" for p in function.params)
+    lines = [f"function {function.name}({params})"]
+    lines.append(f"returns {function.ret_name}: {pretty_type(function.ret_type)}")
+    if function.precondition != ast.TRUE:
+        lines.append(f"precondition {pretty_expr(function.precondition)};")
+    if function.cost_bound != ast.Var("eps"):
+        lines.append(f"costbound {pretty_expr(function.cost_bound)};")
+    lines.append("{")
+    lines.extend(_command_lines(function.body, 1))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Executable semantics for ShadowDP programs.
+
+* :mod:`repro.semantics.distributions` — exact-style sampling helpers
+  (Laplace via inverse CDF) shared by the interpreter and the empirical
+  estimator.
+* :mod:`repro.semantics.interpreter` — the denotational semantics of
+  Section 3.2 / Appendix A made executable: runs source *or* instrumented
+  programs on concrete memories, drawing noise from a pluggable source.
+* :mod:`repro.semantics.relational` — an executable reading of the
+  soundness theorem (Section 5): runs the instrumented program, rebuilds
+  the randomness alignment ``f(H)`` from the sampling annotations
+  (including the shadow-execution resets), replays the *aligned* run on
+  the adjacent database, and checks that outputs coincide while the
+  accumulated privacy cost stays within budget.
+"""
+
+from repro.semantics.distributions import laplace_sample, laplace_pdf
+from repro.semantics.interpreter import (
+    Interpreter,
+    RandomNoise,
+    FixedNoise,
+    RuntimeFailure,
+    run_function,
+)
+from repro.semantics.relational import AlignmentReport, validate_alignment, adjacent_memory
+
+__all__ = [
+    "laplace_sample",
+    "laplace_pdf",
+    "Interpreter",
+    "RandomNoise",
+    "FixedNoise",
+    "RuntimeFailure",
+    "run_function",
+    "AlignmentReport",
+    "validate_alignment",
+    "adjacent_memory",
+]

@@ -1,0 +1,35 @@
+"""Sampling primitives.
+
+Only the Laplace distribution is needed (the paper leaves other noise
+distributions, e.g. Exponential for ExpMech, as future work — Section 8).
+Sampling goes through the inverse CDF so any ``random.Random``-style
+uniform source works, which keeps tests reproducible without numpy.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+
+class UniformSource(Protocol):
+    def random(self) -> float:  # pragma: no cover — protocol
+        ...
+
+
+def laplace_sample(rng: UniformSource, scale: float) -> float:
+    """One draw from Laplace(0, scale) via inverse-CDF transform."""
+    if scale <= 0:
+        raise ValueError(f"Laplace scale must be positive, got {scale}")
+    u = rng.random() - 0.5
+    # Guard the log against u = ±0.5 exactly.
+    magnitude = max(1e-300, 1.0 - 2.0 * abs(u))
+    return -scale * math.copysign(1.0, u) * math.log(magnitude)
+
+
+def laplace_pdf(x: float, scale: float) -> float:
+    """The density of Laplace(0, scale) at ``x``."""
+    if scale <= 0:
+        raise ValueError(f"Laplace scale must be positive, got {scale}")
+    return math.exp(-abs(x) / scale) / (2.0 * scale)

@@ -1,0 +1,243 @@
+"""A concrete interpreter for ShadowDP source, instrumented and target
+programs (the semantics of Section 3.2, Appendix A and Appendix E).
+
+Memories map variable names (including hat names like ``bq^s``) to
+floats, booleans or tuples (lists).  Noise comes from a pluggable
+:class:`NoiseSource`, so the same interpreter runs real randomized
+executions (``RandomNoise``), deterministic replays (``FixedNoise``),
+and target-program executions where ``havoc`` consumes the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.lang import ast
+from repro.lang.pretty import pretty_expr
+from repro.semantics.distributions import laplace_sample
+
+Value = Union[float, bool, Tuple]
+Memory = Dict[str, Value]
+
+
+class RuntimeFailure(RuntimeError):
+    """A failed assertion or an evaluation error during interpretation."""
+
+
+class NoiseSource:
+    """Supplies the value of each sampling/havoc command in order."""
+
+    def draw(self, scale: float) -> float:  # pragma: no cover — interface
+        raise NotImplementedError
+
+
+class RandomNoise(NoiseSource):
+    """Laplace noise from a seeded PRNG; records the drawn values."""
+
+    def __init__(self, rng: Optional[random.Random] = None, seed: Optional[int] = None) -> None:
+        self.rng = rng or random.Random(seed)
+        self.drawn: List[float] = []
+
+    def draw(self, scale: float) -> float:
+        value = laplace_sample(self.rng, scale)
+        self.drawn.append(value)
+        return value
+
+
+class FixedNoise(NoiseSource):
+    """Replays a predetermined noise vector (scales are ignored)."""
+
+    def __init__(self, values) -> None:
+        self.values = list(values)
+        self.position = 0
+
+    def draw(self, scale: float) -> float:
+        if self.position >= len(self.values):
+            raise RuntimeFailure(
+                f"noise vector exhausted after {self.position} draws"
+            )
+        value = self.values[self.position]
+        self.position += 1
+        return value
+
+
+@dataclass
+class SampleEvent:
+    """One sampling/havoc occurrence, for alignment bookkeeping."""
+
+    name: str
+    value: float
+    scale: Optional[float]
+
+
+class Interpreter:
+    """Evaluates commands over a mutable memory."""
+
+    def __init__(self, noise: Optional[NoiseSource] = None, check_asserts: bool = True) -> None:
+        self.noise = noise or RandomNoise(seed=0)
+        self.check_asserts = check_asserts
+        self.samples: List[SampleEvent] = []
+        #: called after each Sample with (command, memory) — the
+        #: relational validator hooks alignment tracking in here.
+        self.on_sample: Optional[Callable[[ast.Sample, Memory], None]] = None
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, memory: Memory) -> Value:
+        if isinstance(expr, ast.Real):
+            return float(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            return self._load(expr.name, memory)
+        if isinstance(expr, ast.Hat):
+            return self._load(ast.hat_name(expr.base, expr.version), memory)
+        if isinstance(expr, ast.Neg):
+            return -self.eval(expr.operand, memory)
+        if isinstance(expr, ast.Not):
+            return not self.eval(expr.operand, memory)
+        if isinstance(expr, ast.Abs):
+            return abs(self.eval(expr.operand, memory))
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr, memory)
+        if isinstance(expr, ast.Ternary):
+            if self.eval(expr.cond, memory):
+                return self.eval(expr.then, memory)
+            return self.eval(expr.orelse, memory)
+        if isinstance(expr, ast.Cons):
+            head = self.eval(expr.head, memory)
+            tail = self.eval(expr.tail, memory)
+            if not isinstance(tail, tuple):
+                raise RuntimeFailure(f"cons onto non-list in {pretty_expr(expr)}")
+            return (head,) + tail
+        if isinstance(expr, ast.Index):
+            base = self.eval(expr.base, memory)
+            index = self.eval(expr.index, memory)
+            if not isinstance(base, tuple):
+                raise RuntimeFailure(f"indexing a non-list in {pretty_expr(expr)}")
+            i = int(index)
+            if i < 0 or i >= len(base):
+                raise RuntimeFailure(
+                    f"index {i} out of bounds (length {len(base)}) in {pretty_expr(expr)}"
+                )
+            return base[i]
+        raise RuntimeFailure(f"cannot evaluate {expr!r}")
+
+    def _load(self, name: str, memory: Memory) -> Value:
+        if name not in memory:
+            raise RuntimeFailure(f"variable {name!r} read before assignment")
+        return memory[name]
+
+    def _binop(self, expr: ast.BinOp, memory: Memory) -> Value:
+        op = expr.op
+        if op == "&&":
+            return bool(self.eval(expr.left, memory)) and bool(self.eval(expr.right, memory))
+        if op == "||":
+            return bool(self.eval(expr.left, memory)) or bool(self.eval(expr.right, memory))
+        left = self.eval(expr.left, memory)
+        right = self.eval(expr.right, memory)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise RuntimeFailure(f"division by zero in {pretty_expr(expr)}")
+            return left / right
+        table = {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+            "==": left == right,
+            "!=": left != right,
+        }
+        return table[op]
+
+    # -- commands -----------------------------------------------------------
+
+    def exec(self, cmd: ast.Command, memory: Memory) -> Optional[Value]:
+        """Execute ``cmd`` in-place; returns the ``return`` value if hit."""
+        if isinstance(cmd, ast.Skip):
+            return None
+        if isinstance(cmd, ast.Seq):
+            for part in cmd.commands:
+                result = self.exec(part, memory)
+                if result is not None:
+                    return result
+            return None
+        if isinstance(cmd, ast.Assign):
+            memory[cmd.name] = self.eval(cmd.expr, memory)
+            return None
+        if isinstance(cmd, ast.Sample):
+            scale = float(self.eval(cmd.scale, memory))
+            value = self.noise.draw(scale)
+            memory[cmd.name] = value
+            self.samples.append(SampleEvent(cmd.name, value, scale))
+            if self.on_sample is not None:
+                self.on_sample(cmd, memory)
+            return None
+        if isinstance(cmd, ast.Havoc):
+            value = self.noise.draw(1.0)
+            memory[cmd.name] = value
+            self.samples.append(SampleEvent(cmd.name, value, None))
+            return None
+        if isinstance(cmd, ast.If):
+            branch = cmd.then if self.eval(cmd.cond, memory) else cmd.orelse
+            return self.exec(branch, memory)
+        if isinstance(cmd, ast.While):
+            steps = 0
+            while self.eval(cmd.cond, memory):
+                result = self.exec(cmd.body, memory)
+                if result is not None:
+                    return result
+                steps += 1
+                if steps > 1_000_000:
+                    raise RuntimeFailure("loop exceeded 1,000,000 iterations")
+            return None
+        if isinstance(cmd, ast.Return):
+            return self.eval(cmd.expr, memory)
+        if isinstance(cmd, ast.Assert):
+            if self.check_asserts and not self.eval(cmd.expr, memory):
+                raise RuntimeFailure(f"assertion failed: {pretty_expr(cmd.expr)}")
+            return None
+        if isinstance(cmd, ast.Assume):
+            return None
+        raise RuntimeFailure(f"cannot execute {cmd!r}")
+
+
+def initial_memory(function: ast.FunctionDef, inputs: Dict[str, Value]) -> Memory:
+    """Build the starting memory: parameters plus empty return lists."""
+    memory: Memory = {}
+    for param in function.params:
+        if param.name not in inputs:
+            raise RuntimeFailure(f"missing input for parameter {param.name!r}")
+        value = inputs[param.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        memory[param.name] = value
+    if isinstance(function.ret_type, ast.ListType):
+        memory.setdefault(function.ret_name, ())
+    return memory
+
+
+def run_function(
+    function: ast.FunctionDef,
+    inputs: Dict[str, Value],
+    noise: Optional[NoiseSource] = None,
+    body: Optional[ast.Command] = None,
+    check_asserts: bool = True,
+) -> Tuple[Value, Interpreter]:
+    """Run a function on concrete inputs; returns (result, interpreter).
+
+    ``body`` overrides the executed command (used to run the instrumented
+    body ``c′`` while keeping the function's signature for memory setup).
+    """
+    interpreter = Interpreter(noise=noise, check_asserts=check_asserts)
+    memory = initial_memory(function, inputs)
+    result = interpreter.exec(body if body is not None else function.body, memory)
+    return result, interpreter

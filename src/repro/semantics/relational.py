@@ -1,0 +1,175 @@
+"""An executable reading of the soundness theorem (paper Section 5).
+
+For a checked program, a concrete input memory, a concrete adjacency
+witness (the hat arrays / initial distances) and a concrete noise vector
+``H``, the validator:
+
+1. runs the *instrumented* body ``c′`` on the extended memory with noise
+   ``H``, resolving each sampling annotation at runtime — this yields
+   the randomness alignment ``f(H)`` (a per-sample offset ``n_η``, where
+   a selector choosing the shadow execution *resets* all earlier offsets
+   to zero, because the shadow run reuses the original noise), and the
+   accumulated privacy cost ``Σ |offset_k| / r_k``;
+2. runs the *source* body on the adjacent memory (inputs shifted by
+   their declared distances) with the aligned noise ``f(H)``;
+3. checks the two properties Theorem 2 promises: the aligned run
+   produces the **same output**, and the privacy cost is **at most** the
+   declared budget.
+
+Property tests drive this over random inputs and noise for every case
+study — a semantic end-to-end validation that the type system's
+alignments are real alignments, not just solver-accepted formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checker import CheckedProgram
+from repro.lang import ast
+from repro.semantics.interpreter import (
+    FixedNoise,
+    Interpreter,
+    Memory,
+    RuntimeFailure,
+    Value,
+    initial_memory,
+    run_function,
+)
+
+
+@dataclass
+class AlignmentReport:
+    """Outcome of one relational validation run."""
+
+    original_output: Value
+    aligned_output: Value
+    noise: Tuple[float, ...]
+    aligned_noise: Tuple[float, ...]
+    cost: float
+    budget: float
+
+    @property
+    def outputs_match(self) -> bool:
+        return _values_equal(self.original_output, self.aligned_output)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.cost <= self.budget + 1e-9
+
+    @property
+    def ok(self) -> bool:
+        return self.outputs_match and self.within_budget
+
+
+def _values_equal(a: Value, b: Value, tol: float = 1e-6) -> bool:
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(_values_equal(x, y, tol) for x, y in zip(a, b))
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    return abs(float(a) - float(b)) <= tol
+
+
+def adjacent_memory(function: ast.FunctionDef, inputs: Dict[str, Value], hats: Dict[str, Value]) -> Dict[str, Value]:
+    """The adjacent input memory: every value shifted by its aligned
+    distance (parameters with star distances read their hat arrays)."""
+    adjacent: Dict[str, Value] = {}
+    for param in function.params:
+        value = inputs[param.name]
+        typ = param.type
+        if isinstance(typ, ast.ListType) and isinstance(typ.elem, ast.NumType):
+            if ast.is_star(typ.elem.aligned):
+                offsets = hats.get(ast.hat_name(param.name, ast.ALIGNED), ())
+                value = tuple(
+                    v + (offsets[i] if i < len(offsets) else 0.0)
+                    for i, v in enumerate(value)
+                )
+        elif isinstance(typ, ast.NumType) and not ast.is_star(typ.aligned):
+            if typ.aligned != ast.ZERO:
+                shift = Interpreter().eval(typ.aligned, dict(inputs))
+                value = value + shift
+        adjacent[param.name] = tuple(value) if isinstance(value, list) else value
+    return adjacent
+
+
+def validate_alignment(
+    checked: CheckedProgram,
+    inputs: Dict[str, Value],
+    hats: Dict[str, Value],
+    noise: List[float],
+    budget_expr: Optional[ast.Expr] = None,
+) -> AlignmentReport:
+    """Run the three-step validation described in the module docstring.
+
+    ``hats`` supplies the adjacency witness: entries like ``"q^o"`` and
+    ``"q^s"`` map to offset tuples for starred list parameters.  They
+    must satisfy the function's precondition; callers generate them from
+    the adjacency relation.
+    """
+    function = checked.function
+
+    # Step 1: instrumented run on the original memory, tracking offsets.
+    # Runtime asserts are disabled: for a buggy program the aligned-branch
+    # assertion *will* fail, and the observable consequence we want to
+    # report is the output divergence of step 2, not a crash.
+    interpreter = Interpreter(noise=FixedNoise(noise), check_asserts=False)
+    offsets: List[float] = []
+    scales: List[float] = []
+
+    def track(cmd: ast.Sample, memory: Memory) -> None:
+        chosen = _resolve_selector(cmd.selector, interpreter, memory)
+        if chosen == ast.SHADOW:
+            # The shadow run reuses the original noise: all previous
+            # samples align by the identity from here on.
+            for k in range(len(offsets)):
+                offsets[k] = 0.0
+        offsets.append(float(interpreter.eval(cmd.align, memory)))
+        scales.append(interpreter.samples[-1].scale)
+
+    interpreter.on_sample = track
+    memory = initial_memory(function, inputs)
+    for name, value in hats.items():
+        memory[name] = tuple(value) if isinstance(value, list) else value
+    original_output = interpreter.exec(checked.body, memory)
+
+    aligned_noise = [h + d for h, d in zip(noise, offsets)]
+    # A buggy program's aligned run may diverge and draw extra samples;
+    # align those by the identity so the replay can proceed.
+    aligned_noise += list(noise[len(offsets):])
+    cost = sum(abs(d) / s for d, s in zip(offsets, scales))
+
+    # Step 2: source run on the adjacent memory with aligned noise.
+    adjacent = adjacent_memory(function, inputs, hats)
+    try:
+        aligned_output, _ = run_function(
+            function, adjacent, noise=FixedNoise(aligned_noise), check_asserts=False
+        )
+    except RuntimeFailure:
+        # Total divergence (e.g. ran out of noise): report a mismatch.
+        aligned_output = "<diverged>"
+
+    # Step 3: compare against the budget.
+    budget_memory = dict(memory)
+    budget = float(
+        Interpreter().eval(budget_expr if budget_expr is not None else function.cost_bound, budget_memory)
+    )
+    return AlignmentReport(
+        original_output=original_output,
+        aligned_output=aligned_output,
+        noise=tuple(noise[: len(offsets)]),
+        aligned_noise=tuple(aligned_noise),
+        cost=cost,
+        budget=budget,
+    )
+
+
+def _resolve_selector(selector: ast.Selector, interpreter: Interpreter, memory: Memory) -> str:
+    if isinstance(selector, ast.SelectLeaf):
+        return selector.version
+    if isinstance(selector, ast.SelectCond):
+        if interpreter.eval(selector.cond, memory):
+            return _resolve_selector(selector.then, interpreter, memory)
+        return _resolve_selector(selector.orelse, interpreter, memory)
+    raise RuntimeFailure(f"bad selector {selector!r}")

@@ -1,0 +1,89 @@
+"""A from-scratch SMT solver for quantifier-free linear real arithmetic.
+
+The original ShadowDP prototype discharges its typing constraints with Z3
+and verifies transformed programs with CPAChecker.  Neither tool is
+available in this offline environment, so this package implements the
+decision procedure the pipeline needs:
+
+``repro.solver.linear``
+    Exact linear expressions over :class:`fractions.Fraction`.
+
+``repro.solver.delta``
+    Delta-rationals ``a + b·δ`` (Dutertre & de Moura), which let the
+    simplex core handle strict inequalities exactly.
+
+``repro.solver.formula``
+    A small logic IR: boolean structure over linear-arithmetic atoms.
+
+``repro.solver.cnf``
+    Tseitin transformation to CNF with structural sharing.
+
+``repro.solver.sat``
+    A CDCL SAT solver (two-watched literals, 1UIP learning, VSIDS-style
+    activities, geometric restarts).
+
+``repro.solver.simplex``
+    The Dutertre–de Moura general simplex for conjunctions of linear
+    constraints, producing minimal-ish conflict sets.
+
+``repro.solver.smt``
+    The lazy DPLL(T) loop tying the SAT core to the simplex, with model
+    extraction (concrete rational witnesses for satisfiable queries).
+
+``repro.solver.encode``
+    Translation from ShadowDP expressions (:mod:`repro.lang.ast`) into the
+    logic IR, eliminating ternaries and absolute values by case analysis
+    and abstracting nonlinear terms as opaque variables.
+"""
+
+from repro.solver.linear import LinExpr
+from repro.solver.delta import DeltaRat
+from repro.solver import formula
+from repro.solver.formula import (
+    Formula,
+    FTrue,
+    FFalse,
+    TRUE_F,
+    FALSE_F,
+    BVar,
+    FAtom,
+    FNot,
+    FAnd,
+    FOr,
+    mk_and,
+    mk_or,
+    mk_not,
+    mk_implies,
+    mk_iff,
+)
+from repro.solver.smt import SMTSolver, SatResult
+from repro.solver.encode import Encoder, EncodeError
+from repro.solver.interface import ValidityChecker, is_valid, find_model
+
+__all__ = [
+    "LinExpr",
+    "DeltaRat",
+    "formula",
+    "Formula",
+    "FTrue",
+    "FFalse",
+    "TRUE_F",
+    "FALSE_F",
+    "BVar",
+    "FAtom",
+    "FNot",
+    "FAnd",
+    "FOr",
+    "mk_and",
+    "mk_or",
+    "mk_not",
+    "mk_implies",
+    "mk_iff",
+    "SMTSolver",
+    "SatResult",
+    "Encoder",
+    "EncodeError",
+    "ValidityChecker",
+    "is_valid",
+    "find_model",
+]

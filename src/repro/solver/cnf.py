@@ -1,0 +1,118 @@
+"""Tseitin transformation from the logic IR to CNF.
+
+Every distinct subformula gets one propositional variable (structural
+sharing comes for free because formula nodes are hashable).  Theory atoms
+and source-level booleans map to *root* variables; the mapping back is
+recorded so the DPLL(T) loop can translate SAT assignments into theory
+literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.solver import formula as F
+
+#: A literal is a nonzero int: +v for variable v, -v for its negation.
+Literal = int
+Clause = Tuple[Literal, ...]
+
+
+@dataclass
+class CNF:
+    """A CNF instance plus the maps tying SAT variables to atoms."""
+
+    clauses: List[Clause] = field(default_factory=list)
+    num_vars: int = 0
+    #: SAT variable -> theory atom (only for atom roots)
+    atom_of_var: Dict[int, F.FAtom] = field(default_factory=dict)
+    #: SAT variable -> source boolean name (only for BVar roots)
+    bool_of_var: Dict[int, str] = field(default_factory=dict)
+
+
+class TseitinEncoder:
+    """Accumulates constraints from several formulas into one CNF."""
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self._var_of: Dict[F.Formula, int] = {}
+
+    def _fresh(self) -> int:
+        self.cnf.num_vars += 1
+        return self.cnf.num_vars
+
+    def _add(self, *literals: Literal) -> None:
+        self.cnf.clauses.append(tuple(literals))
+
+    def literal(self, node: F.Formula) -> Literal:
+        """The literal representing ``node``, adding definition clauses."""
+        if isinstance(node, F.FTrue):
+            return self._true_literal()
+        if isinstance(node, F.FFalse):
+            return -self._true_literal()
+        if isinstance(node, F.FNot):
+            return -self.literal(node.operand)
+        if node in self._var_of:
+            return self._var_of[node]
+
+        if isinstance(node, F.BVar):
+            var = self._fresh()
+            self.cnf.bool_of_var[var] = node.name
+            self._var_of[node] = var
+            return var
+        if isinstance(node, F.FAtom):
+            var = self._fresh()
+            self.cnf.atom_of_var[var] = node
+            self._var_of[node] = var
+            return var
+        if isinstance(node, F.FAnd):
+            parts = [self.literal(arg) for arg in node.args]
+            var = self._fresh()
+            self._var_of[node] = var
+            # var -> part_i ;  (parts) -> var
+            for part in parts:
+                self._add(-var, part)
+            self._add(var, *[-p for p in parts])
+            return var
+        if isinstance(node, F.FOr):
+            parts = [self.literal(arg) for arg in node.args]
+            var = self._fresh()
+            self._var_of[node] = var
+            # part_i -> var ;  var -> (parts)
+            for part in parts:
+                self._add(-part, var)
+            self._add(-var, *parts)
+            return var
+        raise TypeError(f"tseitin: unknown formula {node!r}")
+
+    def _true_literal(self) -> Literal:
+        node = F.TRUE_F
+        if node not in self._var_of:
+            var = self._fresh()
+            self._var_of[node] = var
+            self._add(var)
+        return self._var_of[node]
+
+    def assert_formula(self, node: F.Formula) -> None:
+        """Require ``node`` to hold (adds a unit clause on its literal)."""
+        if isinstance(node, F.FTrue):
+            return
+        if isinstance(node, F.FFalse):
+            self._add()  # the empty clause: unsatisfiable
+            return
+        # Top-level conjunctions assert each conjunct directly; this keeps
+        # the CNF small for the large conjunctions the VC generator emits.
+        if isinstance(node, F.FAnd):
+            for arg in node.args:
+                self.assert_formula(arg)
+            return
+        self._add(self.literal(node))
+
+
+def encode(*assertions: F.Formula) -> CNF:
+    """Encode a conjunction of formulas into a single CNF instance."""
+    encoder = TseitinEncoder()
+    for node in assertions:
+        encoder.assert_formula(node)
+    return encoder.cnf

@@ -1,0 +1,125 @@
+"""Delta-rationals: exact arithmetic with an infinitesimal.
+
+A :class:`DeltaRat` represents ``a + b·δ`` where ``δ`` is a positive
+infinitesimal.  Following Dutertre & de Moura ("A fast linear-arithmetic
+solver for DPLL(T)", CAV 2006), strict bounds like ``x < c`` become weak
+bounds ``x <= c - δ`` over delta-rationals, so the simplex core needs no
+special cases for strictness.  When a model is extracted, a concrete
+positive rational value for ``δ`` small enough to satisfy every strict
+constraint is computed (see :func:`concretize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Tuple, Union
+
+Number = Union[int, Fraction]
+
+
+@dataclass(frozen=True)
+class DeltaRat:
+    """The value ``real + delta * infinitesimal``."""
+
+    real: Fraction
+    delta: Fraction = Fraction(0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.real, Fraction):
+            object.__setattr__(self, "real", Fraction(self.real))
+        if not isinstance(self.delta, Fraction):
+            object.__setattr__(self, "delta", Fraction(self.delta))
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Union["DeltaRat", Number]) -> "DeltaRat":
+        other = _coerce(other)
+        return DeltaRat(self.real + other.real, self.delta + other.delta)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "DeltaRat":
+        return DeltaRat(-self.real, -self.delta)
+
+    def __sub__(self, other: Union["DeltaRat", Number]) -> "DeltaRat":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: Number) -> "DeltaRat":
+        return _coerce(other) + (-self)
+
+    def scale(self, factor: Number) -> "DeltaRat":
+        factor = Fraction(factor)
+        return DeltaRat(self.real * factor, self.delta * factor)
+
+    def __mul__(self, factor: Number) -> "DeltaRat":
+        return self.scale(factor)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: Number) -> "DeltaRat":
+        return self.scale(Fraction(1) / Fraction(divisor))
+
+    # -- ordering (lexicographic: δ is positive but smaller than any
+    #    positive rational) -------------------------------------------------
+
+    def _pair(self) -> Tuple[Fraction, Fraction]:
+        return (self.real, self.delta)
+
+    def __lt__(self, other: Union["DeltaRat", Number]) -> bool:
+        return self._pair() < _coerce(other)._pair()
+
+    def __le__(self, other: Union["DeltaRat", Number]) -> bool:
+        return self._pair() <= _coerce(other)._pair()
+
+    def __gt__(self, other: Union["DeltaRat", Number]) -> bool:
+        return self._pair() > _coerce(other)._pair()
+
+    def __ge__(self, other: Union["DeltaRat", Number]) -> bool:
+        return self._pair() >= _coerce(other)._pair()
+
+    def __repr__(self) -> str:
+        if self.delta == 0:
+            return f"{self.real}"
+        sign = "+" if self.delta > 0 else "-"
+        return f"{self.real} {sign} {abs(self.delta)}d"
+
+    # -- conversion ---------------------------------------------------------
+
+    def at(self, delta_value: Fraction) -> Fraction:
+        """The concrete rational once ``δ`` is fixed."""
+        return self.real + self.delta * delta_value
+
+
+def _coerce(value: Union[DeltaRat, Number]) -> DeltaRat:
+    if isinstance(value, DeltaRat):
+        return value
+    return DeltaRat(Fraction(value))
+
+
+ZERO_D = DeltaRat(Fraction(0))
+
+
+def concretize(values: Mapping[str, DeltaRat], strict_gaps: Iterable[Tuple[DeltaRat, DeltaRat]]) -> Tuple[Fraction, dict]:
+    """Pick a concrete positive ``δ`` and evaluate a delta-rational model.
+
+    ``strict_gaps`` is a sequence of ``(lo, hi)`` pairs with ``lo < hi`` in
+    delta-rational order that must remain strictly ordered after ``δ`` is
+    substituted.  The classic bound is used: for each pair with
+    ``lo.real < hi.real`` and ``lo.delta > hi.delta``, δ must stay below
+    ``(hi.real - lo.real) / (lo.delta - hi.delta)``.
+
+    Returns ``(delta, {name: Fraction})``.
+    """
+    delta = Fraction(1)
+    for lo, hi in strict_gaps:
+        if lo >= hi:
+            raise ValueError(f"strict gap is not ordered: {lo} >= {hi}")
+        if lo.real < hi.real and lo.delta > hi.delta:
+            limit = (hi.real - lo.real) / (lo.delta - hi.delta)
+            # Stay strictly inside the open interval.
+            delta = min(delta, limit / 2)
+    if delta <= 0:
+        raise ValueError("could not find a positive delta")
+    model = {name: value.at(delta) for name, value in values.items()}
+    return delta, model

@@ -1,0 +1,255 @@
+"""The solver's logic IR: boolean structure over linear-arithmetic atoms.
+
+Formulas are immutable and hash-consed by construction through the smart
+constructors (``mk_and`` etc.), which also perform cheap simplifications
+(flattening, constant elimination, duplicate removal).  Atoms are kept in
+a normal form ``lin OP 0`` with ``OP`` one of ``<=``, ``<`` or ``=``; the
+smart constructor :func:`mk_atom` handles the other comparison directions
+by negation and operand swapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Tuple
+
+from repro.solver.linear import LinExpr
+
+# Atom comparison operators, all against zero.
+ATOM_OPS = ("<=", "<", "=")
+
+
+class Formula:
+    """Base class for formula nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class FTrue(Formula):
+    pass
+
+
+@dataclass(frozen=True)
+class FFalse(Formula):
+    pass
+
+
+TRUE_F = FTrue()
+FALSE_F = FFalse()
+
+
+@dataclass(frozen=True)
+class BVar(Formula):
+    """A propositional variable (a source-level boolean)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class FAtom(Formula):
+    """The linear-arithmetic atom ``expr OP 0``."""
+
+    op: str
+    expr: LinExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ATOM_OPS:
+            raise ValueError(f"bad atom operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class FNot(Formula):
+    operand: Formula
+
+
+@dataclass(frozen=True)
+class FAnd(Formula):
+    args: Tuple[Formula, ...]
+
+
+@dataclass(frozen=True)
+class FOr(Formula):
+    args: Tuple[Formula, ...]
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def mk_atom(op: str, lhs: LinExpr, rhs: LinExpr = None) -> Formula:
+    """Build a normalized atom ``lhs OP rhs`` (``rhs`` defaults to 0).
+
+    Supported operators: ``<``, ``<=``, ``>``, ``>=``, ``==``, ``!=``.
+    Constant atoms fold to ``TRUE_F`` / ``FALSE_F``.
+    """
+    if rhs is None:
+        rhs = LinExpr()
+    diff = lhs - rhs
+    if op == ">":
+        return mk_atom("<", rhs, lhs)
+    if op == ">=":
+        return mk_atom("<=", rhs, lhs)
+    if op == "==":
+        op = "="
+    if op == "!=":
+        return mk_not(mk_atom("=", lhs, rhs))
+    if op not in ATOM_OPS:
+        raise ValueError(f"bad comparison {op!r}")
+    if diff.is_constant():
+        value = diff.constant_value()
+        holds = {"<=": value <= 0, "<": value < 0, "=": value == 0}[op]
+        return TRUE_F if holds else FALSE_F
+    if op == "=":
+        # Canonical orientation for equalities: make the leading
+        # coefficient positive so `x = y` and `y = x` coincide.
+        lead = min(diff.terms)
+        if diff.coeff(lead) < 0:
+            diff = -diff
+    return FAtom(op, diff)
+
+
+def mk_not(operand: Formula) -> Formula:
+    if isinstance(operand, FTrue):
+        return FALSE_F
+    if isinstance(operand, FFalse):
+        return TRUE_F
+    if isinstance(operand, FNot):
+        return operand.operand
+    return FNot(operand)
+
+
+def _flatten(args: Iterable[Formula], cls) -> Tuple[Formula, ...]:
+    flat = []
+    seen = set()
+    for arg in args:
+        parts = arg.args if isinstance(arg, cls) else (arg,)
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    return tuple(flat)
+
+
+def mk_and(*args: Formula) -> Formula:
+    flat = _flatten(args, FAnd)
+    kept = []
+    for arg in flat:
+        if isinstance(arg, FFalse):
+            return FALSE_F
+        if isinstance(arg, FTrue):
+            continue
+        kept.append(arg)
+    negated = {mk_not(a) for a in kept}
+    if negated.intersection(kept):
+        return FALSE_F
+    if not kept:
+        return TRUE_F
+    if len(kept) == 1:
+        return kept[0]
+    return FAnd(tuple(kept))
+
+
+def mk_or(*args: Formula) -> Formula:
+    flat = _flatten(args, FOr)
+    kept = []
+    for arg in flat:
+        if isinstance(arg, FTrue):
+            return TRUE_F
+        if isinstance(arg, FFalse):
+            continue
+        kept.append(arg)
+    negated = {mk_not(a) for a in kept}
+    if negated.intersection(kept):
+        return TRUE_F
+    if not kept:
+        return FALSE_F
+    if len(kept) == 1:
+        return kept[0]
+    return FOr(tuple(kept))
+
+
+def mk_implies(premise: Formula, conclusion: Formula) -> Formula:
+    return mk_or(mk_not(premise), conclusion)
+
+
+def mk_iff(left: Formula, right: Formula) -> Formula:
+    return mk_and(mk_implies(left, right), mk_implies(right, left))
+
+
+def mk_ite(cond: Formula, then: Formula, orelse: Formula) -> Formula:
+    """Boolean if-then-else."""
+    return mk_and(mk_implies(cond, then), mk_implies(mk_not(cond), orelse))
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def atoms_of(node: Formula) -> frozenset:
+    """All ``FAtom`` leaves of a formula."""
+    found = set()
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, FAtom):
+            found.add(item)
+        elif isinstance(item, FNot):
+            stack.append(item.operand)
+        elif isinstance(item, (FAnd, FOr)):
+            stack.extend(item.args)
+    return frozenset(found)
+
+
+def bool_vars_of(node: Formula) -> frozenset:
+    """All ``BVar`` leaves of a formula."""
+    found = set()
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, BVar):
+            found.add(item)
+        elif isinstance(item, FNot):
+            stack.append(item.operand)
+        elif isinstance(item, (FAnd, FOr)):
+            stack.extend(item.args)
+    return frozenset(found)
+
+
+def arith_vars_of(node: Formula) -> frozenset:
+    """All arithmetic variable names occurring in a formula's atoms."""
+    names = set()
+    for atom in atoms_of(node):
+        names.update(atom.expr.variables())
+    return frozenset(names)
+
+
+def evaluate(node: Formula, arith: dict, booleans: dict = None) -> bool:
+    """Evaluate a formula under concrete rational/boolean assignments.
+
+    Used by tests and by model validation after a SAT answer.
+    """
+    booleans = booleans or {}
+    if isinstance(node, FTrue):
+        return True
+    if isinstance(node, FFalse):
+        return False
+    if isinstance(node, BVar):
+        return bool(booleans[node.name])
+    if isinstance(node, FAtom):
+        value = node.expr.evaluate(arith)
+        if node.op == "<=":
+            return value <= 0
+        if node.op == "<":
+            return value < 0
+        return value == 0
+    if isinstance(node, FNot):
+        return not evaluate(node.operand, arith, booleans)
+    if isinstance(node, FAnd):
+        return all(evaluate(a, arith, booleans) for a in node.args)
+    if isinstance(node, FOr):
+        return any(evaluate(a, arith, booleans) for a in node.args)
+    raise TypeError(f"evaluate: unknown formula {node!r}")

@@ -1,0 +1,96 @@
+"""High-level validity checking over ShadowDP expressions.
+
+This is the interface the type checker and verifier actually use: they
+ask whether ``premises ⊨ goal`` for boolean ShadowDP expressions.  The
+check is performed by refutation: ``premises ∧ ¬goal`` is encoded and
+handed to the DPLL(T) core; validity holds iff the query is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.lang import ast
+from repro.solver import formula as F
+from repro.solver.encode import Encoder
+from repro.solver.smt import SatResult, SMTSolver
+
+
+class ValidityChecker:
+    """Checks entailments between ShadowDP boolean expressions.
+
+    The checker is stateless apart from its configuration, and exposes a
+    simple cache: typing a single program asks many identical questions
+    (e.g. the loop fixpoint re-checks the body).
+    """
+
+    def __init__(self, bool_vars: Optional[Set[str]] = None) -> None:
+        self.bool_vars = set(bool_vars or ())
+        self._cache: Dict[Tuple, bool] = {}
+        self.queries = 0
+        self.cache_hits = 0
+
+    def is_valid(self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()) -> bool:
+        """True iff ``premises ⊨ goal`` in linear real arithmetic.
+
+        Sound but incomplete in the presence of nonlinear subterms (they
+        are abstracted as opaque constants): a True answer is always
+        trustworthy, a False answer may be a spurious abstraction effect.
+        This matches how the pipeline uses the answer — a failed check
+        makes the type checker reject (conservative direction).
+        """
+        premises = tuple(premises)
+        key = (goal, premises, frozenset(self.bool_vars))
+        self.queries += 1
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+
+        encoder = Encoder(bool_vars=self.bool_vars)
+        solver = SMTSolver()
+        for premise in premises:
+            solver.add(encoder.boolean(premise))
+        solver.add(F.mk_not(encoder.boolean(goal)))
+        result = solver.check()
+        answer = result.is_unsat
+        self._cache[key] = answer
+        return answer
+
+    def find_model(
+        self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()
+    ) -> Optional[Tuple[Dict[str, Fraction], Dict[str, bool]]]:
+        """A counterexample to ``premises ⊨ goal``, or None if valid.
+
+        Returns ``(arithmetic model, boolean model)`` making all premises
+        true and the goal false.
+        """
+        encoder = Encoder(bool_vars=self.bool_vars)
+        solver = SMTSolver()
+        for premise in premises:
+            solver.add(encoder.boolean(premise))
+        solver.add(F.mk_not(encoder.boolean(goal)))
+        result = solver.check()
+        if result.is_unsat:
+            return None
+        if result.status != "sat":
+            raise RuntimeError("solver gave up (round limit)")
+        return result.arith_model, result.bool_model
+
+    def is_satisfiable(self, exprs: Iterable[ast.Expr]) -> SatResult:
+        """Check satisfiability of a conjunction of boolean expressions."""
+        encoder = Encoder(bool_vars=self.bool_vars)
+        solver = SMTSolver()
+        for expr in exprs:
+            solver.add(encoder.boolean(expr))
+        return solver.check()
+
+
+def is_valid(goal: ast.Expr, premises: Iterable[ast.Expr] = (), bool_vars: Optional[Set[str]] = None) -> bool:
+    """One-shot validity query (see :meth:`ValidityChecker.is_valid`)."""
+    return ValidityChecker(bool_vars=bool_vars).is_valid(goal, premises)
+
+
+def find_model(goal: ast.Expr, premises: Iterable[ast.Expr] = (), bool_vars: Optional[Set[str]] = None):
+    """One-shot counterexample query (see :meth:`ValidityChecker.find_model`)."""
+    return ValidityChecker(bool_vars=bool_vars).find_model(goal, premises)

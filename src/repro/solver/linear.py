@@ -1,0 +1,173 @@
+"""Exact linear expressions over the rationals.
+
+A :class:`LinExpr` is ``constant + Σ coeff_i · var_i`` with ``Fraction``
+coefficients and string variable names.  Instances are immutable and
+hashable, which lets the theory layer key slack variables by the linear
+form they stand for.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, Fraction]
+
+
+class LinExpr:
+    """An immutable linear expression ``constant + Σ coeffs[v] · v``."""
+
+    __slots__ = ("_terms", "_constant", "_key", "_hash")
+
+    def __init__(self, terms: Mapping[str, Fraction] = None, constant: Number = 0) -> None:
+        clean: Dict[str, Fraction] = {}
+        if terms:
+            for name, coeff in terms.items():
+                coeff = Fraction(coeff)
+                if coeff != 0:
+                    clean[name] = coeff
+        self._terms = clean
+        self._constant = Fraction(constant)
+        self._key = (tuple(sorted(self._terms.items())), self._constant)
+        self._hash = hash(self._key)
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def constant(value: Number) -> "LinExpr":
+        return LinExpr({}, value)
+
+    @staticmethod
+    def variable(name: str, coeff: Number = 1) -> "LinExpr":
+        return LinExpr({name: Fraction(coeff)}, 0)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def terms(self) -> Dict[str, Fraction]:
+        return dict(self._terms)
+
+    @property
+    def const(self) -> Fraction:
+        return self._constant
+
+    def coeff(self, name: str) -> Fraction:
+        return self._terms.get(name, Fraction(0))
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._terms))
+
+    def is_constant(self) -> bool:
+        return not self._terms
+
+    def constant_value(self) -> Fraction:
+        if self._terms:
+            raise ValueError(f"{self} is not constant")
+        return self._constant
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        if isinstance(other, (int, Fraction)):
+            return LinExpr(self._terms, self._constant + other)
+        merged = dict(self._terms)
+        for name, coeff in other._terms.items():
+            merged[name] = merged.get(name, Fraction(0)) + coeff
+        return LinExpr(merged, self._constant + other._constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({name: -c for name, c in self._terms.items()}, -self._constant)
+
+    def __sub__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        if isinstance(other, (int, Fraction)):
+            return LinExpr(self._terms, self._constant - other)
+        return self + (-other)
+
+    def __rsub__(self, other: Number) -> "LinExpr":
+        return (-self) + other
+
+    def scale(self, factor: Number) -> "LinExpr":
+        factor = Fraction(factor)
+        if factor == 0:
+            return LinExpr()
+        return LinExpr(
+            {name: c * factor for name, c in self._terms.items()},
+            self._constant * factor,
+        )
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        return self.scale(factor)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: Number) -> "LinExpr":
+        divisor = Fraction(divisor)
+        if divisor == 0:
+            raise ZeroDivisionError("LinExpr division by zero")
+        return self.scale(1 / divisor)
+
+    # -- evaluation and substitution ----------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, Fraction]) -> Fraction:
+        """Evaluate under a total assignment of the mentioned variables."""
+        total = self._constant
+        for name, coeff in self._terms.items():
+            total += coeff * Fraction(assignment[name])
+        return total
+
+    def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Replace variables by linear expressions."""
+        result = LinExpr({}, self._constant)
+        for name, coeff in self._terms.items():
+            if name in mapping:
+                result = result + mapping[name].scale(coeff)
+            else:
+                result = result + LinExpr.variable(name, coeff)
+        return result
+
+    # -- normal form --------------------------------------------------------
+
+    def normalized(self) -> Tuple["LinExpr", Fraction]:
+        """A scale-canonical form: divide by the leading coefficient's
+        absolute value so that syntactically proportional expressions share
+        one slack variable.  Returns ``(canonical, factor)`` with
+        ``self == canonical * factor`` and ``factor > 0``.
+        """
+        if not self._terms:
+            return self, Fraction(1)
+        lead = min(self._terms)
+        factor = abs(self._terms[lead])
+        if factor == 1:
+            return self, Fraction(1)
+        return self.scale(1 / factor), factor
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinExpr) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, coeff in sorted(self._terms.items()):
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self._constant != 0 or not parts:
+            parts.append(str(self._constant))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def lin_sum(exprs: Iterable[LinExpr]) -> LinExpr:
+    """Sum an iterable of linear expressions."""
+    total = LinExpr()
+    for expr in exprs:
+        total = total + expr
+    return total

@@ -1,0 +1,197 @@
+"""Monomial normal form for nonlinear terms.
+
+The target programs contain a restricted form of nonlinearity: privacy
+costs like ``2·eps/(4·N)`` and invariants like ``count·(eps/(2·N))``.
+Rather than treating every syntactically distinct nonlinear term as its
+own opaque constant (which would make ``2·eps/(4·N)`` and ``eps/(2·N)``
+unrelated), products and quotients of *atoms* are normalised to
+
+    coefficient · Π numerator_atoms / Π denominator_atoms
+
+with cancellation.  Each distinct normalised monomial gets a single
+solver variable, so proportional terms automatically share it and linear
+reasoning over monomials goes a long way.  The remaining genuinely
+nonlinear steps (e.g. ``count ≤ N ⇒ count·eps/N ≤ eps``) are covered by
+the instantiation lemmas in :mod:`repro.verify.lemmas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """``Π numerator / Π denominator`` over atom names, both sorted.
+
+    An *atom* here is the solver-variable name of a program variable or
+    an opaque term (e.g. ``q[i]`` reads).  The empty monomial is the
+    constant 1.
+    """
+
+    numerator: Tuple[str, ...] = ()
+    denominator: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "numerator", tuple(sorted(self.numerator)))
+        object.__setattr__(self, "denominator", tuple(sorted(self.denominator)))
+
+    @staticmethod
+    def unit() -> "Monomial":
+        return Monomial()
+
+    @staticmethod
+    def of_atom(name: str) -> "Monomial":
+        return Monomial((name,), ())
+
+    def is_unit(self) -> bool:
+        return not self.numerator and not self.denominator
+
+    def is_single_atom(self) -> Optional[str]:
+        if len(self.numerator) == 1 and not self.denominator:
+            return self.numerator[0]
+        return None
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        return _cancel(
+            self.numerator + other.numerator,
+            self.denominator + other.denominator,
+        )
+
+    def inverse(self) -> "Monomial":
+        return Monomial(self.denominator, self.numerator)
+
+    def __truediv__(self, other: "Monomial") -> "Monomial":
+        return self * other.inverse()
+
+    def divides_out(self, atom: str) -> Optional["Monomial"]:
+        """The monomial with one occurrence of ``atom`` removed from the
+        numerator, or None if absent."""
+        if atom not in self.numerator:
+            return None
+        remaining = list(self.numerator)
+        remaining.remove(atom)
+        return Monomial(tuple(remaining), self.denominator)
+
+    def replace_factor(self, old: str, new: str) -> Optional["Monomial"]:
+        """Substitute one numerator occurrence of ``old`` by ``new``."""
+        without = self.divides_out(old)
+        if without is None:
+            return None
+        return without * Monomial.of_atom(new)
+
+    def name(self) -> str:
+        """The canonical solver-variable name of this monomial."""
+        if self.is_unit():
+            return "%unit"
+        single = self.is_single_atom()
+        if single is not None:
+            return single
+        num = "*".join(self.numerator) if self.numerator else "1"
+        if self.denominator:
+            return f"mon:{num}/{'*'.join(self.denominator)}"
+        return f"mon:{num}"
+
+    def __repr__(self) -> str:
+        return self.name()
+
+
+def _cancel(numerator: Tuple[str, ...], denominator: Tuple[str, ...]) -> Monomial:
+    num = list(numerator)
+    den = []
+    for atom in denominator:
+        if atom in num:
+            num.remove(atom)
+        else:
+            den.append(atom)
+    return Monomial(tuple(num), tuple(den))
+
+
+class Polynomial:
+    """A linear combination of monomials with rational coefficients.
+
+    This is the intermediate form the encoder multiplies and divides;
+    it converts to a :class:`~repro.solver.linear.LinExpr` over monomial
+    names at atom-creation time.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Dict[Monomial, Fraction]] = None) -> None:
+        self.terms: Dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                if coeff != 0:
+                    self.terms[mono] = coeff
+
+    @staticmethod
+    def constant(value: Fraction) -> "Polynomial":
+        return Polynomial({Monomial.unit(): Fraction(value)})
+
+    @staticmethod
+    def atom(name: str) -> "Polynomial":
+        return Polynomial({Monomial.of_atom(name): Fraction(1)})
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        merged = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            merged[mono] = merged.get(mono, Fraction(0)) + coeff
+        return Polynomial(merged)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self.terms.items()})
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (-other)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        result: Dict[Monomial, Fraction] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                mono = m1 * m2
+                result[mono] = result.get(mono, Fraction(0)) + c1 * c2
+        return Polynomial(result)
+
+    def scale(self, factor: Fraction) -> "Polynomial":
+        return Polynomial({m: c * factor for m, c in self.terms.items()})
+
+    def as_constant(self) -> Optional[Fraction]:
+        if not self.terms:
+            return Fraction(0)
+        if len(self.terms) == 1:
+            ((mono, coeff),) = self.terms.items()
+            if mono.is_unit():
+                return coeff
+        return None
+
+    def as_single_monomial(self) -> Optional[Tuple[Monomial, Fraction]]:
+        if len(self.terms) == 1:
+            ((mono, coeff),) = self.terms.items()
+            return mono, coeff
+        return None
+
+    def divide(self, divisor: "Polynomial") -> Optional["Polynomial"]:
+        """Exact division when the divisor is a single monomial term."""
+        const = divisor.as_constant()
+        if const is not None:
+            if const == 0:
+                return None
+            return self.scale(Fraction(1) / const)
+        single = divisor.as_single_monomial()
+        if single is None:
+            return None
+        mono, coeff = single
+        inverse = mono.inverse()
+        return Polynomial(
+            {m * inverse: c / coeff for m, c in self.terms.items()}
+        )
+
+    def monomials(self):
+        return self.terms.items()
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        return " + ".join(f"{c}*{m}" for m, c in sorted(self.terms.items(), key=lambda kv: kv[0].name()))

@@ -1,0 +1,311 @@
+"""A CDCL SAT solver.
+
+Implements the standard architecture: two-watched-literal propagation,
+first-UIP conflict analysis with clause learning, VSIDS-style activity
+ordering with exponential decay, and geometric restarts.  The solver is
+incremental in the limited way DPLL(T) needs: new clauses (theory
+conflicts) can be added between ``solve()`` calls.
+
+Literals follow the DIMACS convention: nonzero ints, ``-v`` negates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Literal = int
+
+
+class Unsatisfiable(Exception):
+    """Raised internally when the instance is refuted at level 0."""
+
+
+class CDCLSolver:
+    """A self-contained CDCL solver over int literals."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = 0
+        # Assignment state: values[v] in (True, False, None), 1-indexed.
+        self._values: List[Optional[bool]] = [None]
+        self._level_of: List[int] = [0]
+        self._reason: List[Optional[List[Literal]]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._trail: List[Literal] = []
+        self._trail_limits: List[int] = []
+        self._propagate_head = 0
+        # Clause store: each clause is a list of literals; watches index it.
+        self._clauses: List[List[Literal]] = []
+        self._watches: Dict[Literal, List[int]] = {}
+        self._activity_inc = 1.0
+        self._activity_decay = 0.95
+        self._conflicts_until_restart = 100
+        self._restart_multiplier = 1.5
+        self._unsat = False
+        self.ensure_vars(num_vars)
+
+    # -- variable / clause management ---------------------------------------
+
+    def ensure_vars(self, count: int) -> None:
+        while self.num_vars < count:
+            self.num_vars += 1
+            self._values.append(None)
+            self._level_of.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+
+    def new_var(self) -> int:
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def value(self, literal: Literal) -> Optional[bool]:
+        value = self._values[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        """Add a clause; safe to call between ``solve()`` invocations."""
+        clause = []
+        seen = set()
+        for literal in literals:
+            self.ensure_vars(abs(literal))
+            if -literal in seen:
+                return  # tautology
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+        if self._decision_level() != 0:
+            self._backtrack(0)
+        if not clause:
+            self._unsat = True
+            return
+        # Drop literals already false at level 0; satisfy check.
+        clause = [l for l in clause if not (self.value(l) is False and self._level_of[abs(l)] == 0)]
+        if any(self.value(l) is True and self._level_of[abs(l)] == 0 for l in clause):
+            return
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        self._attach(clause)
+
+    def _attach(self, clause: List[Literal]) -> int:
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(index)
+        self._watches.setdefault(clause[1], []).append(index)
+        return index
+
+    # -- trail management ----------------------------------------------------
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _enqueue(self, literal: Literal, reason: Optional[List[Literal]]) -> bool:
+        current = self.value(literal)
+        if current is not None:
+            return current
+        var = abs(literal)
+        self._values[var] = literal > 0
+        self._level_of[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(literal)
+        return True
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in reversed(self._trail[limit:]):
+            var = abs(literal)
+            self._phase[var] = self._values[var]
+            self._values[var] = None
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._propagate_head = min(self._propagate_head, len(self._trail))
+
+    # -- propagation ----------------------------------------------------------
+
+    def _propagate(self) -> Optional[List[Literal]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._propagate_head < len(self._trail):
+            literal = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            falsified = -literal
+            watch_list = self._watches.get(falsified, [])
+            kept: List[int] = []
+            i = 0
+            while i < len(watch_list):
+                index = watch_list[i]
+                i += 1
+                clause = self._clauses[index]
+                # Normalize: watched literals are clause[0], clause[1].
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self.value(first) is True:
+                    kept.append(index)
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self.value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(index)
+                if self.value(first) is False:
+                    # Conflict: restore remaining watches and report.
+                    kept.extend(watch_list[i:])
+                    self._watches[falsified] = kept
+                    return clause
+                self._enqueue(first, clause)
+            self._watches[falsified] = kept
+        return None
+
+    # -- conflict analysis ----------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._activity_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _analyze(self, conflict: List[Literal]) -> Tuple[List[Literal], int]:
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        level = self._decision_level()
+        learned: List[Literal] = []
+        seen = set()
+        counter = 0
+        literal: Optional[Literal] = None
+        reason = conflict
+        index = len(self._trail) - 1
+
+        while True:
+            for other in reason:
+                # Skip the literal this reason clause implied (the trail
+                # literal we are resolving on, i.e. -literal).
+                if literal is not None and other == -literal:
+                    continue
+                var = abs(other)
+                if var in seen or self._level_of[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level_of[var] == level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            # Find the next trail literal to resolve on.
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            literal = -self._trail[index]
+            var = abs(literal)
+            seen.discard(var)
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var] or []
+        learned.insert(0, literal)
+        if len(learned) == 1:
+            return learned, 0
+        back_level = max(self._level_of[abs(l)] for l in learned[1:])
+        return learned, back_level
+
+    # -- main loop --------------------------------------------------------------
+
+    def _pick_branch(self) -> Optional[Literal]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._values[var] is None and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var is None:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    def solve(self, assumptions: Sequence[Literal] = ()) -> bool:
+        """Solve the current clause set; returns True iff satisfiable.
+
+        ``assumptions`` are temporary decisions; the solver state is reset
+        to level 0 afterwards either way.
+        """
+        if self._unsat:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        conflicts = 0
+        restart_limit = self._conflicts_until_restart
+        try:
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    if self._decision_level() == 0:
+                        raise Unsatisfiable
+                    if self._decision_level() <= len(assumptions):
+                        # Conflict under assumptions only.
+                        return False
+                    learned, back_level = self._analyze(conflict)
+                    back_level = max(back_level, len(assumptions))
+                    self._backtrack(back_level)
+                    conflicts += 1
+                    self._activity_inc /= self._activity_decay
+                    if len(learned) == 1 and back_level == 0:
+                        if not self._enqueue(learned[0], None):
+                            raise Unsatisfiable
+                    else:
+                        clause = list(learned)
+                        if len(clause) >= 2:
+                            # Second watch must be a highest-level literal.
+                            levels = [self._level_of[abs(l)] for l in clause]
+                            k = max(range(1, len(clause)), key=lambda j: levels[j])
+                            clause[1], clause[k] = clause[k], clause[1]
+                            index = self._attach(clause)
+                            self._enqueue(clause[0], self._clauses[index])
+                        else:
+                            self._enqueue(clause[0], None)
+                    if conflicts >= restart_limit and self._decision_level() > len(assumptions):
+                        conflicts = 0
+                        restart_limit = int(restart_limit * self._restart_multiplier)
+                        self._backtrack(len(assumptions))
+                    continue
+
+                # Apply pending assumptions as decisions.
+                level = self._decision_level()
+                if level < len(assumptions):
+                    literal = assumptions[level]
+                    if self.value(literal) is False:
+                        return False
+                    self._trail_limits.append(len(self._trail))
+                    if self.value(literal) is None:
+                        self._enqueue(literal, None)
+                    continue
+
+                branch = self._pick_branch()
+                if branch is None:
+                    return True
+                self._trail_limits.append(len(self._trail))
+                self._enqueue(branch, None)
+        except Unsatisfiable:
+            self._unsat = True
+            return False
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment after a successful ``solve()``."""
+        return {var: bool(self._values[var]) for var in range(1, self.num_vars + 1) if self._values[var] is not None}

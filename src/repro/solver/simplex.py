@@ -1,0 +1,307 @@
+"""The Dutertre–de Moura general simplex for linear real arithmetic.
+
+This is the theory solver behind the DPLL(T) loop: it decides
+satisfiability of a conjunction of bounds over variables related by fixed
+linear equations (the *tableau*), and reports a small conflict set (a
+subset of the asserted bounds that is already infeasible) when the
+conjunction is unsatisfiable.
+
+Strict inequalities are represented with delta-rationals
+(:mod:`repro.solver.delta`), so ``x < c`` is the bound ``x <= c - δ``.
+
+Reference: B. Dutertre and L. de Moura, "A Fast Linear-Arithmetic Solver
+for DPLL(T)", CAV 2006.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.solver.delta import DeltaRat
+from repro.solver.linear import LinExpr
+
+
+@dataclass(frozen=True)
+class Bound:
+    """An asserted bound on a variable, tagged with its origin.
+
+    ``tag`` is opaque to the simplex (the SMT layer stores SAT literals in
+    it); conflict sets are reported as sets of tags.
+    """
+
+    var: str
+    is_upper: bool
+    value: DeltaRat
+    tag: object
+
+
+class Infeasible(Exception):
+    """Raised by ``assert_bound``/``check`` with a conflict set of tags."""
+
+    def __init__(self, conflict: Set[object]) -> None:
+        super().__init__(f"infeasible: {conflict}")
+        self.conflict = conflict
+
+
+class Simplex:
+    """A simplex instance over named variables.
+
+    Usage: create, add tableau rows with :meth:`define`, then assert
+    bounds and call :meth:`check`.  :meth:`push_state`/:meth:`pop_state`
+    would be needed for online DPLL(T); this solver is used offline (the
+    SMT loop re-asserts bounds per candidate assignment), so bounds can
+    simply be reset with :meth:`reset_bounds`.
+    """
+
+    def __init__(self) -> None:
+        # All variables, basic and nonbasic.
+        self._vars: List[str] = []
+        self._is_basic: Dict[str, bool] = {}
+        # row[basic] maps nonbasic -> coefficient:  basic = Σ coeff · nonbasic
+        self._rows: Dict[str, Dict[str, Fraction]] = {}
+        self._assignment: Dict[str, DeltaRat] = {}
+        self._lower: Dict[str, Optional[Bound]] = {}
+        self._upper: Dict[str, Optional[Bound]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_variable(self, name: str) -> None:
+        if name in self._is_basic:
+            return
+        self._vars.append(name)
+        self._is_basic[name] = False
+        self._assignment[name] = DeltaRat(Fraction(0))
+        self._lower[name] = None
+        self._upper[name] = None
+
+    def define(self, name: str, expr: LinExpr) -> None:
+        """Introduce ``name`` as a basic variable equal to ``expr``.
+
+        ``expr`` must be over existing (nonbasic or basic) variables; any
+        basic variables it mentions are substituted out by their rows.
+        The constant part of ``expr`` is folded in by introducing the
+        canonical constant-one variable ``%one`` (bounded to 1).
+        """
+        if name in self._is_basic:
+            raise ValueError(f"variable {name} already defined")
+        row: Dict[str, Fraction] = {}
+
+        def accumulate(var: str, coeff: Fraction) -> None:
+            if coeff == 0:
+                return
+            if self._is_basic.get(var):
+                for inner, inner_coeff in self._rows[var].items():
+                    accumulate(inner, coeff * inner_coeff)
+            else:
+                row[var] = row.get(var, Fraction(0)) + coeff
+                if row[var] == 0:
+                    del row[var]
+
+        for var, coeff in expr.terms.items():
+            self.add_variable(var)
+            accumulate(var, coeff)
+        if expr.const != 0:
+            one = self._constant_one()
+            accumulate(one, expr.const)
+
+        self._vars.append(name)
+        self._is_basic[name] = True
+        self._rows[name] = row
+        self._lower[name] = None
+        self._upper[name] = None
+        self._assignment[name] = self._row_value(name)
+
+    def _constant_one(self) -> str:
+        name = "%one"
+        if name not in self._is_basic:
+            self.add_variable(name)
+            one = DeltaRat(Fraction(1))
+            self._lower[name] = Bound(name, False, one, "%one")
+            self._upper[name] = Bound(name, True, one, "%one")
+            self._update(name, one)
+        return name
+
+    def _row_value(self, basic: str) -> DeltaRat:
+        total = DeltaRat(Fraction(0))
+        for var, coeff in self._rows[basic].items():
+            total = total + self._assignment[var].scale(coeff)
+        return total
+
+    # -- bound assertion -------------------------------------------------------
+
+    def reset_bounds(self) -> None:
+        """Retract all asserted bounds (tableau and assignment kept)."""
+        for name in self._vars:
+            self._lower[name] = None
+            self._upper[name] = None
+        if "%one" in self._is_basic:
+            one = DeltaRat(Fraction(1))
+            self._lower["%one"] = Bound("%one", False, one, "%one")
+            self._upper["%one"] = Bound("%one", True, one, "%one")
+
+    def assert_upper(self, var: str, value: DeltaRat, tag: object) -> None:
+        self.add_variable(var)
+        lower = self._lower[var]
+        if lower is not None and value < lower.value:
+            raise Infeasible({tag, lower.tag})
+        upper = self._upper[var]
+        if upper is not None and upper.value <= value:
+            return
+        self._upper[var] = Bound(var, True, value, tag)
+        if not self._is_basic[var] and self._assignment[var] > value:
+            self._update(var, value)
+
+    def assert_lower(self, var: str, value: DeltaRat, tag: object) -> None:
+        self.add_variable(var)
+        upper = self._upper[var]
+        if upper is not None and upper.value < value:
+            raise Infeasible({tag, upper.tag})
+        lower = self._lower[var]
+        if lower is not None and lower.value >= value:
+            return
+        self._lower[var] = Bound(var, False, value, tag)
+        if not self._is_basic[var] and self._assignment[var] < value:
+            self._update(var, value)
+
+    def _update(self, nonbasic: str, value: DeltaRat) -> None:
+        delta = value - self._assignment[nonbasic]
+        self._assignment[nonbasic] = value
+        for basic, row in self._rows.items():
+            coeff = row.get(nonbasic)
+            if coeff:
+                self._assignment[basic] = self._assignment[basic] + delta.scale(coeff)
+
+    # -- pivoting ---------------------------------------------------------------
+
+    def _pivot(self, basic: str, nonbasic: str) -> None:
+        row = self._rows.pop(basic)
+        coeff = row.pop(nonbasic)
+        # basic = coeff * nonbasic + rest  =>  nonbasic = (basic - rest)/coeff
+        new_row: Dict[str, Fraction] = {basic: Fraction(1) / coeff}
+        for var, c in row.items():
+            new_row[var] = -c / coeff
+        self._is_basic[basic] = False
+        self._is_basic[nonbasic] = True
+        self._rows[nonbasic] = new_row
+        # Substitute nonbasic out of all other rows.
+        for other, other_row in self._rows.items():
+            if other == nonbasic:
+                continue
+            factor = other_row.pop(nonbasic, None)
+            if factor:
+                for var, c in new_row.items():
+                    other_row[var] = other_row.get(var, Fraction(0)) + factor * c
+                    if other_row[var] == 0:
+                        del other_row[var]
+
+    def _pivot_and_update(self, basic: str, nonbasic: str, value: DeltaRat) -> None:
+        coeff = self._rows[basic][nonbasic]
+        theta = (value - self._assignment[basic]).scale(Fraction(1) / coeff)
+        self._assignment[basic] = value
+        self._assignment[nonbasic] = self._assignment[nonbasic] + theta
+        for other, row in self._rows.items():
+            if other == basic:
+                continue
+            c = row.get(nonbasic)
+            if c:
+                self._assignment[other] = self._assignment[other] + theta.scale(c)
+        self._pivot(basic, nonbasic)
+
+    # -- the check procedure -----------------------------------------------------
+
+    def check(self) -> None:
+        """Restore feasibility or raise :class:`Infeasible`.
+
+        Uses Bland's rule (minimum variable index) for termination.
+        """
+        order = {name: i for i, name in enumerate(self._vars)}
+        while True:
+            violating = None
+            below = False
+            for name in sorted(self._rows, key=order.get):
+                value = self._assignment[name]
+                lower = self._lower[name]
+                if lower is not None and value < lower.value:
+                    violating, below = name, True
+                    break
+                upper = self._upper[name]
+                if upper is not None and value > upper.value:
+                    violating, below = name, False
+                    break
+            if violating is None:
+                return
+            row = self._rows[violating]
+            candidate = None
+            for var in sorted(row, key=order.get):
+                coeff = row[var]
+                if below:
+                    can_help = (coeff > 0 and self._can_increase(var)) or (
+                        coeff < 0 and self._can_decrease(var)
+                    )
+                else:
+                    can_help = (coeff > 0 and self._can_decrease(var)) or (
+                        coeff < 0 and self._can_increase(var)
+                    )
+                if can_help:
+                    candidate = var
+                    break
+            if candidate is None:
+                raise Infeasible(self._conflict_from_row(violating, below))
+            target = self._lower[violating].value if below else self._upper[violating].value
+            self._pivot_and_update(violating, candidate, target)
+
+    def _can_increase(self, var: str) -> bool:
+        upper = self._upper[var]
+        return upper is None or self._assignment[var] < upper.value
+
+    def _can_decrease(self, var: str) -> bool:
+        lower = self._lower[var]
+        return lower is None or self._assignment[var] > lower.value
+
+    def _conflict_from_row(self, basic: str, below: bool) -> Set[object]:
+        """The Farkas conflict: the violated bound on ``basic`` plus the
+        binding bounds on every row variable (they jointly pin the row's
+        value on the wrong side)."""
+        conflict: Set[object] = set()
+        own = self._lower[basic] if below else self._upper[basic]
+        conflict.add(own.tag)
+        for var, coeff in self._rows[basic].items():
+            if (coeff > 0) == below:
+                bound = self._upper[var]
+            else:
+                bound = self._lower[var]
+            if bound is not None:
+                conflict.add(bound.tag)
+        conflict.discard("%one")
+        return conflict
+
+    # -- models --------------------------------------------------------------------
+
+    def model(self) -> Dict[str, DeltaRat]:
+        """The current (feasible) assignment for all variables."""
+        return dict(self._assignment)
+
+    def concrete_model(self) -> Dict[str, Fraction]:
+        """A concrete rational model: substitute a small positive δ.
+
+        δ must be small enough that every asserted bound still holds; the
+        standard per-bound limits are accumulated here.
+        """
+        delta = Fraction(1)
+        for name in self._vars:
+            value = self._assignment[name]
+            lower = self._lower[name]
+            if lower is not None:
+                gap_real = value.real - lower.value.real
+                gap_delta = lower.value.delta - value.delta
+                if gap_delta > 0 and gap_real > 0:
+                    delta = min(delta, gap_real / gap_delta / 2)
+            upper = self._upper[name]
+            if upper is not None:
+                gap_real = upper.value.real - value.real
+                gap_delta = value.delta - upper.value.delta
+                if gap_delta > 0 and gap_real > 0:
+                    delta = min(delta, gap_real / gap_delta / 2)
+        return {name: value.at(delta) for name, value in self._assignment.items()}

@@ -1,0 +1,179 @@
+"""The lazy DPLL(T) loop: CDCL SAT core + simplex theory solver.
+
+The loop is the classic lemmas-on-demand architecture:
+
+1. Tseitin-encode the asserted formulas to CNF.
+2. Ask the SAT core for a propositional model.
+3. Translate the model's theory literals into simplex bounds and check
+   feasibility.
+4. If infeasible, add the (negated) conflict set as a new clause and
+   repeat; otherwise report SAT with a concrete rational model.
+
+Equality atoms get a theory-split clause ``(x = y) ∨ (x < y) ∨ (x > y)``
+at encoding time so that *negated* equalities never reach the simplex
+(which cannot represent disequalities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.solver import formula as F
+from repro.solver.cnf import TseitinEncoder
+from repro.solver.delta import DeltaRat
+from repro.solver.linear import LinExpr
+from repro.solver.sat import CDCLSolver
+from repro.solver.simplex import Infeasible, Simplex
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability check."""
+
+    status: str  # "sat" | "unsat" | "unknown"
+    arith_model: Dict[str, Fraction] = field(default_factory=dict)
+    bool_model: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class SMTSolver:
+    """A one-shot SMT solver: assert formulas, then :meth:`check`."""
+
+    def __init__(self, max_rounds: int = 100_000) -> None:
+        self._encoder = TseitinEncoder()
+        self._assertions: List[F.Formula] = []
+        self._max_rounds = max_rounds
+
+    def add(self, node: F.Formula) -> None:
+        self._assertions.append(node)
+        self._encoder.assert_formula(node)
+
+    def check(self) -> SatResult:
+        cnf = self._encoder.cnf
+        self._add_equality_splits()
+
+        sat = CDCLSolver(cnf.num_vars)
+        for clause in cnf.clauses:
+            sat.add_clause(clause)
+
+        simplex = Simplex()
+        slack_of: Dict[LinExpr, Tuple[str, Fraction]] = {}
+
+        def bound_target(expr: LinExpr) -> Tuple[str, Fraction, Fraction]:
+            """Map ``expr OP 0`` to a bound on a single simplex variable.
+
+            Returns ``(var, scale, shift)`` with ``expr == scale*(var) +
+            shift`` and ``scale > 0``; the bound ``expr <= 0`` becomes
+            ``var <= -shift/scale``.
+            """
+            canon, factor = expr.normalized()
+            shift = canon.const
+            body = canon - shift
+            terms = body.terms
+            if len(terms) == 1:
+                ((name, coeff),) = terms.items()
+                if coeff == 1:
+                    simplex.add_variable(name)
+                    return name, factor, shift * factor
+            if body not in slack_of:
+                slack = f"%s{len(slack_of)}"
+                simplex.define(slack, body)
+                slack_of[body] = (slack, Fraction(1))
+            slack, _ = slack_of[body]
+            return slack, factor, shift * factor
+
+        rounds = 0
+        while rounds < self._max_rounds:
+            rounds += 1
+            if not sat.solve():
+                return SatResult("unsat")
+            model = sat.model()
+
+            simplex.reset_bounds()
+            conflict: Optional[set] = None
+            try:
+                for var, atom in cnf.atom_of_var.items():
+                    value = model.get(var)
+                    if value is None:
+                        continue
+                    literal = var if value else -var
+                    if value:
+                        self._assert_atom(simplex, bound_target, atom, literal)
+                    else:
+                        self._assert_negated_atom(simplex, bound_target, atom, literal)
+                simplex.check()
+            except Infeasible as err:
+                conflict = {t for t in err.conflict if isinstance(t, int)}
+
+            if conflict is None:
+                arith = simplex.concrete_model()
+                arith = {k: v for k, v in arith.items() if not k.startswith("%")}
+                booleans = {
+                    name: model[var]
+                    for var, name in cnf.bool_of_var.items()
+                    if var in model
+                }
+                return SatResult("sat", arith, booleans)
+
+            # Learn the theory conflict and continue.
+            sat.add_clause([-lit for lit in conflict])
+        return SatResult("unknown")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _add_equality_splits(self) -> None:
+        cnf = self._encoder.cnf
+        for var, atom in list(cnf.atom_of_var.items()):
+            if atom.op != "=":
+                continue
+            lt = self._encoder.literal(F.FAtom("<", atom.expr))
+            gt = self._encoder.literal(F.FAtom("<", -atom.expr))
+            # x=0 ∨ x<0 ∨ x>0 — lets a negated equality satisfy the theory.
+            self._encoder.cnf.clauses.append((var, lt, gt))
+            # Mutual exclusion speeds the search (theory would find these).
+            self._encoder.cnf.clauses.append((-var, -lt))
+            self._encoder.cnf.clauses.append((-var, -gt))
+
+    @staticmethod
+    def _assert_atom(simplex: Simplex, bound_target, atom: F.FAtom, tag: int) -> None:
+        var, scale, shift = bound_target(atom.expr)
+        # atom.expr OP 0  with  atom.expr = scale*var + shift, scale > 0.
+        limit = -shift / scale
+        if atom.op == "<=":
+            simplex.assert_upper(var, DeltaRat(limit), tag)
+        elif atom.op == "<":
+            simplex.assert_upper(var, DeltaRat(limit, Fraction(-1)), tag)
+        else:  # "="
+            simplex.assert_upper(var, DeltaRat(limit), tag)
+            simplex.assert_lower(var, DeltaRat(limit), tag)
+
+    @staticmethod
+    def _assert_negated_atom(simplex: Simplex, bound_target, atom: F.FAtom, tag: int) -> None:
+        if atom.op == "=":
+            # Handled by the split clause; nothing to assert.
+            return
+        var, scale, shift = bound_target(atom.expr)
+        limit = -shift / scale
+        if atom.op == "<=":
+            # ¬(e <= 0) is e > 0.
+            simplex.assert_lower(var, DeltaRat(limit, Fraction(1)), tag)
+        else:
+            # ¬(e < 0) is e >= 0.
+            simplex.assert_lower(var, DeltaRat(limit), tag)
+
+
+def check_formulas(*assertions: F.Formula, max_rounds: int = 100_000) -> SatResult:
+    """Convenience: check the conjunction of ``assertions``."""
+    solver = SMTSolver(max_rounds=max_rounds)
+    for node in assertions:
+        solver.add(node)
+    return solver.check()

@@ -1,0 +1,38 @@
+"""Verification of target programs (the paper's CPAChecker role).
+
+The target language is deterministic code plus ``havoc`` and ``assert``;
+verifying that no assertion can fail establishes ε-differential privacy
+of the source program (Theorem 2).  This package provides:
+
+* :mod:`repro.verify.vcgen` — a symbolic executor generating proof
+  obligations, with two loop treatments: full unrolling under concrete
+  loop bounds (BMC / the paper's "fix ε" regime) and invariant-based
+  Hoare reasoning (the paper's manually-supplied-invariant regime).
+* :mod:`repro.verify.lemmas` — instantiation lemmas relating monomial
+  atoms (sign propagation and multiplication monotonicity), standing in
+  for the nonlinear reasoning the paper obtains by rewriting programs.
+* :mod:`repro.verify.houdini` — conjunctive invariant inference over a
+  template pool, with optional loop peeling.
+* :mod:`repro.verify.verifier` — the façade: configuration, obligation
+  discharge through the SMT solver, counterexample extraction.
+"""
+
+from repro.verify.verifier import (
+    VerificationConfig,
+    VerificationOutcome,
+    ObligationFailure,
+    verify_target,
+)
+from repro.verify.vcgen import Obligation, VCGenerator
+from repro.verify.houdini import HoudiniResult, infer_invariants
+
+__all__ = [
+    "VerificationConfig",
+    "VerificationOutcome",
+    "ObligationFailure",
+    "verify_target",
+    "Obligation",
+    "VCGenerator",
+    "HoudiniResult",
+    "infer_invariants",
+]

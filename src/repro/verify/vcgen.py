@@ -1,0 +1,242 @@
+"""Symbolic execution of target programs into proof obligations.
+
+The executor maintains a *store* mapping each variable (including hat
+variables and ``v_eps``) to a symbolic expression over input symbols,
+and a *path condition*.  ``havoc`` introduces fresh symbols (``eta#3``).
+Branches execute both sides and merge stores with ternaries, so the
+number of obligations stays linear in program size.
+
+Loops come in two flavours:
+
+* **unroll** — bodies are expanded up to a budget; a final obligation
+  demands the guard is provably false when the budget runs out, so a
+  successful verification is a *complete* proof for the given concrete
+  loop bounds (not a bounded approximation).
+* **invariant** — the classic Hoare treatment: establish invariants on
+  entry, havoc the modified variables, assume invariants ∧ guard, check
+  the body re-establishes the invariants, continue under invariants ∧
+  ¬guard.  Invariants come from program annotations
+  (``while (e) invariant I; {...}``) or from Houdini.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.simplify import simplify
+from repro.lang import ast
+from repro.lang.pretty import pretty_expr
+
+Store = Dict[str, ast.Expr]
+
+
+class VCGenError(ValueError):
+    """Raised when a program cannot be symbolically executed."""
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One proof obligation: ``path ⊨ goal``.
+
+    ``tag`` distinguishes obligation species ("assert", "unroll",
+    "invariant-entry", "invariant-preserved") and ``label`` carries the
+    invariant index for Houdini's counterexample-guided pruning.
+    """
+
+    goal: ast.Expr
+    path: Tuple[ast.Expr, ...]
+    tag: str
+    label: Optional[object] = None
+
+    def describe(self) -> str:
+        return f"[{self.tag}] {pretty_expr(self.goal)}"
+
+
+@dataclass
+class VCGenerator:
+    """Symbolically executes one command tree."""
+
+    unroll_limit: int = 64
+    use_invariants: bool = False
+    extra_invariants: Tuple[ast.Expr, ...] = ()
+    obligations: List[Obligation] = field(default_factory=list)
+    _fresh: int = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, cmd: ast.Command, store: Optional[Store] = None) -> Tuple[Store, Tuple[ast.Expr, ...]]:
+        """Execute ``cmd`` from ``store`` (default: every variable maps to
+        itself, i.e. fully symbolic inputs).  Returns the final store and
+        path; obligations accumulate on the generator."""
+        store = dict(store or {})
+        return self._exec(cmd, store, ())
+
+    # -- helpers ------------------------------------------------------------------
+
+    def fresh(self, base: str) -> ast.Var:
+        self._fresh += 1
+        return ast.Var(f"{base}#{self._fresh}")
+
+    def _subst(self, expr: ast.Expr, store: Store) -> ast.Expr:
+        return simplify(_subst_expr(expr, store))
+
+    def _oblige(self, goal: ast.Expr, path: Tuple[ast.Expr, ...], tag: str, label=None) -> None:
+        goal = simplify(goal)
+        if goal == ast.TRUE:
+            return
+        self.obligations.append(Obligation(goal, path, tag, label))
+
+    # -- execution -----------------------------------------------------------------
+
+    def _exec(self, cmd: ast.Command, store: Store, path: Tuple[ast.Expr, ...]):
+        if isinstance(cmd, ast.Skip):
+            return store, path
+        if isinstance(cmd, ast.Seq):
+            for part in cmd.commands:
+                store, path = self._exec(part, store, path)
+            return store, path
+        if isinstance(cmd, ast.Assign):
+            store = dict(store)
+            store[cmd.name] = self._subst(cmd.expr, store)
+            return store, path
+        if isinstance(cmd, ast.Havoc):
+            store = dict(store)
+            store[cmd.name] = self.fresh(cmd.name)
+            return store, path
+        if isinstance(cmd, ast.Assert):
+            self._oblige(self._subst(cmd.expr, store), path, "assert")
+            return store, path
+        if isinstance(cmd, ast.Assume):
+            fact = self._subst(cmd.expr, store)
+            if fact != ast.TRUE:
+                path = path + (fact,)
+            return store, path
+        if isinstance(cmd, ast.If):
+            return self._exec_if(cmd, store, path)
+        if isinstance(cmd, ast.While):
+            if self.use_invariants and (cmd.invariants or self.extra_invariants):
+                return self._exec_loop_invariant(cmd, store, path)
+            return self._exec_loop_unroll(cmd, store, path, self.unroll_limit)
+        if isinstance(cmd, ast.Return):
+            return store, path
+        if isinstance(cmd, ast.Sample):
+            raise VCGenError(
+                "sampling command reached the verifier — lower with "
+                "repro.target.transform first"
+            )
+        raise VCGenError(f"cannot execute {cmd!r}")
+
+    def _exec_if(self, cmd: ast.If, store: Store, path: Tuple[ast.Expr, ...]):
+        cond = self._subst(cmd.cond, store)
+        if cond == ast.TRUE:
+            return self._exec(cmd.then, store, path)
+        if cond == ast.FALSE:
+            return self._exec(cmd.orelse, store, path)
+        base_t = path + (cond,)
+        base_f = path + (ast.Not(cond),)
+        store_t, path_t = self._exec(cmd.then, dict(store), base_t)
+        store_f, path_f = self._exec(cmd.orelse, dict(store), base_f)
+        # Facts learned inside a branch (assumes, loop-invariant
+        # assumptions) survive the merge as guarded implications.
+        merged_path = path
+        for fact in path_t[len(base_t):]:
+            merged_path = merged_path + (ast.BinOp("||", ast.Not(cond), fact),)
+        for fact in path_f[len(base_f):]:
+            merged_path = merged_path + (ast.BinOp("||", cond, fact),)
+        return _merge_stores(cond, store_t, store_f), merged_path
+
+    def _exec_loop_unroll(self, cmd: ast.While, store: Store, path, budget: int):
+        guard = self._subst(cmd.cond, store)
+        if guard == ast.FALSE:
+            return store, path
+        if budget == 0:
+            # Completeness obligation: the loop must have terminated by
+            # now; otherwise verification legitimately fails.
+            self._oblige(ast.Not(guard), path, "unroll")
+            if guard != ast.TRUE:
+                path = path + (ast.Not(guard),)
+            return store, path
+        base = path if guard == ast.TRUE else path + (guard,)
+        body_store, body_path = self._exec(cmd.body, dict(store), base)
+        rest_store, rest_path = self._exec_loop_unroll(cmd, body_store, body_path, budget - 1)
+        if guard == ast.TRUE:
+            return rest_store, rest_path
+        merged = _merge_stores(guard, rest_store, store)
+        merged_path = path
+        for fact in rest_path[len(base):]:
+            merged_path = merged_path + (ast.BinOp("||", ast.Not(guard), fact),)
+        exit_guard = self._subst(cmd.cond, merged)
+        if exit_guard != ast.FALSE:
+            merged_path = merged_path + (ast.Not(exit_guard),)
+        return merged, merged_path
+
+    def _exec_loop_invariant(self, cmd: ast.While, store: Store, path):
+        own = tuple(cmd.invariants)
+        invariants = own + tuple(self.extra_invariants)
+        # Labels distinguish program-annotated invariants from injected
+        # candidates so Houdini prunes only its own.
+        labels = [("own", k) for k in range(len(own))] + [
+            ("extra", k) for k in range(len(self.extra_invariants))
+        ]
+        # 1. Invariants hold on entry.
+        for label, inv in zip(labels, invariants):
+            self._oblige(self._subst(inv, store), path, "invariant-entry", label=label)
+        # 2. An arbitrary iteration preserves them.
+        havoced = dict(store)
+        for name in sorted(ast.assigned_vars(cmd.body)):
+            havoced[name] = self.fresh(name)
+        assumed = tuple(self._subst(inv, havoced) for inv in invariants)
+        guard = self._subst(cmd.cond, havoced)
+        body_path = path + assumed + (guard,)
+        body_store, body_path_out = self._exec(cmd.body, dict(havoced), body_path)
+        for label, inv in zip(labels, invariants):
+            self._oblige(self._subst(inv, body_store), body_path_out, "invariant-preserved", label=label)
+        # 3. Continue from an arbitrary post-loop state.
+        return havoced, path + assumed + (ast.Not(guard),)
+
+
+# ---------------------------------------------------------------------------
+# Store plumbing
+# ---------------------------------------------------------------------------
+
+
+def _subst_expr(expr: ast.Expr, store: Store) -> ast.Expr:
+    if isinstance(expr, ast.Var):
+        return store.get(expr.name, expr)
+    if isinstance(expr, ast.Hat):
+        return store.get(ast.hat_name(expr.base, expr.version), expr)
+    if isinstance(expr, (ast.Real, ast.BoolLit)):
+        return expr
+    if isinstance(expr, ast.Neg):
+        return ast.Neg(_subst_expr(expr.operand, store))
+    if isinstance(expr, ast.Not):
+        return ast.Not(_subst_expr(expr.operand, store))
+    if isinstance(expr, ast.Abs):
+        return ast.Abs(_subst_expr(expr.operand, store))
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(expr.op, _subst_expr(expr.left, store), _subst_expr(expr.right, store))
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            _subst_expr(expr.cond, store),
+            _subst_expr(expr.then, store),
+            _subst_expr(expr.orelse, store),
+        )
+    if isinstance(expr, ast.Index):
+        # List bases are input symbols; only the index is state-dependent.
+        return ast.Index(expr.base, _subst_expr(expr.index, store))
+    if isinstance(expr, ast.Cons):
+        return ast.Cons(_subst_expr(expr.head, store), _subst_expr(expr.tail, store))
+    raise VCGenError(f"cannot substitute into {expr!r}")
+
+
+def _merge_stores(cond: ast.Expr, store_t: Store, store_f: Store) -> Store:
+    merged: Store = {}
+    for name in set(store_t) | set(store_f):
+        then = store_t.get(name, ast.Var(name))
+        orelse = store_f.get(name, ast.Var(name))
+        if then == orelse:
+            merged[name] = then
+        else:
+            merged[name] = simplify(ast.Ternary(cond, then, orelse))
+    return merged

@@ -1,0 +1,243 @@
+"""The verification façade: discharge obligations through the SMT solver.
+
+``verify_target`` plays the role CPAChecker plays in the paper's
+pipeline (Section 6.1): it takes the transformed, non-probabilistic
+program and proves that no assertion — in particular the final
+``assert(v_eps <= bound)`` — can fail for any input satisfying the
+adjacency precondition.  By Theorem 2 this establishes ε-differential
+privacy of the source program.
+
+Three regimes mirror the paper's Table 1 columns:
+
+* ``mode="unroll"`` with concrete loop bounds — the "fix ε / fixed N"
+  regime (also the bug-finding mode: failing obligations come back with
+  concrete counterexample models);
+* ``mode="invariant"`` — unbounded proofs from loop invariants (the
+  paper supplies these manually when CPAChecker's abstraction fails);
+* Houdini (see :mod:`repro.verify.houdini`) — inferring the invariants
+  from a template pool, for annotation-free unbounded proofs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import preconditions
+from repro.core.simplify import simplify
+from repro.lang import ast
+from repro.solver.encode import EncodeError, Encoder
+from repro.solver.formula import mk_not
+from repro.solver.interface import ValidityChecker
+from repro.target.transform import TargetProgram
+from repro.verify import lemmas as lemma_mod
+from repro.verify.vcgen import Obligation, VCGenerator
+
+
+@dataclass
+class VerificationConfig:
+    """How to verify a target program.
+
+    ``bindings`` substitutes concrete rationals for parameters (e.g.
+    ``{"size": 5, "N": 1, "eps": 1}``) before execution — the paper's
+    "fix ε" regime and the way loops become boundedly unrollable.
+    ``assumptions`` are extra premises about the (remaining symbolic)
+    parameters, e.g. ``eps > 0``.
+    """
+
+    mode: str = "unroll"  # "unroll" | "invariant"
+    bindings: Dict[str, Fraction] = field(default_factory=dict)
+    assumptions: Tuple[ast.Expr, ...] = ()
+    unroll_limit: int = 64
+    extra_invariants: Tuple[ast.Expr, ...] = ()
+    use_lemmas: bool = True
+    collect_models: bool = True
+
+
+@dataclass
+class ObligationFailure:
+    """A refuted obligation, with a counterexample model when available."""
+
+    obligation: Obligation
+    arith_model: Optional[Dict[str, Fraction]] = None
+    bool_model: Optional[Dict[str, bool]] = None
+
+    def describe(self) -> str:
+        text = self.obligation.describe()
+        if self.arith_model:
+            inputs = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.arith_model.items()) if not k.startswith("%")
+            )
+            text += f"  counterexample: {inputs}"
+        return text
+
+
+@dataclass
+class VerificationOutcome:
+    """The verdict plus accounting."""
+
+    verified: bool
+    obligations_total: int
+    failures: List[ObligationFailure]
+    seconds: float
+    solver_queries: int = 0
+
+    def describe(self) -> str:
+        status = "VERIFIED" if self.verified else "REFUTED"
+        return (
+            f"{status}: {self.obligations_total} obligations, "
+            f"{len(self.failures)} failed, {self.seconds:.3f}s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parameter binding
+# ---------------------------------------------------------------------------
+
+
+def bind_expr(expr: ast.Expr, bindings: Dict[str, Fraction]) -> ast.Expr:
+    mapping = {ast.Var(name): ast.Real(value) for name, value in bindings.items()}
+    return simplify(ast.substitute(expr, mapping))
+
+
+def bind_command(cmd: ast.Command, bindings: Dict[str, Fraction]) -> ast.Command:
+    """Substitute concrete parameter values throughout a target command."""
+    if not bindings:
+        return cmd
+    if isinstance(cmd, (ast.Skip, ast.Havoc)):
+        return cmd
+    if isinstance(cmd, ast.Assign):
+        return ast.Assign(cmd.name, bind_expr(cmd.expr, bindings))
+    if isinstance(cmd, ast.Seq):
+        return ast.seq(*[bind_command(c, bindings) for c in cmd.commands])
+    if isinstance(cmd, ast.If):
+        return ast.If(
+            bind_expr(cmd.cond, bindings),
+            bind_command(cmd.then, bindings),
+            bind_command(cmd.orelse, bindings),
+        )
+    if isinstance(cmd, ast.While):
+        return ast.While(
+            bind_expr(cmd.cond, bindings),
+            bind_command(cmd.body, bindings),
+            tuple(bind_expr(i, bindings) for i in cmd.invariants),
+        )
+    if isinstance(cmd, ast.Return):
+        return ast.Return(bind_expr(cmd.expr, bindings))
+    if isinstance(cmd, ast.Assert):
+        return ast.Assert(bind_expr(cmd.expr, bindings))
+    if isinstance(cmd, ast.Assume):
+        return ast.Assume(bind_expr(cmd.expr, bindings))
+    raise TypeError(f"bind_command: unknown command {cmd!r}")
+
+
+# ---------------------------------------------------------------------------
+# Obligation discharge
+# ---------------------------------------------------------------------------
+
+
+class ObligationChecker:
+    """Checks obligations against Ψ, assumptions and nonlinear lemmas."""
+
+    def __init__(
+        self,
+        psi: ast.Expr,
+        assumptions: Sequence[ast.Expr],
+        use_lemmas: bool = True,
+        collect_models: bool = True,
+    ) -> None:
+        self.psi = psi
+        self.assumptions = [simplify(a) for a in assumptions]
+        self.use_lemmas = use_lemmas
+        self.collect_models = collect_models
+        self.validity = ValidityChecker()
+
+    def premises_for(self, obligation: Obligation) -> List[ast.Expr]:
+        queries = list(obligation.path) + [obligation.goal] + self.assumptions
+        premises = list(self.assumptions)
+        premises += preconditions.instantiate(self.psi, queries)
+        premises += list(obligation.path)
+        if self.use_lemmas:
+            premises += self._lemmas(premises + [obligation.goal])
+        return premises
+
+    def _lemmas(self, exprs: Sequence[ast.Expr]) -> List[ast.Expr]:
+        # Discovery pass: find all monomial atoms the query will create.
+        encoder = Encoder()
+        for expr in exprs:
+            try:
+                encoder.boolean(expr)
+            except EncodeError:
+                continue
+        if not encoder.monomials:
+            return []
+        candidates = lemma_mod.relevant_vars(exprs)
+        out = lemma_mod.sign_lemmas(encoder, self.assumptions)
+        out += lemma_mod.monotonicity_lemmas(encoder, candidates)
+        return out
+
+    def check(self, obligation: Obligation) -> Optional[ObligationFailure]:
+        """None when the obligation is valid, a failure record otherwise."""
+        premises = self.premises_for(obligation)
+        if self.validity.is_valid(obligation.goal, premises):
+            return None
+        if not self.collect_models:
+            return ObligationFailure(obligation)
+        model = self.validity.find_model(obligation.goal, premises)
+        if model is None:  # pragma: no cover — cache raced; treat as valid
+            return None
+        arith, booleans = model
+        return ObligationFailure(obligation, arith, booleans)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def verify_target(target: TargetProgram, config: Optional[VerificationConfig] = None) -> VerificationOutcome:
+    """Verify that every assertion of ``target`` always holds."""
+    config = config or VerificationConfig()
+    start = time.perf_counter()
+
+    body = bind_command(target.body, config.bindings)
+    psi = _bind_psi(target.function.precondition, config.bindings)
+    assumptions = [bind_expr(a, config.bindings) for a in config.assumptions]
+    assumptions = [a for a in assumptions if a != ast.TRUE]
+
+    generator = VCGenerator(
+        unroll_limit=config.unroll_limit,
+        use_invariants=(config.mode == "invariant"),
+        extra_invariants=tuple(bind_expr(i, config.bindings) for i in config.extra_invariants),
+    )
+    generator.run(body)
+
+    checker = ObligationChecker(
+        psi,
+        assumptions,
+        use_lemmas=config.use_lemmas,
+        collect_models=config.collect_models,
+    )
+    failures: List[ObligationFailure] = []
+    for obligation in generator.obligations:
+        failure = checker.check(obligation)
+        if failure is not None:
+            failures.append(failure)
+
+    return VerificationOutcome(
+        verified=not failures,
+        obligations_total=len(generator.obligations),
+        failures=failures,
+        seconds=time.perf_counter() - start,
+        solver_queries=checker.validity.queries,
+    )
+
+
+def _bind_psi(psi: ast.Expr, bindings: Dict[str, Fraction]) -> ast.Expr:
+    if not bindings:
+        return psi
+    # Quantified variables shadow bindings of the same name.
+    mapping = {ast.Var(name): ast.Real(value) for name, value in bindings.items()}
+    return simplify(ast.substitute(psi, mapping))

@@ -1,0 +1,137 @@
+"""Unit tests for expression typing (Fig. 4, top half)."""
+
+import pytest
+
+from repro.core.environment import BOOL, NUM, TypeEnv, VarEntry
+from repro.core.errors import ShadowDPTypeError
+from repro.core.expr_rules import ExprTyper
+from repro.lang import ast
+from repro.lang.parser import parse_expr
+from repro.solver.interface import ValidityChecker
+
+
+def make_typer(entries, psi="true"):
+    env = TypeEnv()
+    for name, entry in entries.items():
+        env = env.set(name, entry)
+    return ExprTyper(env, parse_expr(psi), ValidityChecker())
+
+
+BASE = {
+    "x": VarEntry(NUM, parse_expr("1"), ast.ZERO),
+    "pub": VarEntry(NUM),
+    "star": VarEntry(NUM, ast.STAR, ast.STAR),
+    "flag": VarEntry(BOOL),
+    "q": VarEntry(NUM, ast.STAR, ast.STAR, is_list=True),
+    "i": VarEntry(NUM),
+}
+
+
+class TestDistances:
+    def test_literal(self):
+        typer = make_typer(BASE)
+        assert typer.distances(parse_expr("3")) == (ast.ZERO, ast.ZERO)
+
+    def test_var_with_constant_distance(self):
+        typer = make_typer(BASE)
+        assert typer.distances(parse_expr("x")) == (ast.ONE, ast.ZERO)
+
+    def test_star_var_resolves_to_hats(self):
+        typer = make_typer(BASE)
+        aligned, shadow = typer.distances(parse_expr("star"))
+        assert aligned == ast.Hat("star", ast.ALIGNED)
+        assert shadow == ast.Hat("star", ast.SHADOW)
+
+    def test_hat_var_is_zero_distance(self):
+        typer = make_typer(BASE)
+        assert typer.distances(parse_expr("star^o")) == (ast.ZERO, ast.ZERO)
+
+    def test_oplus_adds_componentwise(self):
+        typer = make_typer(BASE)
+        aligned, shadow = typer.distances(parse_expr("x + x"))
+        assert aligned == ast.Real(2)
+        assert shadow == ast.ZERO
+
+    def test_neg_negates(self):
+        typer = make_typer(BASE)
+        aligned, _ = typer.distances(parse_expr("-x"))
+        assert aligned == ast.Real(-1)
+
+    def test_star_list_index(self):
+        typer = make_typer(BASE)
+        aligned, shadow = typer.distances(parse_expr("q[i]"))
+        assert aligned == ast.Index(ast.Hat("q", ast.ALIGNED), ast.Var("i"))
+
+    def test_index_by_private_rejected(self):
+        typer = make_typer(BASE)
+        with pytest.raises(ShadowDPTypeError) as err:
+            typer.distances(parse_expr("q[x]"))
+        assert err.value.reason == "indexed-by-private"
+
+    def test_otimes_requires_zero_distances(self):
+        typer = make_typer(BASE)
+        assert typer.distances(parse_expr("pub * pub")) == (ast.ZERO, ast.ZERO)
+        with pytest.raises(ShadowDPTypeError) as err:
+            typer.distances(parse_expr("x * pub"))
+        assert err.value.reason == "nonlinear-private"
+
+    def test_division_of_private_rejected(self):
+        typer = make_typer(BASE)
+        with pytest.raises(ShadowDPTypeError):
+            typer.distances(parse_expr("x / 2"))
+
+    def test_ternary_arms_must_agree(self):
+        typer = make_typer(BASE)
+        assert typer.distances(parse_expr("flag ? x : x"))[0] == ast.ONE
+        with pytest.raises(ShadowDPTypeError) as err:
+            typer.distances(parse_expr("flag ? x : pub"))
+        assert err.value.reason == "ternary-mismatch"
+
+    def test_bool_in_numeric_position_rejected(self):
+        typer = make_typer(BASE)
+        with pytest.raises(ShadowDPTypeError):
+            typer.distances(parse_expr("flag"))
+
+
+class TestBooleanChecking:
+    def test_zero_distance_comparison_passes(self):
+        typer = make_typer(BASE)
+        typer.check_boolean(parse_expr("pub < 3"))
+
+    def test_odot_discharged_by_solver(self):
+        # x has distance <1,0>: x < pub flips between executions — reject.
+        typer = make_typer(BASE)
+        with pytest.raises(ShadowDPTypeError) as err:
+            typer.check_boolean(parse_expr("x < pub"))
+        assert err.value.reason == "odot"
+
+    def test_odot_equal_shifts_pass(self):
+        # Both sides shifted identically: comparison result is stable.
+        entries = dict(BASE)
+        entries["y"] = VarEntry(NUM, parse_expr("1"), ast.ZERO)
+        typer = make_typer(entries)
+        typer.check_boolean(parse_expr("x < y"))
+
+    def test_odot_uses_precondition(self):
+        # With Ψ pinning the hat to 0, a star variable is comparable.
+        typer = make_typer(BASE, psi="star^o == 0 && star^s == 0")
+        typer.check_boolean(parse_expr("star < pub"))
+
+    def test_connectives_recurse(self):
+        typer = make_typer(BASE)
+        typer.check_boolean(parse_expr("pub < 3 && !(pub > 5) || flag"))
+
+    def test_numeric_expr_as_bool_rejected(self):
+        typer = make_typer(BASE)
+        with pytest.raises(ShadowDPTypeError):
+            typer.check_boolean(parse_expr("pub + 1"))
+
+
+class TestKindPrediction:
+    def test_is_boolean(self):
+        typer = make_typer(BASE)
+        assert typer.is_boolean(parse_expr("flag"))
+        assert typer.is_boolean(parse_expr("x < 1"))
+        assert typer.is_boolean(parse_expr("true"))
+        assert not typer.is_boolean(parse_expr("x + 1"))
+        assert not typer.is_boolean(parse_expr("q[i]"))

@@ -1,0 +1,157 @@
+"""Unit and property tests for the expression simplifier."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse_expr
+from repro.core.simplify import is_zero, simplify, simplify_under
+
+
+def s(text):
+    return simplify(parse_expr(text))
+
+
+class TestConstantFolding:
+    def test_arith(self):
+        assert s("1 + 2 * 3") == ast.Real(7)
+
+    def test_division_exact(self):
+        assert s("1 / 3 + 1 / 6") == ast.Real(Fraction(1, 2))
+
+    def test_comparisons(self):
+        assert s("2 < 3") == ast.TRUE
+        assert s("2 >= 3") == ast.FALSE
+
+    def test_booleans(self):
+        assert s("true && false") == ast.FALSE
+        assert s("true || false") == ast.TRUE
+        assert s("!true") == ast.FALSE
+
+    def test_abs(self):
+        assert s("abs(-5)") == ast.Real(5)
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert s("x + 0") == ast.Var("x")
+        assert s("0 + x") == ast.Var("x")
+
+    def test_sub_zero_and_self(self):
+        assert s("x - 0") == ast.Var("x")
+        assert s("x - x") == ast.ZERO
+
+    def test_mul_identities(self):
+        assert s("1 * x") == ast.Var("x")
+        assert s("x * 0") == ast.ZERO
+
+    def test_div_one(self):
+        assert s("x / 1") == ast.Var("x")
+
+    def test_double_negation(self):
+        assert s("--x") == ast.Var("x")
+        assert s("!!(x < 1)") == s("x < 1")
+
+    def test_and_or_absorption(self):
+        assert s("a < 1 && true") == s("a < 1")
+        assert s("a < 1 || false") == s("a < 1")
+        assert s("a < 1 || true") == ast.TRUE
+
+
+class TestAdditiveCancellation:
+    def test_direct_cancel(self):
+        assert s("x + y - y") == ast.Var("x")
+
+    def test_cancel_through_neg(self):
+        assert s("x + -x") == ast.ZERO
+
+    def test_chain_cancel(self):
+        # The SmartSum head distance: sum^o + q^o[i] + (-sum^o - q^o[i]).
+        assert is_zero(parse_expr("sum^o + q^o[i] + (-sum^o - q^o[i])"))
+
+    def test_prefix_sum_distance(self):
+        assert is_zero(parse_expr("next - next + q^o[i] + -q^o[i]"))
+
+    def test_no_cancel_keeps_shape(self):
+        # Without a cancellation the original association is preserved
+        # (keeps transformed programs close to the paper's figures).
+        expr = parse_expr("bq + bq^s - (q[i] + eta)")
+        assert simplify(expr) == expr
+
+
+class TestTernaryRules:
+    def test_constant_guard(self):
+        assert s("true ? 1 : 2") == ast.Real(1)
+        assert s("false ? 1 : 2") == ast.Real(2)
+
+    def test_equal_arms(self):
+        assert s("x > 0 ? 1 : 1") == ast.Real(1)
+
+    def test_negated_guard_swaps(self):
+        assert s("!(x > 0) ? a : b") == s("x > 0 ? b : a")
+
+    def test_abs_pushes_into_ternary(self):
+        assert s("abs(x > 0 ? 2 : 0)") == s("x > 0 ? 2 : 0")
+        assert s("abs(x > 0 ? -2 : 0)") == s("x > 0 ? 2 : 0")
+
+    def test_same_guard_ternaries_merge(self):
+        assert s("(c > 0 ? 1 : 2) + (c > 0 ? 10 : 20)") == s("c > 0 ? 11 : 22")
+
+    def test_cost_update_shape(self):
+        # The Fig. 1 privacy-cost computation: |Ω?2:0| / (2/eps) added to
+        # the selector-reset cost must become Ω ? eps : v_eps.
+        cost = "abs(w > 0 ? 2 : 0) / (2 / eps) + (w > 0 ? 0 : v_eps)"
+        assert s(cost) == s("w > 0 ? eps : v_eps")
+
+    def test_scale_rewrite(self):
+        assert s("2 / (2 / eps)") == ast.Var("eps")
+        assert s("abs(1) / (2 / eps)") == s("eps / 2")
+
+
+class TestSimplifyUnder:
+    def test_guard_becomes_true(self):
+        omega = parse_expr("q[i] + eta > bq || i == 0")
+        expr = parse_expr("eta + ((q[i] + eta > bq || i == 0) ? 2 : 0)")
+        assert simplify_under(expr, omega, True) == s("eta + 2")
+        assert simplify_under(expr, omega, False) == ast.Var("eta")
+
+    def test_negation_of_assumption(self):
+        cond = parse_expr("x > 0")
+        expr = parse_expr("!(x > 0) ? 1 : 2")
+        assert simplify_under(expr, cond, True) == ast.Real(2)
+
+    def test_unrelated_expression_unchanged(self):
+        cond = parse_expr("x > 0")
+        expr = s("y + 1")
+        assert simplify_under(expr, cond, True) == expr
+
+
+class TestSemanticPreservation:
+    """Random differential testing: simplify must preserve meaning."""
+
+    @given(
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+    )
+    @settings(max_examples=100)
+    def test_simplify_preserves_value(self, x, y, z):
+        from repro.semantics.interpreter import Interpreter
+
+        cases = [
+            "x + y - y * 1",
+            "(x > 0 ? y : z) + abs(x)",
+            "abs(x - y) / 2 + (x < y ? z : -z)",
+            "x + y + -x - y + z",
+            "(x > y ? 1 : 0) * (z + 2)",
+        ]
+        interp = Interpreter()
+        memory = {"x": float(x), "y": float(y), "z": float(z)}
+        for text in cases:
+            expr = parse_expr(text)
+            before = interp.eval(expr, memory)
+            after = interp.eval(simplify(expr), memory)
+            assert before == pytest.approx(after), text

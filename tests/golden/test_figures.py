@@ -1,0 +1,183 @@
+"""Golden tests: the transformed programs of the paper's figures.
+
+Each test pins the full transformed output of a case study, in the shape
+of the corresponding paper figure (Fig. 1 for Report Noisy Max, Fig. 6
+for SVT, Fig. 10/11/12 for NumSVT / Partial Sum / Smart Sum).  The
+golden text is our canonical pretty-printing; structural properties
+asserted alongside (cost updates, asserts, shadow branch, hat
+instrumentation) tie each line back to the figure.
+"""
+
+import pytest
+
+from repro.algorithms import get
+from repro.lang import ast
+from repro.lang.parser import parse_expr
+from repro.lang.pretty import pretty_command
+
+
+def transformed(name):
+    return get(name).target()
+
+
+def body_text(name):
+    return pretty_command(transformed(name).body)
+
+
+class TestFigure1NoisyMax:
+    GOLDEN = """\
+v_eps := 0;
+i := 0;
+bq := 0;
+max := 0;
+bq^o := 0;
+bq^s := 0;
+while (i < size)
+invariant v_eps <= eps;
+invariant i == 0 && bq^o == 0 && bq^s == 0 || i >= 1 && 1 <= bq^o && -1 <= bq^s && bq^s <= 1;
+{
+    assert(i < size);
+    havoc eta;
+    v_eps := q[i] + eta > bq || i == 0 ? eps : v_eps;
+    if (q[i] + eta > bq || i == 0) {
+        assert(q[i] + q^o[i] + (eta + 2) > bq + bq^s || i == 0);
+        max := i;
+        bq^s := bq + bq^s - (q[i] + eta);
+        bq := q[i] + eta;
+        bq^o := q^o[i] + 2;
+    } else {
+        assert(!(q[i] + q^o[i] + eta > bq + bq^o || i == 0));
+    }
+    if (q[i] + q^s[i] + eta > bq + bq^s || i == 0) {
+        bq^s := q[i] + q^s[i] + eta - bq;
+    }
+    i := i + 1;
+}
+assert(v_eps <= eps);
+return max;"""
+
+    def test_full_golden(self):
+        assert body_text("noisy_max") == self.GOLDEN
+
+    def test_cost_resets_on_shadow_switch(self):
+        # Fig. 1 line 6: v_eps := Ω ? (0 + eps) : (v_eps + 0).
+        assert "v_eps := q[i] + eta > bq || i == 0 ? eps : v_eps;" in self.GOLDEN
+
+    def test_shadow_branch_present(self):
+        # Fig. 1 lines 15-17: the shadow execution of the if.
+        assert "q[i] + q^s[i] + eta > bq + bq^s" in self.GOLDEN
+
+    def test_dead_max_shadow_store_eliminated(self):
+        # The paper's figure omits max^s updates; our DSE removes them.
+        assert "max^s" not in self.GOLDEN
+
+
+class TestFigure6SVT:
+    def test_structure(self):
+        text = body_text("svt")
+        # Fig. 6 line 2: the threshold sample costs eps/2 up front.
+        assert "v_eps := v_eps + eps / 2;" in text
+        # Fig. 6 line 6: per-query cost only above threshold.
+        assert "v_eps := q[i] + eta2 >= Tt ? v_eps + 2 * eps / (4 * N) : v_eps;" in text
+        # Fig. 6 lines 8/12: the branch alignment asserts.
+        assert "assert(q[i] + q^o[i] + (eta2 + 2) >= Tt + 1);" in text
+        assert "assert(!(q[i] + q^o[i] + eta2 >= Tt + 1));" in text
+        # Aligned-only program: no shadow instrumentation at all.
+        assert "^s" not in text
+
+    def test_final_assert(self):
+        assert "assert(v_eps <= eps);" in body_text("svt")
+
+
+class TestFigure10NumSVT:
+    def test_structure(self):
+        text = body_text("num_svt")
+        # Fig. 10 line 2: eps/3 for the threshold.
+        assert "v_eps := v_eps + eps / 3;" in text
+        # Fig. 10 line 10: the value-release sample pays |q^o[i]|·eps/(3N).
+        assert "v_eps := v_eps + abs(-q^o[i])" in text or "v_eps := v_eps + abs(q^o[i])" in text
+
+    def test_release_is_aligned(self):
+        # The released value q[i] + eta3 has aligned distance 0, so no
+        # assert guards the cons itself.
+        target = transformed("num_svt")
+        assert target.aligned_only
+
+
+class TestFigure11PartialSum:
+    GOLDEN_FRAGMENT = """\
+while (i < size)
+invariant sum^o == (i > d ? delta : 0);
+{
+    assert(i < size);
+    sum := sum + q[i];
+    sum^o := sum^o + q^o[i];
+    i := i + 1;
+}"""
+
+    def test_loop_matches_figure(self):
+        assert self.GOLDEN_FRAGMENT in body_text("partial_sum")
+
+    def test_hat_initialised_before_loop(self):
+        text = body_text("partial_sum")
+        assert text.index("sum^o := 0;") < text.index("while")
+
+    def test_final_cost(self):
+        # Fig. 11 line 8: v_eps := v_eps + |sum^o| * eps.
+        assert "v_eps := v_eps + abs(sum^o) * eps;" in body_text("partial_sum")
+
+
+class TestFigure12SmartSum:
+    def test_two_eps_budget(self):
+        target = transformed("smart_sum")
+        assert target.cost_bound == parse_expr("2 * eps")
+        assert "assert(v_eps <= 2 * eps);" in pretty_command(target.body)
+
+    def test_block_and_running_costs(self):
+        text = body_text("smart_sum")
+        # Fig. 12 line 6: block-close sample pays |sum^o + q^o[i]|·eps.
+        assert "abs(-sum^o - q^o[i]) * eps" in text
+        # Fig. 12 line 12: running sample pays |q^o[i]|·eps.
+        assert "v_eps := v_eps + abs(q^o[i]) * eps;" in text
+
+    def test_block_reset_instrumentation(self):
+        # Fig. 12 line 10: sum^o := 0 when the block closes.
+        text = body_text("smart_sum")
+        assert "sum^o := 0;" in text
+        assert "sum^o := sum^o + q^o[i];" in text
+
+
+class TestGapSVT:
+    def test_gap_release_costs_like_svt(self):
+        text = body_text("gap_svt")
+        # The alignment 1 - q^o[i] keeps the released gap identical, and
+        # |1 - q^o[i]| <= 2 bounds the cost by the standard SVT cost.
+        assert "abs(1 - q^o[i])" in text
+
+    def test_then_assert_collapses_to_omega(self):
+        # Aligned guard: q[i] + q^o[i] + eta2 + (1 - q^o[i]) >= Tt + 1
+        # ⟺ q[i] + eta2 >= Tt, i.e. exactly Ω — so the then-branch assert
+        # simplifies away entirely and only the else assert remains.
+        text = body_text("gap_svt")
+        assert "assert(!(q[i] + q^o[i] + eta2 >= Tt + 1));" in text
+
+
+class TestStageTwoInvariants:
+    @pytest.mark.parametrize("name", [
+        "noisy_max", "svt", "num_svt", "gap_svt",
+        "partial_sum", "prefix_sum", "smart_sum",
+    ])
+    def test_no_samples_survive_lowering(self, name):
+        target = transformed(name)
+        kinds = {type(c) for c in ast.command_iter(target.body)}
+        assert ast.Sample not in kinds
+        assert ast.Havoc in kinds
+
+    @pytest.mark.parametrize("name", [
+        "noisy_max", "svt", "num_svt", "gap_svt",
+        "partial_sum", "prefix_sum", "smart_sum",
+    ])
+    def test_cost_var_initialised_and_asserted(self, name):
+        text = body_text(name)
+        assert text.startswith("v_eps := 0;")
+        assert "assert(v_eps <=" in text

@@ -1,0 +1,122 @@
+"""Unit tests for the ShadowDP lexer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.lexer import LexError, Lexer, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"
+
+    def test_whitespace_only(self):
+        assert kinds("  \t\n  ") == ["EOF"]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "NUMBER"
+        assert tokens[0].value == Fraction(42)
+
+    def test_decimal_literal_is_exact(self):
+        tokens = tokenize("0.5")
+        assert tokens[0].value == Fraction(1, 2)
+
+    def test_decimal_requires_digits_after_point(self):
+        # `1.` lexes as the number 1 followed by an error on `.`
+        with pytest.raises(LexError):
+            tokenize("1.")
+
+    def test_identifier(self):
+        tokens = tokenize("bq_2")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "bq_2"
+
+    def test_keywords_are_distinguished(self):
+        tokens = tokenize("while whilee")
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[1].kind == "IDENT"
+
+    def test_all_keywords(self):
+        for kw in ("function", "returns", "precondition", "if", "else", "Lap",
+                   "aligned", "shadow", "forall", "invariant", "havoc"):
+            assert tokenize(kw)[0].kind == "KEYWORD", kw
+
+
+class TestHatVariables:
+    def test_aligned_hat(self):
+        tokens = tokenize("q^o")
+        assert tokens[0].kind == "HAT"
+        assert tokens[0].value == ("q", "o")
+
+    def test_shadow_hat(self):
+        tokens = tokenize("bq^s")
+        assert tokens[0].value == ("bq", "s")
+
+    def test_bad_hat_suffix_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("q^x")
+
+    def test_hat_suffix_must_be_single_letter(self):
+        with pytest.raises(LexError):
+            tokenize("q^out")
+
+    def test_hat_followed_by_index(self):
+        toks = tokenize("q^o[i]")
+        assert [t.kind for t in toks] == ["HAT", "OP", "IDENT", "OP", "EOF"]
+
+
+class TestOperators:
+    def test_multichar_operators_win(self):
+        assert values(":= :: <= >= == != && ||") == [
+            ":=", "::", "<=", ">=", "==", "!=", "&&", "||",
+        ]
+
+    def test_single_char_operators(self):
+        assert values("( ) { } [ ] < > + - * / ? : ; , ! =") == [
+            "(", ")", "{", "}", "[", "]", "<", ">", "+", "-", "*", "/",
+            "?", ":", ";", ",", "!", "=",
+        ]
+
+    def test_adjacent_operators(self):
+        assert values("x:=y") == ["x", ":=", "y"]
+
+    def test_cons_vs_colon(self):
+        assert values("a::b") == ["a", "::", "b"]
+        assert values("a : b") == ["a", ":", "b"]
+
+
+class TestCommentsAndPositions:
+    def test_hash_comment(self):
+        assert kinds("x # comment\n y") == ["IDENT", "IDENT", "EOF"]
+
+    def test_slash_comment(self):
+        assert kinds("x // comment\n y") == ["IDENT", "IDENT", "EOF"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("x\n  y")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("x @ y")
+        assert "line 1" in str(err.value)
+
+    def test_lexer_is_a_stream(self):
+        lexer = Lexer("a b")
+        assert lexer.next_token().value == "a"
+        assert lexer.next_token().value == "b"
+        assert lexer.next_token().kind == "EOF"
+        assert lexer.next_token().kind == "EOF"

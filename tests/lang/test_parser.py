@@ -1,0 +1,266 @@
+"""Unit tests for the ShadowDP parser (paper Figure 3 syntax)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import ast
+from repro.lang import builder as b
+from repro.lang.parser import ParseError, parse_command, parse_expr, parse_function
+
+
+class TestExpressions:
+    def test_number(self):
+        assert parse_expr("3") == b.num(3)
+
+    def test_decimal(self):
+        assert parse_expr("2.5") == b.num(Fraction(5, 2))
+
+    def test_booleans(self):
+        assert parse_expr("true") == ast.TRUE
+        assert parse_expr("false") == ast.FALSE
+
+    def test_variable(self):
+        assert parse_expr("bq") == b.var("bq")
+
+    def test_hat_variables(self):
+        assert parse_expr("q^o") == b.hat("q", ast.ALIGNED)
+        assert parse_expr("q^s") == b.hat("q", ast.SHADOW)
+
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + 2 * 3") == b.add(1, b.mul(2, 3))
+
+    def test_precedence_add_over_cmp(self):
+        assert parse_expr("x + 1 < y") == b.lt(b.add(b.var("x"), 1), b.var("y"))
+
+    def test_precedence_cmp_over_and(self):
+        expected = b.and_(b.lt(b.var("x"), 1), b.gt(b.var("y"), 2))
+        assert parse_expr("x < 1 && y > 2") == expected
+
+    def test_precedence_and_over_or(self):
+        expected = b.or_(b.var("a"), b.and_(b.var("b"), b.var("c")))
+        assert parse_expr("a || b && c") == expected
+
+    def test_left_associativity_of_sub(self):
+        assert parse_expr("a - b - c") == b.sub(b.sub(b.var("a"), b.var("b")), b.var("c"))
+
+    def test_unary_minus(self):
+        assert parse_expr("-x") == b.neg(b.var("x"))
+
+    def test_unary_not(self):
+        assert parse_expr("!(x < 1)") == b.not_(b.lt(b.var("x"), 1))
+
+    def test_ternary(self):
+        expected = b.ite(b.gt(b.var("x"), 0), 2, 0)
+        assert parse_expr("x > 0 ? 2 : 0") == expected
+
+    def test_nested_ternary_right_assoc(self):
+        parsed = parse_expr("a > 0 ? 1 : b > 0 ? 2 : 3")
+        assert isinstance(parsed, ast.Ternary)
+        assert isinstance(parsed.orelse, ast.Ternary)
+
+    def test_indexing(self):
+        assert parse_expr("q[i]") == b.index(b.var("q"), b.var("i"))
+
+    def test_hat_indexing(self):
+        assert parse_expr("q^o[i]") == b.index(b.hat("q"), b.var("i"))
+
+    def test_cons(self):
+        assert parse_expr("x :: out") == b.cons(b.var("x"), b.var("out"))
+
+    def test_cons_of_arith(self):
+        expected = b.cons(b.add(b.var("q"), b.var("e")), b.var("out"))
+        assert parse_expr("q + e :: out") == expected
+
+    def test_abs(self):
+        assert parse_expr("abs(x - y)") == b.abs_(b.sub(b.var("x"), b.var("y")))
+
+    def test_forall(self):
+        parsed = parse_expr("forall i :: q^o[i] <= 1")
+        assert parsed == b.forall("i", b.le(b.index(b.hat("q"), b.var("i")), 1))
+
+    def test_parenthesised(self):
+        assert parse_expr("(x + 1) * 2") == b.mul(b.add(b.var("x"), 1), 2)
+
+    def test_division(self):
+        assert parse_expr("2 / eps") == b.div(2, b.var("eps"))
+
+    def test_noisy_max_guard(self):
+        parsed = parse_expr("q[i] + eta > bq || i == 0")
+        expected = b.or_(
+            b.gt(b.add(b.index(b.var("q"), b.var("i")), b.var("eta")), b.var("bq")),
+            b.eq(b.var("i"), 0),
+        )
+        assert parsed == expected
+
+    def test_junk_after_expr_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("x + ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("")
+
+
+class TestCommands:
+    def test_skip(self):
+        assert parse_command("skip;") == ast.Skip()
+
+    def test_assign(self):
+        assert parse_command("x := 1;") == b.assign("x", 1)
+
+    def test_sequence_flattens(self):
+        cmd = parse_command("x := 1; y := 2; z := 3;")
+        assert isinstance(cmd, ast.Seq)
+        assert len(cmd.commands) == 3
+
+    def test_if_without_else(self):
+        cmd = parse_command("if (x > 0) { y := 1; }")
+        assert cmd == b.if_(b.gt(b.var("x"), 0), b.assign("y", 1))
+
+    def test_if_else(self):
+        cmd = parse_command("if (x > 0) { y := 1; } else { y := 2; }")
+        assert cmd.orelse == b.assign("y", 2)
+
+    def test_else_if_chain(self):
+        cmd = parse_command("if (a) { x := 1; } else if (b) { x := 2; } else { x := 3; }")
+        assert isinstance(cmd.orelse, ast.If)
+        assert cmd.orelse.orelse == b.assign("x", 3)
+
+    def test_while(self):
+        cmd = parse_command("while (i < size) { i := i + 1; }")
+        assert isinstance(cmd, ast.While)
+        assert cmd.invariants == ()
+
+    def test_while_with_invariants(self):
+        cmd = parse_command(
+            "while (i < size) invariant v_eps <= eps; invariant i >= 0; { i := i + 1; }"
+        )
+        assert len(cmd.invariants) == 2
+
+    def test_return(self):
+        assert parse_command("return max;") == b.ret(b.var("max"))
+
+    def test_sample_constant_selector(self):
+        cmd = parse_command("eta := Lap(2 / eps), aligned, 1;")
+        assert cmd == b.sample("eta", b.div(2, b.var("eps")), ast.SELECT_ALIGNED, 1)
+
+    def test_sample_conditional_selector(self):
+        cmd = parse_command("eta := Lap(2 / eps), x > 0 ? shadow : aligned, x > 0 ? 2 : 0;")
+        assert isinstance(cmd.selector, ast.SelectCond)
+        assert cmd.selector.then == ast.SELECT_SHADOW
+        assert cmd.selector.orelse == ast.SELECT_ALIGNED
+
+    def test_target_commands(self):
+        cmd = parse_command("havoc eta; assert(v_eps <= eps); assume(i >= 0);")
+        assert isinstance(cmd, ast.Seq)
+        kinds = [type(c) for c in cmd.commands]
+        assert kinds == [ast.Havoc, ast.Assert, ast.Assume]
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_command("x := 1")
+
+
+class TestTypes:
+    def test_plain_num_defaults_to_zero_distances(self):
+        fn = parse_function(
+            "function F(x: num) returns y: num<0,0> { y := x; return y; }"
+        )
+        assert fn.params[0].type == ast.NumType(ast.ZERO, ast.ZERO)
+
+    def test_star_distances(self):
+        fn = parse_function(
+            "function F(q: list num<*,*>) returns y: num<0,0> { y := 0; return y; }"
+        )
+        assert fn.params[0].type == ast.ListType(ast.NumType(ast.STAR, ast.STAR))
+
+    def test_dont_care_distance_is_star(self):
+        fn = parse_function(
+            "function F(x: num) returns y: num<0,-> { y := 0; return y; }"
+        )
+        assert fn.ret_type == ast.NumType(ast.ZERO, ast.STAR)
+
+    def test_negative_constant_distance(self):
+        fn = parse_function(
+            "function F(x: num<-1,0>) returns y: num<0,0> { y := 0; return y; }"
+        )
+        assert fn.params[0].type.aligned == b.num(-1)
+
+    def test_bool_type(self):
+        fn = parse_function(
+            "function F(x: bool) returns y: bool { y := x; return y; }"
+        )
+        assert fn.params[0].type == ast.BoolType()
+
+
+class TestFunctions:
+    NOISY_MAX = """
+    function NoisyMax(eps: num<0,0>, size: num<0,0>, q: list num<*,*>)
+    returns max: num<0,*>
+    precondition forall k :: -1 <= q^o[k] && q^o[k] <= 1 && q^s[k] == q^o[k];
+    define Omega = q[i] + eta > bq || i == 0;
+    {
+        i := 0; bq := 0; max := 0;
+        while (i < size) {
+            eta := Lap(2 / eps), Omega ? shadow : aligned, Omega ? 2 : 0;
+            if (Omega) {
+                max := i;
+                bq := q[i] + eta;
+            }
+            i := i + 1;
+        }
+        return max;
+    }
+    """
+
+    def test_noisy_max_parses(self):
+        fn = parse_function(self.NOISY_MAX)
+        assert fn.name == "NoisyMax"
+        assert fn.param_names() == ("eps", "size", "q")
+        assert fn.ret_name == "max"
+
+    def test_macro_expansion(self):
+        fn = parse_function(self.NOISY_MAX)
+        omega = parse_expr("q[i] + eta > bq || i == 0")
+        # The macro name must no longer occur anywhere.
+        for cmd in ast.command_iter(fn.body):
+            if isinstance(cmd, ast.If):
+                assert cmd.cond == omega
+            if isinstance(cmd, ast.Sample):
+                assert cmd.align == ast.Ternary(omega, b.num(2), b.num(0))
+                assert cmd.selector == b.select_cond(omega, ast.SELECT_SHADOW, ast.SELECT_ALIGNED)
+
+    def test_default_cost_bound_is_eps(self):
+        fn = parse_function(self.NOISY_MAX)
+        assert fn.cost_bound == b.var("eps")
+
+    def test_explicit_cost_bound(self):
+        fn = parse_function(
+            """
+            function F(eps: num) returns y: num<0,0>
+            costbound 2 * eps;
+            { y := 0; return y; }
+            """
+        )
+        assert fn.cost_bound == b.mul(2, b.var("eps"))
+
+    def test_precondition_default_true(self):
+        fn = parse_function("function F(x: num) returns y: num { y := 0; return y; }")
+        assert fn.precondition == ast.TRUE
+
+    def test_macros_can_reference_macros(self):
+        fn = parse_function(
+            """
+            function F(x: num) returns y: num
+            define A = x + 1;
+            define B = A * 2;
+            { y := B; return y; }
+            """
+        )
+        body = fn.body
+        assert body.commands[0] == b.assign("y", b.mul(b.add(b.var("x"), 1), 2))
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("function F(x: num) returns y: num { y := 0; return y; } extra")

@@ -1,0 +1,113 @@
+"""Property tests: pretty-printing round-trips through the parser."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse_command, parse_expr, parse_function
+from repro.lang.pretty import pretty_command, pretty_expr, pretty_function
+
+# ---------------------------------------------------------------------------
+# Expression generators
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "bq", "eta", "i", "size", "eps", "count"])
+_list_names = st.sampled_from(["q", "out"])
+
+
+def _leaf():
+    rationals = st.builds(
+        Fraction,
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=10),
+    )
+    return st.one_of(
+        st.builds(ast.Real, rationals),
+        st.just(ast.TRUE),
+        st.just(ast.FALSE),
+        st.builds(ast.Var, _names),
+        st.builds(ast.Hat, _names, st.sampled_from(list(ast.VERSIONS))),
+    )
+
+
+def _numeric_extend(children):
+    return st.one_of(
+        st.builds(ast.Neg, children),
+        st.builds(ast.Abs, children),
+        st.builds(lambda op, a, b: ast.BinOp(op, a, b), st.sampled_from(["+", "-", "*", "/"]), children, children),
+        st.builds(ast.Ternary, children, children, children),
+        st.builds(lambda a, b: ast.Index(ast.Var("q"), ast.BinOp("+", a, b)), children, children),
+        st.builds(lambda op, a, b: ast.BinOp(op, a, b), st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), children, children),
+        st.builds(lambda op, a, b: ast.BinOp(op, a, b), st.sampled_from(["&&", "||"]), children, children),
+        st.builds(ast.Not, children),
+    )
+
+
+expressions = st.recursive(_leaf(), _numeric_extend, max_leaves=12)
+
+
+class TestExprRoundTrip:
+    @given(expressions)
+    @settings(max_examples=300)
+    def test_parse_of_pretty_is_a_retraction(self, expr):
+        # The parser folds literal negation/division (e.g. `1 / 2` is the
+        # constant 1/2), so parse∘pretty normalises once and is then the
+        # identity on its own image.
+        normal = parse_expr(pretty_expr(expr))
+        assert parse_expr(pretty_expr(normal)) == normal
+
+    def test_specific_tricky_cases(self):
+        cases = [
+            "a - (b - c)",
+            "-(x + 1)",
+            "(a || b) && c",
+            "!(a && b)",
+            "x < (y < 1 ? 1 : 0)",
+            "(q[i] + eta > bq || i == 0) ? 2 : 0",
+            "abs(-1 / 2)",
+            "q^o[i + 1] :: out",
+        ]
+        for text in cases:
+            expr = parse_expr(text)
+            assert parse_expr(pretty_expr(expr)) == expr, text
+
+
+class TestCommandRoundTrip:
+    CASES = [
+        "skip;",
+        "x := q[i] + eta;",
+        "eta := Lap(2 / eps), aligned, 1;",
+        "eta := Lap(2 / eps), q[i] + eta > bq ? shadow : aligned, q[i] + eta > bq ? 2 : 0;",
+        "if (x > 0) { y := 1; } else { y := 2; }",
+        "while (i < size) invariant v_eps <= eps; { i := i + 1; }",
+        "havoc eta; assert(v_eps <= eps); assume(i >= 0);",
+        "if (a > 0) { if (b > 0) { x := 1; } } else { skip; }",
+        "out := q[i] + eta - T :: out;",
+        "return max;",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_round_trip(self, source):
+        cmd = parse_command(source)
+        assert parse_command(pretty_command(cmd)) == cmd
+
+
+class TestFunctionRoundTrip:
+    def test_noisy_max_round_trip(self):
+        from tests.lang.test_parser import TestFunctions
+
+        fn = parse_function(TestFunctions.NOISY_MAX)
+        assert parse_function(pretty_function(fn)) == fn
+
+    def test_costbound_round_trip(self):
+        src = """
+        function F(eps: num, x: num<1,0>) returns y: num<0,->
+        precondition x >= 0;
+        costbound 2 * eps;
+        { y := x; return y; }
+        """
+        fn = parse_function(src)
+        assert parse_function(pretty_function(fn)) == fn

@@ -1,0 +1,143 @@
+"""Unit tests for the concrete interpreter."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms import get
+from repro.lang.parser import parse_command, parse_expr, parse_function
+from repro.semantics.distributions import laplace_pdf, laplace_sample
+from repro.semantics.interpreter import (
+    FixedNoise,
+    Interpreter,
+    RandomNoise,
+    RuntimeFailure,
+    run_function,
+)
+
+
+class TestDistributions:
+    def test_laplace_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            laplace_sample(random.Random(0), 0.0)
+        with pytest.raises(ValueError):
+            laplace_pdf(0.0, -1.0)
+
+    def test_laplace_moments(self):
+        rng = random.Random(42)
+        samples = [laplace_sample(rng, 2.0) for _ in range(50_000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean) < 0.05
+        # Var of Laplace(0, b) is 2b² = 8.
+        assert abs(var - 8.0) < 0.5
+
+    def test_pdf_normalisation(self):
+        total = sum(laplace_pdf(x / 100.0, 1.0) for x in range(-2000, 2000)) / 100.0
+        assert abs(total - 1.0) < 0.01
+
+
+class TestExpressions:
+    def setup_method(self):
+        self.interp = Interpreter()
+
+    def test_arithmetic(self):
+        memory = {"x": 3.0, "y": 2.0}
+        assert self.interp.eval(parse_expr("x * y - 1"), memory) == 5.0
+
+    def test_ternary_short_circuits(self):
+        memory = {"x": 1.0}
+        assert self.interp.eval(parse_expr("x > 0 ? 10 : 1 / 0"), memory) == 10.0
+
+    def test_boolean_short_circuit(self):
+        memory = {"x": 0.0}
+        # && short-circuits: the division never runs.
+        assert self.interp.eval(parse_expr("x > 1 && 1 / x > 0"), memory) is False
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(RuntimeFailure):
+            self.interp.eval(parse_expr("1 / x"), {"x": 0.0})
+
+    def test_list_index(self):
+        memory = {"q": (1.0, 2.0, 3.0), "i": 1.0}
+        assert self.interp.eval(parse_expr("q[i]"), memory) == 2.0
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(RuntimeFailure):
+            self.interp.eval(parse_expr("q[5]"), {"q": (1.0,)})
+
+    def test_cons_prepends(self):
+        memory = {"out": (2.0,)}
+        assert self.interp.eval(parse_expr("1 :: out"), memory) == (1.0, 2.0)
+
+    def test_unbound_variable(self):
+        with pytest.raises(RuntimeFailure):
+            self.interp.eval(parse_expr("ghost"), {})
+
+    def test_hat_variables_read_from_memory(self):
+        memory = {"x^o": 7.0}
+        assert self.interp.eval(parse_expr("x^o"), memory) == 7.0
+
+
+class TestCommands:
+    def test_assignment_and_loop(self):
+        interp = Interpreter()
+        memory = {"i": 0.0, "total": 0.0}
+        interp.exec(parse_command("while (i < 5) { total := total + i; i := i + 1; }"), memory)
+        assert memory["total"] == 10.0
+
+    def test_return_stops_execution(self):
+        interp = Interpreter()
+        result = interp.exec(parse_command("x := 1; return x; x := 2;"), {})
+        assert result == 1.0
+
+    def test_assert_failure(self):
+        interp = Interpreter()
+        with pytest.raises(RuntimeFailure):
+            interp.exec(parse_command("assert(1 < 0);"), {})
+
+    def test_assert_can_be_disabled(self):
+        interp = Interpreter(check_asserts=False)
+        interp.exec(parse_command("assert(1 < 0);"), {})
+
+    def test_fixed_noise_replay(self):
+        interp = Interpreter(noise=FixedNoise([1.5, -2.0]))
+        memory = {"eps": 1.0}
+        interp.exec(parse_command("eta := Lap(2 / eps), aligned, 0;"), memory)
+        assert memory["eta"] == 1.5
+        assert interp.samples[0].scale == 2.0
+
+    def test_fixed_noise_exhaustion(self):
+        interp = Interpreter(noise=FixedNoise([]))
+        with pytest.raises(RuntimeFailure):
+            interp.exec(parse_command("eta := Lap(1), aligned, 0;"), {})
+
+
+class TestRunFunction:
+    def test_noisy_max_runs(self):
+        spec = get("noisy_max")
+        result, interp = run_function(spec.function(), spec.example_inputs(), noise=RandomNoise(seed=3))
+        assert result in range(5)
+        assert len(interp.samples) == 5
+
+    def test_interpreter_agrees_with_reference(self):
+        """The AST interpreter and the plain-Python reference draw the
+        same noise stream, so they must produce identical outputs."""
+        for name in ("noisy_max", "svt", "num_svt", "gap_svt", "partial_sum", "prefix_sum", "smart_sum"):
+            spec = get(name)
+            inputs = spec.example_inputs()
+            for seed in range(10):
+                expected = spec.reference(random.Random(seed), **inputs)
+                got, _ = run_function(spec.function(), inputs, noise=RandomNoise(seed=seed))
+                if isinstance(expected, tuple):
+                    assert len(got) == len(expected), (name, seed)
+                    for a, b in zip(got, expected):
+                        assert a == pytest.approx(b), (name, seed)
+                else:
+                    assert got == pytest.approx(expected), (name, seed)
+
+    def test_missing_input_rejected(self):
+        spec = get("noisy_max")
+        with pytest.raises(RuntimeFailure):
+            run_function(spec.function(), {"eps": 1.0})

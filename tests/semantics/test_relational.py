@@ -1,0 +1,118 @@
+"""Property tests of the soundness theorem, executed (paper Section 5).
+
+For every verified case study: on random adjacent inputs and random
+noise, running the instrumented program and replaying the *aligned* run
+(noise shifted by the annotation-derived alignment, with shadow resets)
+on the adjacent database must give the **same output** at privacy cost
+**within the budget**.  This is Theorem 2 with all the measure theory
+evaluated pointwise.
+
+The buggy variants must, on some executions, break one of the two
+properties — otherwise they would be private.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import get
+from repro.semantics.relational import validate_alignment
+
+CORRECT = ["noisy_max", "svt", "num_svt", "gap_svt", "partial_sum", "prefix_sum", "smart_sum"]
+
+
+def run_case(name, seed):
+    spec = get(name)
+    rng = random.Random(seed)
+    inputs = dict(spec.example_inputs())
+    # Randomise the query answers and, for the one-diff family, the ghosts.
+    n = len(inputs["q"])
+    inputs["q"] = tuple(rng.uniform(-3, 3) for _ in range(n))
+    if "T" in inputs:
+        inputs["T"] = rng.uniform(-1, 2)
+    if "d" in inputs:
+        inputs["d"] = float(rng.randrange(-1, n))
+        inputs["delta"] = 0.0 if inputs["d"] < 0 else rng.uniform(-1, 1)
+    hats = spec.adjacent_offsets(inputs, rng)
+    noise = [rng.uniform(-4, 4) for _ in range(4 * n + 4)]
+    checked = spec.checked()
+    return validate_alignment(checked, inputs, hats, noise)
+
+
+class TestAlignmentSoundness:
+    @pytest.mark.parametrize("name", CORRECT)
+    def test_outputs_match_and_cost_bounded(self, name):
+        for seed in range(40):
+            report = run_case(name, seed)
+            assert report.outputs_match, (
+                f"{name} seed {seed}: aligned run diverged "
+                f"({report.original_output} vs {report.aligned_output})"
+            )
+            assert report.within_budget, (
+                f"{name} seed {seed}: cost {report.cost} exceeds {report.budget}"
+            )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_noisy_max_alignment_randomised(self, seed):
+        report = run_case("noisy_max", seed)
+        assert report.ok
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_gap_svt_alignment_randomised(self, seed):
+        report = run_case("gap_svt", seed)
+        assert report.ok
+
+
+class TestNoisyMaxFigure2:
+    """The concrete Figure 2 trace from the paper."""
+
+    def test_paper_example(self):
+        spec = get("noisy_max")
+        q = (1.0, 2.0, 2.0, 4.0)
+        inputs = {"eps": 1.0, "size": 4.0, "q": q}
+        # D2 differs by +1 on q[0] and -1 on q[1] (paper Section 2.3).
+        hats = {"q^o": (1.0, -1.0, 0.0, 0.0), "q^s": (1.0, -1.0, 0.0, 0.0)}
+        noise = [1.0, 2.0, 1.0, 1.0]
+        report = validate_alignment(spec.checked(), inputs, hats, list(noise))
+        # On D1 the max is q[3] + 1 = 5 at index 3.
+        assert report.original_output == 3
+        # The selective alignment: identity for earlier samples (shadow),
+        # +2 for the final max-setting sample — exactly Figure 2.
+        assert report.aligned_noise == (1.0, 2.0, 1.0, 3.0)
+        assert report.aligned_output == 3
+        assert report.cost == pytest.approx(1.0)  # = eps
+
+    def test_intermediate_max_alignment(self):
+        # With only the first three queries the max is index 1 and the
+        # alignment shifts *that* sample by 2 (Figure 2 upper part).
+        spec = get("noisy_max")
+        inputs = {"eps": 1.0, "size": 3.0, "q": (1.0, 2.0, 2.0)}
+        hats = {"q^o": (1.0, -1.0, 0.0), "q^s": (1.0, -1.0, 0.0)}
+        report = validate_alignment(spec.checked(), inputs, hats, [1.0, 2.0, 1.0])
+        assert report.original_output == 1
+        assert report.aligned_noise == (1.0, 4.0, 1.0)
+        assert report.aligned_output == 1
+
+
+class TestBuggyVariantsBreak:
+    def test_bad_svt_variants_fail_somewhere(self):
+        # For each buggy variant there must exist runs where the
+        # purported alignment breaks (outputs differ or budget exceeded).
+        for name in ("bad_svt_no_threshold_noise", "bad_svt_leaks_value", "bad_svt_no_budget"):
+            spec = get(name)
+            broken = 0
+            for seed in range(60):
+                rng = random.Random(seed)
+                inputs = dict(spec.example_inputs())
+                n = len(inputs["q"])
+                inputs["q"] = tuple(rng.uniform(-3, 3) for _ in range(n))
+                hats = spec.adjacent_offsets(inputs, rng)
+                noise = [rng.uniform(-4, 4) for _ in range(3 * n + 3)]
+                report = validate_alignment(spec.checked(), inputs, hats, noise)
+                if not report.ok:
+                    broken += 1
+            assert broken > 0, f"{name}: alignment never broke in 60 runs"

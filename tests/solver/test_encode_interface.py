@@ -1,0 +1,192 @@
+"""Tests for the AST-to-logic encoder and the validity interface."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.parser import parse_expr
+from repro.solver.encode import EncodeError, Encoder
+from repro.solver.interface import ValidityChecker, find_model, is_valid
+
+
+def valid(goal, premises=(), bool_vars=None):
+    return is_valid(
+        parse_expr(goal),
+        [parse_expr(p) for p in premises],
+        bool_vars=bool_vars,
+    )
+
+
+class TestEncoderCases:
+    def test_ternary_case_split(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("x > 0 ? 2 : 0"))
+        assert len(cases) == 2
+
+    def test_abs_case_split(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("abs(x)"))
+        payloads = {str(lin) for _, lin in cases}
+        assert payloads == {"x", "-x"}
+
+    def test_identical_payloads_merge(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("x > 0 ? 1 : 1"))
+        assert len(cases) == 1
+
+    def test_constant_index_becomes_scalar(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("q[2]"))
+        assert cases[0][1].variables() == ("q[2]",)
+
+    def test_hat_index(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("q^o[0]"))
+        assert cases[0][1].variables() == ("q^o[0]",)
+
+    def test_symbolic_index_goes_opaque(self):
+        encoder = Encoder()
+        encoder.cases(parse_expr("q[i]"))
+        assert "<q[i]>" in encoder.opaque
+
+    def test_nonlinear_product_becomes_monomial(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("x * y"))
+        assert cases[0][1].variables() == ("mon:x*y",)
+        assert "mon:x*y" in encoder.monomials
+
+    def test_proportional_costs_share_a_monomial(self):
+        # The key normalisation for SVT: 2*eps/(4*N) and eps/(2*N) must
+        # be recognised as the same nonlinear atom.
+        encoder = Encoder()
+        a = encoder.cases(parse_expr("2 * eps / (4 * N)"))[0][1]
+        b = encoder.cases(parse_expr("eps / (2 * N)"))[0][1]
+        assert a == b
+        assert a.variables() == ("mon:eps/N",)
+
+    def test_products_distribute_over_sums(self):
+        encoder = Encoder()
+        expanded = encoder.cases(parse_expr("(count + 1) * (eps / (2 * N))"))[0][1]
+        explicit = encoder.cases(parse_expr("count * eps / (2 * N) + eps / (2 * N)"))[0][1]
+        assert expanded == explicit
+
+    def test_monomial_cancellation(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("N * (eps / N)"))
+        assert cases[0][1].variables() == ("eps",)
+
+    def test_division_by_sum_goes_opaque(self):
+        encoder = Encoder()
+        encoder.cases(parse_expr("x / (y + 1)"))
+        assert "<x / (y + 1)>" in encoder.opaque
+
+    def test_constant_product_folds(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("3 * x"))
+        assert cases[0][1].coeff("x") == 3
+        assert not encoder.opaque
+
+    def test_division_by_constant_folds(self):
+        encoder = Encoder()
+        cases = encoder.cases(parse_expr("x / 4"))
+        assert cases[0][1].coeff("x") == Fraction(1, 4)
+
+    def test_division_by_zero_rejected(self):
+        encoder = Encoder()
+        with pytest.raises(EncodeError):
+            encoder.cases(parse_expr("x / 0"))
+
+    def test_quantifier_rejected(self):
+        encoder = Encoder()
+        with pytest.raises(EncodeError):
+            encoder.boolean(parse_expr("forall i :: q^o[i] <= 1"))
+
+    def test_bool_var_requires_declaration(self):
+        encoder = Encoder(bool_vars={"flag"})
+        encoder.boolean(parse_expr("flag && x < 1"))
+        with pytest.raises(EncodeError):
+            Encoder().boolean(parse_expr("flag && x < 1"))
+
+
+class TestValidity:
+    def test_tautology(self):
+        assert valid("x <= x")
+
+    def test_non_tautology(self):
+        assert not valid("x <= y")
+
+    def test_modus_ponens(self):
+        assert valid("y > 0", premises=["x > 0", "x > 0 ? y > 0 : false"])
+
+    def test_transitivity(self):
+        assert valid("x < z", premises=["x < y", "y < z"])
+
+    def test_arith_identity(self):
+        assert valid("x + y - y == x")
+
+    def test_sensitivity_style_query(self):
+        # The T-ODot constraint for identical aligned comparison results.
+        assert valid(
+            "(x < y) == (x + 0 < y + 0)",
+        )
+
+    def test_noisy_max_injectivity(self):
+        # The (T-Laplace) injectivity condition for NoisyMax's alignment
+        # eta + (Omega ? 2 : 0): equal aligned samples imply equal samples.
+        goal = parse_expr(
+            "(e1 + ((q + e1 > bq || i == 0) ? 2 : 0))"
+            " == (e2 + ((q + e2 > bq || i == 0) ? 2 : 0))"
+            " ? e1 == e2 : true"
+        )
+        assert is_valid(goal)
+
+    def test_ternary_in_goal(self):
+        assert valid("(x > 0 ? x : -x) >= 0")
+
+    def test_abs_properties(self):
+        assert valid("abs(x) >= x")
+        assert valid("abs(x) >= -x")
+        assert valid("abs(x) <= 1", premises=["-1 <= x", "x <= 1"])
+        assert not valid("abs(x) <= 1", premises=["-2 <= x", "x <= 1"])
+
+    def test_premises_restrict_models(self):
+        assert not valid("x <= 1")
+        assert valid("x <= 1", premises=["x <= 0"])
+
+    def test_boolean_reasoning(self):
+        assert valid("a || !a", bool_vars={"a"})
+        assert valid("b", premises=["a", "a == b"], bool_vars={"a", "b"})
+
+    def test_nonlinear_abstraction_is_conservative(self):
+        # x*x >= 0 is true over the reals but the opaque abstraction
+        # cannot see it: the checker must answer False (sound direction).
+        assert not valid("x * x >= 0")
+        # But identical opaque terms are still equal to themselves.
+        assert valid("x * y == x * y")
+
+
+class TestFindModel:
+    def test_counterexample_for_invalid_goal(self):
+        model = find_model(parse_expr("x <= 1"))
+        assert model is not None
+        arith, _ = model
+        assert arith["x"] > 1
+
+    def test_none_for_valid_goal(self):
+        assert find_model(parse_expr("x <= x")) is None
+
+    def test_counterexample_respects_premises(self):
+        model = find_model(parse_expr("x == 0"), premises=[parse_expr("x >= 5")])
+        arith, _ = model
+        assert arith["x"] >= 5
+
+
+class TestCaching:
+    def test_repeated_queries_hit_cache(self):
+        checker = ValidityChecker()
+        goal = parse_expr("x < y")
+        premises = [parse_expr("x + 1 <= y")]
+        assert checker.is_valid(goal, premises)
+        assert checker.is_valid(goal, premises)
+        assert checker.queries == 2
+        assert checker.cache_hits == 1

@@ -1,0 +1,135 @@
+"""Unit tests for exact linear expressions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.solver.linear import LinExpr, lin_sum
+
+X = LinExpr.variable("x")
+Y = LinExpr.variable("y")
+
+
+class TestConstruction:
+    def test_zero_coefficients_are_dropped(self):
+        expr = LinExpr({"x": Fraction(0), "y": Fraction(2)}, 1)
+        assert expr.variables() == ("y",)
+
+    def test_constant(self):
+        expr = LinExpr.constant(Fraction(3, 2))
+        assert expr.is_constant()
+        assert expr.constant_value() == Fraction(3, 2)
+
+    def test_variable(self):
+        assert X.coeff("x") == 1
+        assert X.coeff("y") == 0
+        assert not X.is_constant()
+
+    def test_constant_value_raises_on_nonconstant(self):
+        with pytest.raises(ValueError):
+            X.constant_value()
+
+
+class TestArithmetic:
+    def test_addition(self):
+        expr = X + Y + 1
+        assert expr.coeff("x") == 1
+        assert expr.coeff("y") == 1
+        assert expr.const == 1
+
+    def test_subtraction_cancels(self):
+        assert (X + Y) - X == Y
+
+    def test_negation(self):
+        expr = -(X + 1)
+        assert expr.coeff("x") == -1
+        assert expr.const == -1
+
+    def test_scale(self):
+        expr = (X + 2).scale(Fraction(1, 2))
+        assert expr.coeff("x") == Fraction(1, 2)
+        assert expr.const == 1
+
+    def test_scale_by_zero(self):
+        assert (X + 2).scale(0) == LinExpr()
+
+    def test_rsub(self):
+        expr = 5 - X
+        assert expr.coeff("x") == -1
+        assert expr.const == 5
+
+    def test_division(self):
+        assert (X * 4) / 2 == X * 2
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            X / 0
+
+    def test_lin_sum(self):
+        assert lin_sum([X, Y, LinExpr.constant(1)]) == X + Y + 1
+
+
+class TestEvaluationAndSubstitution:
+    def test_evaluate(self):
+        expr = X * 2 + Y - 3
+        assert expr.evaluate({"x": Fraction(1), "y": Fraction(5)}) == 4
+
+    def test_substitute(self):
+        expr = X * 2 + Y
+        result = expr.substitute({"x": Y + 1})
+        assert result == Y * 3 + 2
+
+    def test_substitute_leaves_unmapped(self):
+        expr = X + Y
+        assert expr.substitute({"x": LinExpr.constant(0)}) == Y
+
+
+class TestNormalization:
+    def test_normalized_leading_unit(self):
+        expr = X * 2 + Y * 4 + 6
+        canon, factor = expr.normalized()
+        assert factor == 2
+        assert canon == X + Y * 2 + 3
+
+    def test_normalized_constant(self):
+        expr = LinExpr.constant(5)
+        canon, factor = expr.normalized()
+        assert canon == expr and factor == 1
+
+    def test_normalized_reconstructs(self):
+        expr = X * Fraction(-3, 2) + 1
+        canon, factor = expr.normalized()
+        assert canon.scale(factor) == expr
+        assert factor > 0
+
+
+class TestHashing:
+    def test_equal_expressions_share_hash(self):
+        a = X + Y + 1
+        b = LinExpr({"y": Fraction(1), "x": Fraction(1)}, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_as_dict_key(self):
+        table = {X + 1: "a"}
+        assert table[LinExpr.variable("x") + 1] == "a"
+
+
+@given(
+    st.dictionaries(st.sampled_from("abc"), st.fractions(), max_size=3),
+    st.dictionaries(st.sampled_from("abc"), st.fractions(), max_size=3),
+    st.fractions(),
+)
+def test_addition_commutes(t1, t2, c):
+    a = LinExpr(t1, c)
+    b = LinExpr(t2, 0)
+    assert a + b == b + a
+
+
+@given(st.dictionaries(st.sampled_from("abc"), st.fractions(), max_size=3), st.fractions(), st.fractions())
+def test_scaling_distributes_over_evaluation(terms, c, k):
+    expr = LinExpr(terms, c)
+    env = {name: Fraction(i + 1, 7) for i, name in enumerate(sorted(terms))}
+    assert expr.scale(k).evaluate(env) == k * expr.evaluate(env)

@@ -1,0 +1,142 @@
+"""Unit and property tests for monomial normal form."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.monomials import Monomial, Polynomial
+
+
+class TestMonomial:
+    def test_unit(self):
+        assert Monomial.unit().is_unit()
+        assert Monomial.unit().name() == "%unit"
+
+    def test_single_atom(self):
+        m = Monomial.of_atom("eps")
+        assert m.is_single_atom() == "eps"
+        assert m.name() == "eps"
+
+    def test_factors_sort(self):
+        assert Monomial(("b", "a")).name() == Monomial(("a", "b")).name()
+
+    def test_multiplication_merges(self):
+        m = Monomial.of_atom("eps") * Monomial.of_atom("count")
+        assert m.numerator == ("count", "eps")
+
+    def test_division_cancels(self):
+        m = Monomial(("N", "eps")) / Monomial.of_atom("N")
+        assert m.is_single_atom() == "eps"
+
+    def test_division_accumulates(self):
+        m = Monomial.of_atom("eps") / Monomial.of_atom("N")
+        assert m.denominator == ("N",)
+        assert m.name() == "mon:eps/N"
+
+    def test_repeated_factors(self):
+        m = Monomial.of_atom("x") * Monomial.of_atom("x")
+        assert m.numerator == ("x", "x")
+        # x²/x cancels one occurrence only.
+        assert (m / Monomial.of_atom("x")).is_single_atom() == "x"
+
+    def test_divides_out(self):
+        m = Monomial(("count", "eps"), ("N",))
+        rest = m.divides_out("count")
+        assert rest == Monomial(("eps",), ("N",))
+        assert m.divides_out("ghost") is None
+
+    def test_replace_factor_cancels(self):
+        m = Monomial(("count", "eps"), ("N",))
+        swapped = m.replace_factor("count", "N")
+        assert swapped.is_single_atom() == "eps"
+
+    def test_inverse(self):
+        m = Monomial(("a",), ("b",))
+        assert m * m.inverse() == Monomial.unit()
+
+
+class TestPolynomial:
+    def test_constant_roundtrip(self):
+        assert Polynomial.constant(Fraction(3)).as_constant() == 3
+
+    def test_addition_merges_terms(self):
+        p = Polynomial.atom("x") + Polynomial.atom("x")
+        ((mono, coeff),) = p.monomials()
+        assert coeff == 2
+
+    def test_cancellation_drops_terms(self):
+        p = Polynomial.atom("x") - Polynomial.atom("x")
+        assert p.as_constant() == 0
+
+    def test_product_distributes(self):
+        # (x + 1)(y + 2) = xy + 2x + y + 2
+        x = Polynomial.atom("x") + Polynomial.constant(Fraction(1))
+        y = Polynomial.atom("y") + Polynomial.constant(Fraction(2))
+        product = x * y
+        terms = {m.name(): c for m, c in product.monomials()}
+        assert terms == {"mon:x*y": 1, "x": 2, "y": 1, "%unit": 2}
+
+    def test_divide_by_constant(self):
+        p = Polynomial.atom("x").divide(Polynomial.constant(Fraction(2)))
+        ((_, coeff),) = p.monomials()
+        assert coeff == Fraction(1, 2)
+
+    def test_divide_by_monomial(self):
+        p = (Polynomial.atom("eps") * Polynomial.atom("N")).divide(Polynomial.atom("N"))
+        ((mono, coeff),) = p.monomials()
+        assert mono.is_single_atom() == "eps"
+
+    def test_divide_by_zero_none(self):
+        assert Polynomial.atom("x").divide(Polynomial.constant(Fraction(0))) is None
+
+    def test_divide_by_sum_none(self):
+        divisor = Polynomial.atom("x") + Polynomial.constant(Fraction(1))
+        assert Polynomial.atom("y").divide(divisor) is None
+
+
+@given(
+    st.lists(st.sampled_from("abc"), max_size=3),
+    st.lists(st.sampled_from("abc"), max_size=3),
+    st.lists(st.sampled_from("abc"), max_size=3),
+)
+@settings(max_examples=200)
+def test_monomial_multiplication_associative(xs, ys, zs):
+    a, b, c = Monomial(tuple(xs)), Monomial(tuple(ys)), Monomial(tuple(zs))
+    assert (a * b) * c == a * (b * c)
+
+
+@given(
+    st.lists(st.sampled_from("abc"), max_size=3),
+    st.lists(st.sampled_from("abc"), max_size=2),
+)
+@settings(max_examples=200)
+def test_division_then_multiplication_roundtrips(num, den):
+    m = Monomial(tuple(num))
+    d = Monomial(tuple(den))
+    assert (m / d) * d == m
+
+
+@given(st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+@settings(max_examples=200)
+def test_polynomial_arithmetic_matches_numeric(a, b, c, d):
+    """Evaluate polynomials numerically and compare against Fraction math."""
+    x_val, y_val = Fraction(3, 2), Fraction(-2, 3)
+
+    def evaluate(p):
+        total = Fraction(0)
+        for mono, coeff in p.monomials():
+            value = coeff
+            for factor in mono.numerator:
+                value *= x_val if factor == "x" else y_val
+            for factor in mono.denominator:
+                value /= x_val if factor == "x" else y_val
+            total += value
+        return total
+
+    p = Polynomial.atom("x").scale(Fraction(a)) + Polynomial.constant(Fraction(b))
+    q = Polynomial.atom("y").scale(Fraction(c)) + Polynomial.constant(Fraction(d))
+    assert evaluate(p * q) == evaluate(p) * evaluate(q)
+    assert evaluate(p + q) == evaluate(p) + evaluate(q)
+    assert evaluate(p - q) == evaluate(p) - evaluate(q)

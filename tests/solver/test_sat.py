@@ -1,0 +1,193 @@
+"""Unit and property tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.sat import CDCLSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference oracle: try all assignments."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any((bits[abs(l) - 1]) == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_model(solver, clauses):
+    model = solver.model()
+    for clause in clauses:
+        assert any(model[abs(l)] == (l > 0) for l in clause), f"clause {clause} falsified"
+
+
+class TestBasics:
+    def test_empty_instance_is_sat(self):
+        assert CDCLSolver().solve()
+
+    def test_unit_clause(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        assert solver.solve()
+        assert solver.model()[1] is True
+
+    def test_contradictory_units(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve()
+
+    def test_empty_clause_is_unsat(self):
+        solver = CDCLSolver()
+        solver.add_clause([])
+        assert not solver.solve()
+
+    def test_tautological_clause_ignored(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve()
+
+    def test_simple_implication_chain(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve()
+        model = solver.model()
+        assert model[1] and model[2] and model[3]
+
+    def test_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: p1 and p2 both in hole, but not together.
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([2])
+        solver.add_clause([-1, -2])
+        assert not solver.solve()
+
+    def test_xor_chain(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        solver = CDCLSolver()
+        for a, b in [(1, 2), (2, 3), (1, 3)]:
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        assert not solver.solve()
+
+
+class TestIncremental:
+    def test_clauses_added_after_solve(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert not solver.solve()
+
+    def test_solve_twice_is_stable(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve()
+        assert solver.solve()
+        assert solver.model()[2] is True
+
+    def test_unsat_is_sticky(self):
+        solver = CDCLSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve()
+        solver.add_clause([2])
+        assert not solver.solve()
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1])
+        assert solver.model()[2] is True
+
+    def test_conflicting_assumptions(self):
+        solver = CDCLSolver()
+        solver.add_clause([-1, 2])
+        assert not solver.solve(assumptions=[1, -2])
+
+    def test_assumptions_do_not_persist(self):
+        solver = CDCLSolver()
+        solver.add_clause([1, 2])
+        assert not solver.solve(assumptions=[-1, -2])
+        assert solver.solve()
+
+
+class TestPigeonhole:
+    def test_php_4_into_3_unsat(self):
+        # Pigeon i in hole j: var 3*i + j + 1, i in 0..3, j in 0..2.
+        solver = CDCLSolver()
+
+        def var(i, j):
+            return 3 * i + j + 1
+
+        for i in range(4):
+            solver.add_clause([var(i, j) for j in range(3)])
+        for j in range(3):
+            for i1 in range(4):
+                for i2 in range(i1 + 1, 4):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        assert not solver.solve()
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=4))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars)) * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestAgainstBruteForce:
+    @given(random_cnf())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_oracle(self, instance):
+        num_vars, clauses = instance
+        solver = CDCLSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        expected = brute_force_sat(num_vars, clauses)
+        got = solver.solve()
+        assert got == expected
+        if got:
+            check_model(solver, clauses)
+
+    def test_large_random_satisfiable_instances(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            num_vars = 60
+            # Plant a solution, generate clauses consistent with it.
+            planted = [rng.choice([True, False]) for _ in range(num_vars)]
+            solver = CDCLSolver(num_vars)
+            clauses = []
+            for _ in range(250):
+                vars_ = rng.sample(range(1, num_vars + 1), 3)
+                clause = [v if rng.random() < 0.7 else -v for v in vars_]
+                # Force at least one literal to agree with the planted model.
+                pick = rng.choice(range(3))
+                v = abs(clause[pick])
+                clause[pick] = v if planted[v - 1] else -v
+                clauses.append(clause)
+                solver.add_clause(clause)
+            assert solver.solve()
+            check_model(solver, clauses)

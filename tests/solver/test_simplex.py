@@ -1,0 +1,158 @@
+"""Unit tests for the Dutertre–de Moura simplex."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.solver.delta import DeltaRat
+from repro.solver.linear import LinExpr
+from repro.solver.simplex import Infeasible, Simplex
+
+X = LinExpr.variable("x")
+Y = LinExpr.variable("y")
+Z = LinExpr.variable("z")
+
+
+def d(real, delta=0):
+    return DeltaRat(Fraction(real), Fraction(delta))
+
+
+class TestBoundsOnly:
+    def test_consistent_box(self):
+        s = Simplex()
+        s.add_variable("x")
+        s.assert_lower("x", d(0), "l")
+        s.assert_upper("x", d(1), "u")
+        s.check()
+        assert d(0) <= s.model()["x"] <= d(1)
+
+    def test_crossing_bounds_conflict(self):
+        s = Simplex()
+        s.add_variable("x")
+        s.assert_lower("x", d(2), "l")
+        with pytest.raises(Infeasible) as err:
+            s.assert_upper("x", d(1), "u")
+        assert err.value.conflict == {"l", "u"}
+
+    def test_strict_bounds_leave_room(self):
+        s = Simplex()
+        s.add_variable("x")
+        s.assert_lower("x", d(0, 1), "l")  # x > 0
+        s.assert_upper("x", d(1, -1), "u")  # x < 1
+        s.check()
+        model = s.concrete_model()
+        assert 0 < model["x"] < 1
+
+    def test_strict_empty_interval(self):
+        s = Simplex()
+        s.add_variable("x")
+        s.assert_lower("x", d(1, 1), "l")  # x > 1
+        with pytest.raises(Infeasible):
+            s.assert_upper("x", d(1, -1), "u")  # x < 1
+
+
+class TestTableau:
+    def test_sum_constraint(self):
+        # s = x + y, s <= 1, x >= 1, y >= 1 is infeasible.
+        s = Simplex()
+        s.define("s", X + Y)
+        s.assert_upper("s", d(1), "su")
+        s.assert_lower("x", d(1), "xl")
+        with pytest.raises(Infeasible) as err:
+            s.assert_lower("y", d(1), "yl")
+            s.check()
+        assert "su" in err.value.conflict
+
+    def test_feasible_system(self):
+        # x + y <= 4, x - y <= 2, x >= 1, y >= 0.
+        s = Simplex()
+        s.define("p", X + Y)
+        s.define("q", X - Y)
+        s.assert_upper("p", d(4), "a")
+        s.assert_upper("q", d(2), "b")
+        s.assert_lower("x", d(1), "c")
+        s.assert_lower("y", d(0), "d")
+        s.check()
+        m = s.concrete_model()
+        assert m["x"] + m["y"] <= 4
+        assert m["x"] - m["y"] <= 2
+        assert m["x"] >= 1 and m["y"] >= 0
+
+    def test_equalities_via_double_bound(self):
+        # x + y = 3 and x - y = 1 has the unique solution x=2, y=1.
+        s = Simplex()
+        s.define("p", X + Y)
+        s.define("q", X - Y)
+        for var, value in [("p", 3), ("q", 1)]:
+            s.assert_upper(var, d(value), f"{var}u")
+            s.assert_lower(var, d(value), f"{var}l")
+        s.check()
+        m = s.concrete_model()
+        assert m["x"] == 2 and m["y"] == 1
+
+    def test_constants_fold_through_one(self):
+        # s = x + 5; s <= 4 forces x <= -1.
+        s = Simplex()
+        s.define("s", X + 5)
+        s.assert_upper("s", d(4), "su")
+        s.assert_lower("x", d(-1), "xl")
+        s.check()
+        assert s.concrete_model()["x"] == -1
+
+    def test_define_substitutes_basic_vars(self):
+        # t = s + z where s = x + y: t must expand to x + y + z.
+        s = Simplex()
+        s.define("s", X + Y)
+        s.define("t", LinExpr.variable("s") + Z)
+        s.assert_lower("x", d(1), "a")
+        s.assert_lower("y", d(2), "b")
+        s.assert_lower("z", d(3), "c")
+        s.assert_upper("t", d(5), "d")
+        with pytest.raises(Infeasible):
+            s.check()
+
+    def test_chain_of_inequalities(self):
+        # x <= y <= z <= x forces x = y = z.
+        s = Simplex()
+        s.define("a", X - Y)
+        s.define("b", Y - Z)
+        s.define("c", Z - X)
+        for var in ("a", "b", "c"):
+            s.assert_upper(var, d(0), f"{var}u")
+        s.assert_lower("x", d(7), "xl")
+        s.assert_upper("x", d(7), "xu")
+        s.check()
+        m = s.concrete_model()
+        assert m["x"] == m["y"] == m["z"] == 7
+
+    def test_conflict_set_is_relevant(self):
+        # y's bounds are irrelevant to the x-driven conflict.
+        s = Simplex()
+        s.define("s", X + Z)
+        s.assert_lower("y", d(0), "y-lower")
+        s.assert_upper("y", d(9), "y-upper")
+        s.assert_lower("x", d(5), "x-lower")
+        s.assert_lower("z", d(5), "z-lower")
+        with pytest.raises(Infeasible) as err:
+            s.assert_upper("s", d(1), "s-upper")
+            s.check()
+        assert "y-lower" not in err.value.conflict
+        assert "y-upper" not in err.value.conflict
+
+
+class TestResetBounds:
+    def test_reuse_after_reset(self):
+        s = Simplex()
+        s.define("s", X + Y)
+        s.assert_upper("s", d(1), "a")
+        s.assert_lower("x", d(1), "b")
+        with pytest.raises(Infeasible):
+            s.assert_lower("y", d(1), "c")
+            s.check()
+        s.reset_bounds()
+        s.assert_upper("s", d(10), "a2")
+        s.assert_lower("x", d(1), "b2")
+        s.assert_lower("y", d(1), "c2")
+        s.check()
+        m = s.concrete_model()
+        assert m["x"] + m["y"] <= 10

@@ -1,0 +1,154 @@
+"""Tests for the DPLL(T) loop over QF_LRA."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import formula as F
+from repro.solver.linear import LinExpr
+from repro.solver.smt import check_formulas
+
+X = LinExpr.variable("x")
+Y = LinExpr.variable("y")
+Z = LinExpr.variable("z")
+
+
+def leq(a, b):
+    return F.mk_atom("<=", a, b)
+
+
+def lt(a, b):
+    return F.mk_atom("<", a, b)
+
+
+def eq(a, b):
+    return F.mk_atom("==", a, b)
+
+
+class TestPropositional:
+    def test_pure_boolean_sat(self):
+        a, b = F.BVar("a"), F.BVar("b")
+        result = check_formulas(F.mk_or(a, b), F.mk_not(a))
+        assert result.is_sat
+        assert result.bool_model["b"] is True
+
+    def test_pure_boolean_unsat(self):
+        a = F.BVar("a")
+        result = check_formulas(a, F.mk_not(a))
+        assert result.is_unsat
+
+    def test_iff(self):
+        a, b = F.BVar("a"), F.BVar("b")
+        result = check_formulas(F.mk_iff(a, b), a, F.mk_not(b))
+        assert result.is_unsat
+
+
+class TestTheory:
+    def test_transitive_chain_unsat(self):
+        result = check_formulas(leq(X, Y), leq(Y, Z), lt(Z, X))
+        assert result.is_unsat
+
+    def test_transitive_chain_sat_when_weak(self):
+        result = check_formulas(leq(X, Y), leq(Y, Z), leq(Z, X))
+        assert result.is_sat
+        m = result.arith_model
+        assert m["x"] == m["y"] == m["z"]
+
+    def test_strictness_matters(self):
+        # x < y ∧ y < x is unsat, x <= y ∧ y <= x is sat.
+        assert check_formulas(lt(X, Y), lt(Y, X)).is_unsat
+        assert check_formulas(leq(X, Y), leq(Y, X)).is_sat
+
+    def test_equality_propagation(self):
+        result = check_formulas(eq(X, Y), eq(Y, Z), lt(X + Z, X + X))
+        # x = y = z makes x + z = 2x, so the strict inequality fails.
+        assert result.is_unsat
+
+    def test_negated_equality_splits(self):
+        result = check_formulas(F.mk_not(eq(X, Y)), leq(X, Y))
+        assert result.is_sat
+        m = result.arith_model
+        assert m["x"] < m["y"]
+
+    def test_negated_equality_with_tight_bounds_unsat(self):
+        result = check_formulas(F.mk_not(eq(X, Y)), leq(X, Y), leq(Y, X))
+        assert result.is_unsat
+
+    def test_rational_coefficients(self):
+        # 2x + 3y <= 6 ∧ x >= 3 ∧ y >= 1/3 is unsat (6 + 1 > 6).
+        result = check_formulas(
+            leq(X * 2 + Y * 3, LinExpr.constant(6)),
+            leq(LinExpr.constant(3), X),
+            leq(LinExpr.constant(Fraction(1, 3)), Y),
+        )
+        assert result.is_unsat
+
+    def test_model_is_exact(self):
+        result = check_formulas(eq(X * 3, LinExpr.constant(1)))
+        assert result.is_sat
+        assert result.arith_model["x"] == Fraction(1, 3)
+
+    def test_boolean_theory_interaction(self):
+        # (a -> x <= 0) ∧ (¬a -> x >= 10) ∧ 0 < x < 10 is unsat.
+        a = F.BVar("a")
+        result = check_formulas(
+            F.mk_implies(a, leq(X, LinExpr.constant(0))),
+            F.mk_implies(F.mk_not(a), leq(LinExpr.constant(10), X)),
+            lt(LinExpr.constant(0), X),
+            lt(X, LinExpr.constant(10)),
+        )
+        assert result.is_unsat
+
+    def test_disjunction_picks_feasible_branch(self):
+        result = check_formulas(
+            F.mk_or(leq(X, LinExpr.constant(-1)), leq(LinExpr.constant(1), X)),
+            leq(LinExpr.constant(0), X),
+        )
+        assert result.is_sat
+        assert result.arith_model["x"] >= 1
+
+    def test_many_theory_conflicts_needed(self):
+        # Diamond structure forcing several rounds of lemma learning.
+        parts = []
+        for i in range(6):
+            xi = LinExpr.variable(f"v{i}")
+            xj = LinExpr.variable(f"v{i+1}")
+            b = F.BVar(f"b{i}")
+            parts.append(F.mk_or(F.mk_and(b, leq(xi + 1, xj)), F.mk_and(F.mk_not(b), leq(xi + 2, xj))))
+        v0, v6 = LinExpr.variable("v0"), LinExpr.variable("v6")
+        parts.append(leq(v6, v0 + 5))  # needs total increment <= 5, min is 6
+        result = check_formulas(*parts)
+        assert result.is_unsat
+
+    def test_unconstrained_vars_get_values(self):
+        result = check_formulas(leq(X, Y))
+        assert result.is_sat
+        assert result.arith_model["x"] <= result.arith_model["y"]
+
+
+class TestModelSoundness:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["<=", "<", "=="]),
+                st.lists(st.integers(min_value=-3, max_value=3), min_size=3, max_size=3),
+                st.integers(min_value=-4, max_value=4),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_sat_models_satisfy_constraints(self, rows):
+        names = ["x", "y", "z"]
+        assertions = []
+        for op, coeffs, const in rows:
+            lin = LinExpr({n: Fraction(c) for n, c in zip(names, coeffs)}, -const)
+            assertions.append(F.mk_atom(op, lin))
+        result = check_formulas(*assertions)
+        if result.is_sat:
+            model = {n: result.arith_model.get(n, Fraction(0)) for n in names}
+            for node in assertions:
+                assert F.evaluate(node, model), f"{node} violated by {model}"

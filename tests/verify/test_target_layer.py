@@ -1,0 +1,109 @@
+"""Unit tests for the target transform and optimizer."""
+
+import pytest
+
+from repro.core.checker import check_function
+from repro.lang import ast
+from repro.lang.parser import parse_command, parse_function
+from repro.target.optimize import eliminate_dead_stores, live_hats
+from repro.target.transform import COST_VAR, to_target
+
+
+def target_of(src):
+    return to_target(check_function(parse_function(src)))
+
+
+class TestLowering:
+    def test_sample_becomes_havoc_plus_cost(self):
+        target = target_of(
+            """
+            function F(eps: num) returns y: num<0,0>
+            { eta := Lap(2 / eps), aligned, 1; y := 0; return y; }
+            """
+        )
+        kinds = [type(c) for c in ast.command_iter(target.body)]
+        assert ast.Havoc in kinds
+        assert ast.Sample not in kinds
+        cost_updates = [
+            c for c in ast.command_iter(target.body)
+            if isinstance(c, ast.Assign) and c.name == COST_VAR
+        ]
+        # v_eps := 0 plus one per sample.
+        assert len(cost_updates) == 2
+        # |1| / (2/eps) = eps/2.
+        assert cost_updates[1].expr == parse_command("x := v_eps + eps / 2;").expr
+
+    def test_shadow_selector_resets_cost(self):
+        target = target_of(
+            """
+            function F(eps: num) returns y: num<0,0>
+            { eta := Lap(2 / eps), shadow, 2; y := 0; return y; }
+            """
+        )
+        update = [
+            c for c in ast.command_iter(target.body)
+            if isinstance(c, ast.Assign) and c.name == COST_VAR
+        ][1]
+        # S(<v_eps, 0>) = 0, cost |2|/(2/eps) = eps: reset semantics.
+        assert update.expr == ast.Var("eps")
+
+    def test_final_assert_before_return(self):
+        target = target_of(
+            "function F(eps: num) returns y: num<0,0> { y := 0; return y; }"
+        )
+        flat = list(target.body.commands)
+        assert isinstance(flat[-1], ast.Return)
+        assert isinstance(flat[-2], ast.Assert)
+        assert flat[-2].expr == ast.BinOp("<=", ast.Var(COST_VAR), ast.Var("eps"))
+
+    def test_custom_cost_bound(self):
+        target = target_of(
+            """
+            function F(eps: num) returns y: num<0,0>
+            costbound 2 * eps;
+            { y := 0; return y; }
+            """
+        )
+        asserts = [c for c in ast.command_iter(target.body) if isinstance(c, ast.Assert)]
+        assert asserts[-1].expr == ast.BinOp(
+            "<=", ast.Var(COST_VAR), ast.BinOp("*", ast.Real(2), ast.Var("eps"))
+        )
+
+
+class TestDeadStoreElimination:
+    def test_unread_hat_store_removed(self):
+        cmd = parse_command("x^s := 5; y := 1;")
+        assert eliminate_dead_stores(cmd) == parse_command("y := 1;")
+
+    def test_read_hat_store_kept(self):
+        cmd = parse_command("x^o := 5; assert(x^o <= 1);")
+        assert eliminate_dead_stores(cmd) == cmd
+
+    def test_self_referential_store_is_dead(self):
+        # max^s := max + max^s - i keeps itself alive only via itself.
+        cmd = parse_command("max^s := max + max^s - i; y := 1;")
+        assert eliminate_dead_stores(cmd) == parse_command("y := 1;")
+
+    def test_transitive_liveness(self):
+        cmd = parse_command("a^o := 1; b^o := a^o + 1; assert(b^o <= 2);")
+        assert eliminate_dead_stores(cmd) == cmd
+
+    def test_transitive_death(self):
+        cmd = parse_command("a^o := 1; b^o := a^o + 1; y := 0;")
+        assert eliminate_dead_stores(cmd) == parse_command("y := 0;")
+
+    def test_trivial_self_assignment_removed(self):
+        cmd = parse_command("x^o := x^o; assert(x^o <= 1);")
+        assert eliminate_dead_stores(cmd) == parse_command("assert(x^o <= 1);")
+
+    def test_normal_variables_never_removed(self):
+        cmd = parse_command("x := 5;")
+        assert eliminate_dead_stores(cmd) == cmd
+
+    def test_live_hats_seeding(self):
+        cmd = parse_command(
+            "a^o := 1; while (i < n) invariant b^o >= 0; { b^o := a^o; i := i + 1; }"
+        )
+        live = live_hats(cmd)
+        assert "b^o" in live  # demanded by the invariant
+        assert "a^o" in live  # feeds a live store

