@@ -1,11 +1,25 @@
-"""Legacy setup shim.
+"""Legacy setup shim for the src layout.
 
 The evaluation environment is offline and has no `wheel` package, so the
 PEP 517 editable path (`bdist_wheel`) is unavailable.  This shim lets
 `pip install -e . --no-use-pep517` (and plain `python setup.py develop`)
-work using setuptools' classic develop mode.
+work using setuptools' classic develop mode.  Test configuration lives
+in pyproject.toml (`[tool.pytest.ini_options]` adds src/ to the import
+path, so `python -m pytest` needs no PYTHONPATH export).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-shadowdp",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Proving Differential Privacy with Shadow "
+        "Execution' (PLDI 2019): the ShadowDP type system, a from-scratch "
+        "QF_LRA solver, and a staged verification pipeline"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

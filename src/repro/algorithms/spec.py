@@ -5,12 +5,24 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.checker import CheckedProgram, check_function
+from repro.core.checker import CheckedProgram
 from repro.lang import ast
-from repro.lang.parser import parse_expr, parse_function
-from repro.target.transform import TargetProgram, to_target
+from repro.lang.parser import parse_expr
+from repro.pipeline import Pipeline, PipelineRun, spec_config
+from repro.target.transform import TargetProgram
+from repro.verify.verifier import VerificationConfig
+
+#: One memoizing pipeline shared by every registry consumer: the specs
+#: are module-level singletons, so tests, benches and the CLI all reuse
+#: each algorithm's parse/check/lower/optimize artifacts.
+_PIPELINE = Pipeline()
+
+
+def registry_pipeline() -> Pipeline:
+    """The shared memoizing pipeline behind the algorithm registry."""
+    return _PIPELINE
 
 
 @dataclass
@@ -59,22 +71,28 @@ class AlgorithmSpec:
     adjacent_offsets: Optional[Callable[[Dict, random.Random], Dict]] = None
     notes: str = ""
 
-    # -- cached pipeline products -------------------------------------------
+    # -- staged pipeline products -------------------------------------------
+    #
+    # Each accessor runs the shared pipeline through the corresponding
+    # stage; memoization (keyed on the source hash) makes repeated calls
+    # free, replacing the old per-spec attribute caches.
 
     def function(self) -> ast.FunctionDef:
-        if not hasattr(self, "_function"):
-            self._function = parse_function(self.source)
-        return self._function
+        return _PIPELINE.run(self.source, stop_after="parse").function
 
     def checked(self) -> CheckedProgram:
-        if not hasattr(self, "_checked"):
-            self._checked = check_function(self.function())
-        return self._checked
+        return _PIPELINE.run(self.source, stop_after="check").checked
 
     def target(self) -> TargetProgram:
-        if not hasattr(self, "_target"):
-            self._target = to_target(self.checked())
-        return self._target
+        return _PIPELINE.run(self.source, stop_after="optimize").target
+
+    def pipeline_run(self, config: Optional[VerificationConfig] = None) -> PipelineRun:
+        """Full end-to-end run; defaults to this spec's unroll regime."""
+        return _PIPELINE.run(self.source, config=config or self.verification_config())
+
+    def verification_config(self, unroll_limit: int = 16) -> VerificationConfig:
+        """The spec's Table-1 unroll-regime configuration."""
+        return spec_config(self, unroll_limit=unroll_limit)
 
     def assumption_exprs(self) -> Tuple[ast.Expr, ...]:
         return tuple(parse_expr(a) for a in self.assumptions)

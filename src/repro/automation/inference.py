@@ -23,12 +23,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.checker import TypeChecker
 from repro.core.errors import ShadowDPTypeError
 from repro.lang import ast
 from repro.lang.pretty import pretty_expr, pretty_selector
-from repro.target.transform import to_target
-from repro.verify.verifier import VerificationConfig, verify_target
+from repro.pipeline import Pipeline
+from repro.verify.verifier import VerificationConfig
 
 
 @dataclass
@@ -137,6 +136,12 @@ def infer_annotations(
     config = config or VerificationConfig()
     start = time.perf_counter()
 
+    # One memoizing pipeline per search: candidates share parse-stage
+    # artifacts, and re-explored annotation assignments (the selector and
+    # alignment pools overlap across samples) skip straight to the cached
+    # verification outcome.
+    pipe = Pipeline(config=config)
+
     samples = [c for c in ast.command_iter(function.body) if isinstance(c, ast.Sample)]
     conditions = branch_conditions(function.body)
     query_terms = _query_hat_terms(function)
@@ -164,13 +169,11 @@ def infer_annotations(
             cost_bound=function.cost_bound,
         )
         try:
-            checked_program = TypeChecker(candidate_fn).check()
+            run = pipe.run(candidate_fn)
         except ShadowDPTypeError:
             continue
         checked += 1
-        target = to_target(checked_program)
-        outcome = verify_target(target, config)
-        if outcome.verified:
+        if run.outcome.verified:
             return InferenceResult(
                 found=True,
                 annotations=table,

@@ -8,6 +8,10 @@ Commands
     Type check and print the transformed target program.
 ``verify FILE [--mode unroll|invariant] [--bind name=value ...]``
     Run the full pipeline and report the verification outcome.
+``pipeline FILE [FILE ...] [--stage STAGE] [--json]``
+    Run the staged pipeline, reporting per-stage timings, solver-query
+    counts and cache hits; with several files the stages share one
+    memoization cache (``Pipeline.run_many``).
 ``run FILE [--input name=value ...] [--seed N]``
     Execute the source program with real Laplace noise.
 ``table1``
@@ -17,72 +21,119 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from fractions import Fraction
 
-from repro.core.checker import check_function
 from repro.core.errors import ShadowDPError
-from repro.lang.parser import parse_expr, parse_function
+from repro.lang.parser import ParseError, parse_expr
 from repro.lang.pretty import pretty_command
-from repro.target.transform import to_target
-from repro.verify.verifier import VerificationConfig, verify_target
+from repro.pipeline import STAGES, Pipeline
+from repro.verify.verifier import VerificationConfig
 
 
-def _load(path: str):
+def _read_source(path: str) -> str:
     with open(path) as handle:
-        return parse_function(handle.read())
+        return handle.read()
 
 
 def _parse_bindings(pairs):
     bindings = {}
     for pair in pairs or ():
-        name, _, value = pair.partition("=")
-        bindings[name] = Fraction(value)
+        name, sep, value = pair.partition("=")
+        try:
+            if not (name and sep):
+                raise ValueError(pair)
+            bindings[name] = Fraction(value)
+        except (ValueError, ZeroDivisionError):
+            raise SystemExit(
+                f"error: --bind expects NAME=VALUE with a rational VALUE, got {pair!r}"
+            )
     return bindings
 
 
+def _config_from_args(args) -> VerificationConfig:
+    return VerificationConfig(
+        mode=getattr(args, "mode", "unroll"),
+        bindings=_parse_bindings(getattr(args, "bind", None)),
+        assumptions=tuple(parse_expr(a) for a in (getattr(args, "assume", None) or ())),
+        unroll_limit=getattr(args, "unroll", 32),
+    )
+
+
 def cmd_check(args) -> int:
-    function = _load(args.file)
-    checked = check_function(function)
+    run = Pipeline().run(_read_source(args.file), stop_after="check")
+    checked = run.checked
     mode = "aligned-only (LightDP fragment)" if checked.aligned_only else "shadow execution"
-    print(f"{function.name}: type checks [{mode}; {checked.solver_queries} solver queries]")
+    print(f"{run.name}: type checks [{mode}; {checked.solver_queries} solver queries]")
     return 0
 
 
 def cmd_transform(args) -> int:
-    function = _load(args.file)
-    target = to_target(check_function(function))
-    print(pretty_command(target.body))
+    run = Pipeline().run(_read_source(args.file), stop_after="optimize")
+    print(pretty_command(run.target.body))
     return 0
 
 
 def cmd_verify(args) -> int:
-    function = _load(args.file)
-    target = to_target(check_function(function))
-    config = VerificationConfig(
-        mode=args.mode,
-        bindings=_parse_bindings(args.bind),
-        assumptions=tuple(parse_expr(a) for a in (args.assume or ())),
-        unroll_limit=args.unroll,
-    )
-    outcome = verify_target(target, config)
+    run = Pipeline(config=_config_from_args(args)).run(_read_source(args.file))
+    outcome = run.outcome
     print(outcome.describe())
     for failure in outcome.failures:
         print("  " + failure.describe())
     return 0 if outcome.verified else 1
 
 
+def cmd_pipeline(args) -> int:
+    pipe = Pipeline(config=_config_from_args(args))
+    runs = pipe.run_many(
+        [_read_source(path) for path in args.files], stop_after=args.stage
+    )
+    if args.json:
+        print(json.dumps([run.to_dict() for run in runs], indent=2))
+    else:
+        for run in runs:
+            print(f"{run.name}  (sha256 {run.source_hash[:12]})")
+            for stage in STAGES:
+                result = run.stages.get(stage)
+                if result is None:
+                    continue
+                cached = "  [cached]" if result.cached else ""
+                queries = (
+                    f"  {result.solver_queries:5d} solver queries"
+                    if result.solver_queries
+                    else ""
+                )
+                print(f"  {stage:<8s} {result.seconds:8.3f}s{queries}{cached}")
+            print(f"  total    {run.seconds:8.3f}s  {run.solver_queries} solver queries")
+            if run.outcome is not None:
+                print(f"  {run.outcome.describe()}")
+                for failure in run.outcome.failures:
+                    print("    " + failure.describe())
+            print()
+    failed = any(run.outcome is not None and not run.outcome.verified for run in runs)
+    return 1 if failed else 0
+
+
 def cmd_run(args) -> int:
+    from repro.lang.parser import parse_function
     from repro.semantics.interpreter import RandomNoise, run_function
 
-    function = _load(args.file)
+    function = parse_function(_read_source(args.file))
     inputs = {}
     for pair in args.input or ():
-        name, _, value = pair.partition("=")
-        if "," in value:
-            inputs[name] = tuple(float(v) for v in value.split(","))
-        else:
-            inputs[name] = float(value)
+        name, sep, value = pair.partition("=")
+        try:
+            if not (name and sep):
+                raise ValueError(pair)
+            if "," in value:
+                inputs[name] = tuple(float(v) for v in value.split(","))
+            else:
+                inputs[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"error: --input expects NAME=VALUE (or NAME=V1,V2,...), got {pair!r}"
+            )
     result, interp = run_function(function, inputs, noise=RandomNoise(seed=args.seed))
     print(f"result: {result}")
     print(f"samples drawn: {len(interp.samples)}")
@@ -95,6 +146,13 @@ def cmd_table1(args) -> int:
     rows = generate_table1()
     print(render_table1(rows))
     return 0
+
+
+def _add_verification_flags(parser) -> None:
+    parser.add_argument("--mode", choices=("unroll", "invariant"), default="unroll")
+    parser.add_argument("--bind", action="append", metavar="NAME=VALUE")
+    parser.add_argument("--assume", action="append", metavar="EXPR")
+    parser.add_argument("--unroll", type=int, default=32)
 
 
 def main(argv=None) -> int:
@@ -111,11 +169,22 @@ def main(argv=None) -> int:
 
     p_ver = sub.add_parser("verify", help="verify the transformed program")
     p_ver.add_argument("file")
-    p_ver.add_argument("--mode", choices=("unroll", "invariant"), default="unroll")
-    p_ver.add_argument("--bind", action="append", metavar="NAME=VALUE")
-    p_ver.add_argument("--assume", action="append", metavar="EXPR")
-    p_ver.add_argument("--unroll", type=int, default=32)
+    _add_verification_flags(p_ver)
     p_ver.set_defaults(func=cmd_verify)
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="run the staged pipeline with per-stage accounting"
+    )
+    p_pipe.add_argument("files", nargs="+", metavar="FILE")
+    p_pipe.add_argument(
+        "--stage",
+        choices=STAGES,
+        default="verify",
+        help="run the pipeline through this stage (inclusive)",
+    )
+    p_pipe.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_verification_flags(p_pipe)
+    p_pipe.set_defaults(func=cmd_pipeline)
 
     p_run = sub.add_parser("run", help="execute with real noise")
     p_run.add_argument("file")
@@ -129,7 +198,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ShadowDPError as err:
+    except (ShadowDPError, ParseError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
     except FileNotFoundError as err:

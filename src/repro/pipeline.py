@@ -1,0 +1,365 @@
+"""The staged verification pipeline.
+
+The ShadowDP pipeline is a fixed sequence of five named stages::
+
+    parse ──▶ check ──▶ lower ──▶ optimize ──▶ verify
+
+* ``parse``    — concrete syntax → :class:`~repro.lang.ast.FunctionDef`
+* ``check``    — the flow-sensitive shadow type system →
+  :class:`~repro.core.checker.CheckedProgram` (instrumented body)
+* ``lower``    — Fig. 5 transformation to the non-probabilistic target
+  language → :class:`~repro.target.transform.TargetProgram`
+* ``optimize`` — dead hat-store elimination → ``TargetProgram``
+* ``verify``   — obligation generation + SMT discharge →
+  :class:`~repro.verify.verifier.VerificationOutcome`
+
+:class:`Pipeline` runs the stages individually or end-to-end, records a
+:class:`StageResult` per stage (artifact, wall-clock seconds, solver
+queries), and memoizes every stage on the SHA-256 of the source text
+(plus the verification-config fingerprint for ``verify``), so repeated
+runs — different bindings over one program, batch sweeps, annotation
+search — skip all unchanged prefix work.  :meth:`Pipeline.run_many`
+batches a whole algorithm registry through one shared cache.
+
+The one-shot :func:`repro.pipeline` facade from earlier releases remains
+as a thin wrapper (see :mod:`repro.__init__`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.checker import CheckedProgram, check_function
+from repro.lang import ast
+from repro.lang.parser import parse_function
+from repro.lang.pretty import pretty_function
+from repro.target.transform import TargetProgram, to_target
+from repro.verify.verifier import (
+    VerificationConfig,
+    VerificationOutcome,
+    verify_target,
+)
+
+#: The stage names, in execution order.
+STAGES: Tuple[str, ...] = ("parse", "check", "lower", "optimize", "verify")
+
+#: A pipeline input: concrete syntax, or an already-parsed function.
+Program = Union[str, ast.FunctionDef]
+
+
+class PipelineError(ValueError):
+    """Raised for unknown stage names or malformed pipeline inputs."""
+
+
+@dataclass
+class StageResult:
+    """One stage's outcome: the artifact plus accounting.
+
+    ``seconds`` is the wall-clock cost of *producing* the artifact (0.0
+    when it came out of the memo cache); ``solver_queries`` counts the
+    SMT queries the stage issued (only ``check`` and ``verify`` consult
+    the solver).
+    """
+
+    stage: str
+    artifact: Any
+    seconds: float
+    solver_queries: int = 0
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "seconds": round(self.seconds, 6),
+            "solver_queries": self.solver_queries,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class PipelineRun:
+    """Everything one program's trip through the pipeline produced."""
+
+    source: str
+    source_hash: str
+    stages: Dict[str, StageResult] = field(default_factory=dict)
+
+    # -- artifact accessors --------------------------------------------------
+
+    def artifact(self, stage: str) -> Any:
+        result = self.stages.get(stage)
+        return result.artifact if result is not None else None
+
+    @property
+    def function(self) -> Optional[ast.FunctionDef]:
+        return self.artifact("parse")
+
+    @property
+    def checked(self) -> Optional[CheckedProgram]:
+        return self.artifact("check")
+
+    @property
+    def target(self) -> Optional[TargetProgram]:
+        """The optimized target when available, else the raw lowering."""
+        optimized = self.artifact("optimize")
+        return optimized if optimized is not None else self.artifact("lower")
+
+    @property
+    def outcome(self) -> Optional[VerificationOutcome]:
+        return self.artifact("verify")
+
+    @property
+    def verified(self) -> Optional[bool]:
+        outcome = self.outcome
+        return None if outcome is None else outcome.verified
+
+    @property
+    def name(self) -> str:
+        function = self.function
+        return function.name if function is not None else "<unparsed>"
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        return sum(r.seconds for r in self.stages.values())
+
+    @property
+    def solver_queries(self) -> int:
+        return sum(r.solver_queries for r in self.stages.values())
+
+    def describe(self) -> str:
+        parts = []
+        for name in STAGES:
+            result = self.stages.get(name)
+            if result is None:
+                continue
+            suffix = " (cached)" if result.cached else f" {result.seconds:.3f}s"
+            parts.append(f"{name}{suffix}")
+        verdict = ""
+        if self.outcome is not None:
+            verdict = " — " + self.outcome.describe()
+        return f"{self.name}: " + " → ".join(parts) + verdict
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "source_sha256": self.source_hash,
+            "stages": [self.stages[s].to_dict() for s in STAGES if s in self.stages],
+            "seconds": round(self.seconds, 6),
+            "solver_queries": self.solver_queries,
+        }
+        outcome = self.outcome
+        if outcome is not None:
+            data["verified"] = outcome.verified
+            data["obligations_total"] = outcome.obligations_total
+            data["failures"] = [f.describe() for f in outcome.failures]
+        return data
+
+
+def source_hash(source: str) -> str:
+    """The memoization key of a program: SHA-256 of its source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _config_fingerprint(config: VerificationConfig) -> str:
+    """A stable cache key component for a verification configuration."""
+    return repr(
+        (
+            config.mode,
+            sorted(config.bindings.items()),
+            config.assumptions,
+            config.unroll_limit,
+            config.extra_invariants,
+            config.use_lemmas,
+            config.collect_models,
+        )
+    )
+
+
+class Pipeline:
+    """A configured, memoizing instance of the five-stage pipeline.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`VerificationConfig` for the ``verify`` stage;
+        per-call configs override it.
+    memoize:
+        When True (default) stage artifacts are cached keyed on the
+        source hash, so re-running any prefix of the pipeline on an
+        unchanged program is free.  ``parse``/``check``/``lower``/
+        ``optimize`` are config-independent; ``verify`` additionally
+        keys on the config fingerprint, so sweeping bindings over one
+        program re-verifies but never re-checks.
+
+    Cache hits and misses are tallied per stage in :attr:`cache_hits` /
+    :attr:`cache_misses`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[VerificationConfig] = None,
+        memoize: bool = True,
+    ) -> None:
+        self.config = config or VerificationConfig()
+        self.memoize = memoize
+        self._cache: Dict[Tuple[str, str, str], StageResult] = {}
+        self.cache_hits: Dict[str, int] = {name: 0 for name in STAGES}
+        self.cache_misses: Dict[str, int] = {name: 0 for name in STAGES}
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _memo(self, stage: str, key: str, extra: str, produce) -> StageResult:
+        cache_key = (stage, key, extra)
+        if self.memoize and cache_key in self._cache:
+            self.cache_hits[stage] += 1
+            hit = self._cache[cache_key]
+            # A hit issues no solver queries and takes no time: both are
+            # the marginal cost of *this* run, not of the cached artifact.
+            return StageResult(stage, hit.artifact, 0.0, 0, cached=True)
+        self.cache_misses[stage] += 1
+        start = time.perf_counter()
+        artifact, queries = produce()
+        result = StageResult(stage, artifact, time.perf_counter() - start, queries)
+        if self.memoize:
+            self._cache[cache_key] = result
+        return result
+
+    # -- stage bodies --------------------------------------------------------
+
+    def _parse(self, key: str, source: str) -> StageResult:
+        return self._memo("parse", key, "", lambda: (parse_function(source), 0))
+
+    def _check(self, key: str, function: ast.FunctionDef) -> StageResult:
+        def produce():
+            checked = check_function(function)
+            return checked, checked.solver_queries
+
+        return self._memo("check", key, "", produce)
+
+    def _lower(self, key: str, checked: CheckedProgram) -> StageResult:
+        return self._memo("lower", key, "", lambda: (to_target(checked, optimize=False), 0))
+
+    def _optimize(self, key: str, target: TargetProgram) -> StageResult:
+        return self._memo("optimize", key, "", lambda: (target.optimized(), 0))
+
+    def _verify(self, key: str, target: TargetProgram, config: VerificationConfig) -> StageResult:
+        def produce():
+            outcome = verify_target(target, config)
+            return outcome, outcome.solver_queries
+
+        return self._memo("verify", key, _config_fingerprint(config), produce)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        config: Optional[VerificationConfig] = None,
+        stop_after: str = "verify",
+    ) -> PipelineRun:
+        """Run the pipeline through ``stop_after`` (inclusive).
+
+        ``program`` is either ShadowDP concrete syntax or an
+        already-parsed :class:`~repro.lang.ast.FunctionDef` (useful for
+        programmatically constructed candidates, e.g. annotation
+        inference); in the latter case the ``parse`` stage is recorded
+        as instantaneous and memoization keys on the pretty-printed
+        form, which round-trips through the parser.
+        """
+        if stop_after not in STAGES:
+            raise PipelineError(
+                f"unknown stage {stop_after!r}; expected one of {', '.join(STAGES)}"
+            )
+        config = config or self.config
+
+        if isinstance(program, ast.FunctionDef):
+            source = pretty_function(program)
+            key = source_hash(source)
+            run = PipelineRun(source=source, source_hash=key)
+            run.stages["parse"] = self._memo(
+                "parse", key, "", lambda: (program, 0)
+            )
+        elif isinstance(program, str):
+            source = program
+            key = source_hash(source)
+            run = PipelineRun(source=source, source_hash=key)
+            run.stages["parse"] = self._parse(key, source)
+        else:
+            raise PipelineError(
+                f"pipeline input must be source text or a FunctionDef, got {type(program).__name__}"
+            )
+        if stop_after == "parse":
+            return run
+
+        run.stages["check"] = self._check(key, run.stages["parse"].artifact)
+        if stop_after == "check":
+            return run
+
+        run.stages["lower"] = self._lower(key, run.stages["check"].artifact)
+        if stop_after == "lower":
+            return run
+
+        run.stages["optimize"] = self._optimize(key, run.stages["lower"].artifact)
+        if stop_after == "optimize":
+            return run
+
+        run.stages["verify"] = self._verify(key, run.stages["optimize"].artifact, config)
+        return run
+
+    def run_stage(self, program: Program, stage: str, config: Optional[VerificationConfig] = None) -> StageResult:
+        """Run one named stage (and, via the cache, its prerequisites)."""
+        return self.run(program, config=config, stop_after=stage).stages[stage]
+
+    def run_many(
+        self,
+        programs: Iterable[Any],
+        config: Optional[VerificationConfig] = None,
+        stop_after: str = "verify",
+    ) -> List[PipelineRun]:
+        """Batch a collection of programs through one shared cache.
+
+        Items may be source strings, ``FunctionDef``s, or algorithm
+        specs (anything with a ``.source`` attribute, e.g.
+        :class:`repro.algorithms.spec.AlgorithmSpec`).  For specs with
+        no explicit ``config`` argument, a per-spec unroll-mode
+        configuration is derived from ``fixed_bindings`` and
+        ``assumptions`` — the registry's Table-1 regime.
+        """
+        runs: List[PipelineRun] = []
+        for item in programs:
+            item_config = config
+            program: Program
+            if isinstance(item, (str, ast.FunctionDef)):
+                program = item
+            elif hasattr(item, "source"):
+                program = item.source
+                if item_config is None:
+                    item_config = spec_config(item)
+            else:
+                raise PipelineError(
+                    f"run_many items must be sources, FunctionDefs or specs, got {type(item).__name__}"
+                )
+            runs.append(self.run(program, config=item_config, stop_after=stop_after))
+        return runs
+
+
+def spec_config(spec: Any, unroll_limit: int = 16) -> VerificationConfig:
+    """The unroll-regime configuration an algorithm spec describes.
+
+    Mirrors Table 1's "fix ε" rows: concrete loop bounds from
+    ``fixed_bindings`` plus the spec's parameter assumptions.
+    """
+    return VerificationConfig(
+        mode="unroll",
+        bindings=dict(getattr(spec, "fixed_bindings", {}) or {}),
+        assumptions=tuple(spec.assumption_exprs()) if hasattr(spec, "assumption_exprs") else (),
+        unroll_limit=unroll_limit,
+    )

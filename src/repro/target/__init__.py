@@ -1,0 +1,24 @@
+"""Lowering to the non-probabilistic target language (paper Fig. 5).
+
+The second transformation stage of the ShadowDP pipeline: the type
+checker's instrumented probabilistic program still contains sampling
+commands; this package lowers them into ``havoc`` plus explicit
+privacy-cost bookkeeping over the distinguished variable ``v_eps``,
+appends the final budget assertion, and optimises the result.
+
+* :mod:`repro.target.transform` — :func:`~repro.target.transform.to_target`
+  produces a :class:`~repro.target.transform.TargetProgram`.
+* :mod:`repro.target.optimize` — dead-store elimination over the hat
+  (distance-tracking) variables.
+"""
+
+from repro.target.optimize import eliminate_dead_stores, live_hats
+from repro.target.transform import COST_VAR, TargetProgram, to_target
+
+__all__ = [
+    "COST_VAR",
+    "TargetProgram",
+    "to_target",
+    "eliminate_dead_stores",
+    "live_hats",
+]

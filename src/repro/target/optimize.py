@@ -1,0 +1,106 @@
+"""Dead-store elimination over hat (distance-tracking) variables.
+
+The type checker emits shadow/aligned distance updates uniformly; many
+of them track distances nothing ever reads — e.g. Report Noisy Max's
+``max^s := max + max^s - i``, which the paper's Figure 1 simply omits.
+Removing them keeps the target programs in the exact shape of the
+paper's figures and shrinks the verifier's symbolic stores.
+
+Only *hat* stores (assignments to names like ``x^o`` / ``x^s``) are
+candidates; normal program variables are never touched.  Liveness is a
+flow-insensitive demand fixpoint, which is sound here because removal
+requires a hat to be read *nowhere at all* (or only by stores that are
+themselves dead): a hat demanded anywhere — by an assert, a branch or
+loop condition, a loop invariant, a return expression, a normal
+assignment, or a surviving hat store — keeps every store to it.
+Trivial identity stores ``x^o := x^o`` are always removed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.lang import ast
+
+
+def _expr_hats(expr: ast.Expr) -> Set[str]:
+    """Canonical names (``x^o``) of every hat read by an expression."""
+    return {ast.hat_name(h.base, h.version) for h in ast.hat_vars(expr)}
+
+
+def _is_hat_store(cmd: ast.Command) -> bool:
+    return isinstance(cmd, ast.Assign) and "^" in cmd.name and "[" not in cmd.name
+
+
+def _selector_conditions(selector: ast.Selector) -> List[ast.Expr]:
+    out: List[ast.Expr] = []
+    stack = [selector]
+    while stack:
+        sel = stack.pop()
+        if isinstance(sel, ast.SelectCond):
+            out.append(sel.cond)
+            stack.extend([sel.then, sel.orelse])
+    return out
+
+
+def live_hats(cmd: ast.Command) -> Set[str]:
+    """The hat variables some non-dead part of ``cmd`` demands.
+
+    Seeds are all hats read outside hat-store right-hand sides
+    (conditions, invariants, asserts, assumes, returns, normal
+    assignments, sampling annotations); the fixpoint then adds the hats
+    feeding live stores, so liveness propagates transitively — and a
+    store kept alive only by its own right-hand side stays dead.
+    """
+    demanded: Set[str] = set()
+    stores: List[Tuple[str, Set[str]]] = []
+    for node in ast.command_iter(cmd):
+        if isinstance(node, ast.Assign):
+            if _is_hat_store(node):
+                stores.append((node.name, _expr_hats(node.expr)))
+            else:
+                demanded |= _expr_hats(node.expr)
+        elif isinstance(node, (ast.Assert, ast.Assume, ast.Return)):
+            demanded |= _expr_hats(node.expr)
+        elif isinstance(node, ast.If):
+            demanded |= _expr_hats(node.cond)
+        elif isinstance(node, ast.While):
+            demanded |= _expr_hats(node.cond)
+            for invariant in node.invariants:
+                demanded |= _expr_hats(invariant)
+        elif isinstance(node, ast.Sample):
+            demanded |= _expr_hats(node.scale) | _expr_hats(node.align)
+            for cond in _selector_conditions(node.selector):
+                demanded |= _expr_hats(cond)
+
+    live = set(demanded)
+    changed = True
+    while changed:
+        changed = False
+        for name, reads in stores:
+            if name in live and not reads <= live:
+                live |= reads
+                changed = True
+    return live
+
+
+def _rebuild(cmd: ast.Command, live: Set[str]) -> ast.Command:
+    if _is_hat_store(cmd):
+        if cmd.name not in live:
+            return ast.Skip()
+        base, _, version = cmd.name.rpartition("^")
+        if cmd.expr == ast.Hat(base, version):
+            return ast.Skip()
+        return cmd
+    if isinstance(cmd, ast.Seq):
+        return ast.seq(*[_rebuild(c, live) for c in cmd.commands])
+    if isinstance(cmd, ast.If):
+        return ast.If(cmd.cond, _rebuild(cmd.then, live), _rebuild(cmd.orelse, live))
+    if isinstance(cmd, ast.While):
+        return ast.While(cmd.cond, _rebuild(cmd.body, live), cmd.invariants)
+    return cmd
+
+
+def eliminate_dead_stores(cmd: ast.Command) -> ast.Command:
+    """Remove hat stores whose values are never (transitively) read."""
+    return _rebuild(cmd, live_hats(cmd))

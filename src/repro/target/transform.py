@@ -1,0 +1,144 @@
+"""The program transformation of paper Figure 5.
+
+The type checker (:mod:`repro.core.checker`) emits the instrumented
+probabilistic program ``c′``: original commands plus asserts and hat
+updates, with :class:`~repro.lang.ast.Sample` commands still in place.
+This module performs the second stage, producing the *non-probabilistic*
+program whose safety implies ε-differential privacy (Theorem 2):
+
+* every sampling command ``η := Lap r, S, n`` becomes
+
+  .. code-block:: none
+
+      havoc η;
+      v_eps := S(⟨v_eps, 0⟩) + |n| / r;
+
+  The selector applies to the pair ⟨aligned cost, shadow cost⟩: the
+  aligned execution has accumulated ``v_eps`` so far, while the shadow
+  execution re-uses the original noise and has spent nothing — so a
+  selector that switches to the shadow execution *resets* the budget
+  before paying ``|n| / r`` for aligning the fresh sample.
+
+* ``v_eps := 0`` is prepended, and ``assert(v_eps <= bound)`` is placed
+  immediately before the final ``return`` (the paper's default bound is
+  ``eps``; SmartSum declares ``costbound 2 * eps``).
+
+* dead stores to hat variables are eliminated
+  (:mod:`repro.target.optimize`) so the output matches the paper's
+  figures, which omit distance updates nothing ever reads.  Pass
+  ``optimize=False`` to obtain the raw lowering — the staged
+  :class:`repro.pipeline.Pipeline` exposes it as the separate
+  ``optimize`` stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.checker import CheckedProgram
+from repro.core.simplify import simplify
+from repro.lang import ast
+
+#: The distinguished privacy-cost variable of the target language.
+COST_VAR = "v_eps"
+
+
+@dataclass(frozen=True)
+class TargetProgram:
+    """A lowered, verifier-ready program.
+
+    Attributes
+    ----------
+    function:
+        The original source function (carries the precondition ``Ψ``
+        that verification instantiates as premises).
+    body:
+        The non-probabilistic command: no ``Sample`` nodes remain, the
+        privacy cost is tracked in ``v_eps`` and asserted against
+        ``cost_bound`` before the final ``return``.
+    cost_bound:
+        The right-hand side of the final budget assertion.
+    aligned_only:
+        True when the program was checked in the LightDP (aligned-only)
+        fragment — no shadow instrumentation exists in ``body``.
+    """
+
+    function: ast.FunctionDef
+    body: ast.Command
+    cost_bound: ast.Expr
+    aligned_only: bool
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    def optimized(self) -> "TargetProgram":
+        """This program with dead hat stores eliminated."""
+        from repro.target.optimize import eliminate_dead_stores
+
+        return replace(self, body=eliminate_dead_stores(self.body))
+
+
+# ---------------------------------------------------------------------------
+# Sample lowering
+# ---------------------------------------------------------------------------
+
+
+def sample_cost(sample: ast.Sample) -> ast.Expr:
+    """The privacy-cost update expression for one sampling command.
+
+    ``S(⟨v_eps, 0⟩) + |n| / r`` — simplification turns the paper's
+    Fig. 1 update into exactly ``Ω ? eps : v_eps`` and SVT's into
+    ``Ω ? v_eps + 2 * eps / (4 * N) : v_eps``.
+    """
+    selected = sample.selector.apply(ast.Var(COST_VAR), ast.ZERO)
+    per_sample = ast.BinOp("/", ast.Abs(sample.align), sample.scale)
+    return simplify(ast.BinOp("+", selected, per_sample))
+
+
+def lower_command(cmd: ast.Command) -> ast.Command:
+    """Replace every ``Sample`` with ``havoc`` plus its cost update."""
+    if isinstance(cmd, ast.Sample):
+        return ast.seq(ast.Havoc(cmd.name), ast.Assign(COST_VAR, sample_cost(cmd)))
+    if isinstance(cmd, ast.Seq):
+        return ast.seq(*[lower_command(c) for c in cmd.commands])
+    if isinstance(cmd, ast.If):
+        return ast.If(cmd.cond, lower_command(cmd.then), lower_command(cmd.orelse))
+    if isinstance(cmd, ast.While):
+        return ast.While(cmd.cond, lower_command(cmd.body), cmd.invariants)
+    return cmd
+
+
+def _with_final_assert(body: ast.Command, final: ast.Command) -> ast.Command:
+    """Insert the budget assertion immediately before the trailing return."""
+    if isinstance(body, ast.Seq) and body.commands and isinstance(body.commands[-1], ast.Return):
+        return ast.seq(*body.commands[:-1], final, body.commands[-1])
+    if isinstance(body, ast.Return):
+        return ast.seq(final, body)
+    return ast.seq(body, final)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def to_target(checked: CheckedProgram, optimize: bool = True) -> TargetProgram:
+    """Lower a type-checked program to the target language (Fig. 5)."""
+    bound = simplify(checked.function.cost_bound)
+    body = ast.seq(
+        ast.Assign(COST_VAR, ast.ZERO),
+        lower_command(checked.body),
+    )
+    body = _with_final_assert(
+        body, ast.Assert(ast.BinOp("<=", ast.Var(COST_VAR), bound))
+    )
+    target = TargetProgram(
+        function=checked.function,
+        body=body,
+        cost_bound=bound,
+        aligned_only=checked.aligned_only,
+    )
+    if optimize:
+        target = target.optimized()
+    return target
