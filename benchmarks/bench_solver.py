@@ -1,0 +1,378 @@
+"""Solver-stack benchmark: incremental discharge vs the pre-PR baseline.
+
+Measures, over the registry algorithms, the cost of discharging all
+verification obligations two ways:
+
+* **baseline** — a faithful replica of the pre-incremental solver layer:
+  a fresh ``Encoder`` + ``SMTSolver`` per query, raw-AST cache keys
+  (alpha-trivial duplicates miss), every refuted ``is_valid`` re-encoded
+  and re-solved a second time by ``find_model``, obligations strictly
+  serial, no state shared between Houdini rounds or the final
+  verification.
+* **incremental** — the current stack: obligations grouped by shared
+  path prefix, each group discharged under one pushed
+  :class:`SolverContext` (conjoined goals, model-guided refinement),
+  refuted checks returning their model from the refuting solve, and one
+  normalized-query :class:`QueryCache` shared across the whole sweep.
+
+Reported per workload and in total: entailment queries asked, DPLL(T)
+solve calls actually executed, queries per second, and wall-clock time.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_solver.py [--quick] \
+        [--jobs N] [--json-out BENCH_solver.json]
+
+``--quick`` runs a small subset (seconds, for CI smoke); the default
+sweep covers every registry algorithm in the unroll regime, the correct
+ones in the invariant regime, and an annotation-free Houdini run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.solver import formula as F
+from repro.solver.encode import Encoder
+from repro.solver.smt import SMTSolver
+from repro.solver.context import QueryCache
+from repro.target.transform import TargetProgram
+from repro.verify.houdini import default_candidates, infer_invariants, peel_loops
+from repro.verify.vcgen import VCGenerator
+from repro.verify.verifier import (
+    ObligationChecker,
+    VerificationConfig,
+    _bind_psi,
+    bind_command,
+    bind_expr,
+    verify_target,
+)
+
+from repro.algorithms import all_specs, get
+from repro.pipeline import spec_config
+
+
+# ---------------------------------------------------------------------------
+# The pre-PR baseline, replicated
+# ---------------------------------------------------------------------------
+
+
+class LegacyValidityChecker:
+    """The seed-era validity interface: raw keys, double-solve refutations."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple, bool] = {}
+        self.queries = 0
+        self.cache_hits = 0
+        self.solve_calls = 0
+
+    def _solve(self, goal: ast.Expr, premises: Tuple[ast.Expr, ...]):
+        self.solve_calls += 1
+        encoder = Encoder()
+        solver = SMTSolver()
+        for premise in premises:
+            solver.add(encoder.boolean(premise))
+        solver.add(F.mk_not(encoder.boolean(goal)))
+        return solver.check()
+
+    def is_valid(self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()) -> bool:
+        premises = tuple(premises)
+        key = (goal, premises)
+        self.queries += 1
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        answer = self._solve(goal, premises).is_unsat
+        self._cache[key] = answer
+        return answer
+
+    def find_model(self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()):
+        # The pre-PR find_model had no cache: always a full second solve.
+        result = self._solve(goal, tuple(premises))
+        if result.is_unsat:
+            return None
+        return result.arith_model, result.bool_model
+
+
+class LegacyObligationChecker(ObligationChecker):
+    """Serial, one-shot discharge with the solve-twice refutation path."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.legacy_validity = LegacyValidityChecker()
+
+    def check(self, obligation):
+        premises = self.premises_for(obligation)
+        if self.legacy_validity.is_valid(obligation.goal, premises):
+            return None
+        if not self.collect_models:
+            return self._failure(obligation, False, None)
+        model = self.legacy_validity.find_model(obligation.goal, premises)
+        if model is None:
+            return None
+        return self._failure(obligation, False, model)
+
+    def check_all(self, obligations, skip=None, on_failure=None, batch=True):
+        failures = []
+        for obligation in obligations:
+            if skip is not None and skip(obligation):
+                continue
+            failure = self.check(obligation)
+            if failure is not None:
+                failures.append(failure)
+                if on_failure is not None:
+                    on_failure(obligation)
+        return failures
+
+
+def legacy_verify(target: TargetProgram, config: VerificationConfig):
+    """The pre-PR ``verify_target`` control flow, counter-instrumented."""
+    body = bind_command(target.body, config.bindings)
+    psi = _bind_psi(target.function.precondition, config.bindings)
+    assumptions = [bind_expr(a, config.bindings) for a in config.assumptions]
+    assumptions = [a for a in assumptions if a != ast.TRUE]
+
+    generator = VCGenerator(
+        unroll_limit=config.unroll_limit,
+        use_invariants=(config.mode == "invariant"),
+    )
+    generator.run(body)
+    checker = LegacyObligationChecker(psi, assumptions, use_lemmas=config.use_lemmas)
+    failures = checker.check_all(generator.obligations)
+    return failures, checker.legacy_validity
+
+
+def legacy_houdini(target: TargetProgram, config: VerificationConfig, peel: int = 1):
+    """The pre-PR Houdini loop: one raw-keyed checker for the rounds, a
+    fresh checker re-solving everything for the final verification."""
+    pool = default_candidates(target, config.bindings)
+    body = peel_loops(bind_command(target.body, config.bindings), peel)
+    psi = _bind_psi(target.function.precondition, config.bindings)
+    assumptions = [bind_expr(a, config.bindings) for a in config.assumptions]
+    checker = LegacyObligationChecker(psi, assumptions, collect_models=False)
+
+    surviving = list(pool)
+    for _ in range(64):
+        generator = VCGenerator(use_invariants=True, extra_invariants=tuple(surviving))
+        generator.run(body)
+        bad = set()
+        for obligation in generator.obligations:
+            if obligation.tag not in ("invariant-entry", "invariant-preserved"):
+                continue
+            label = obligation.label
+            if not (isinstance(label, tuple) and label[0] == "extra"):
+                continue
+            if label[1] in bad:
+                continue
+            if checker.check(obligation) is not None:
+                bad.add(label[1])
+        if not bad:
+            break
+        surviving = [inv for k, inv in enumerate(surviving) if k not in bad]
+
+    generator = VCGenerator(use_invariants=True, extra_invariants=tuple(surviving))
+    generator.run(body)
+    final = LegacyObligationChecker(psi, assumptions)
+    failures = final.check_all(generator.obligations)
+    return failures, (checker.legacy_validity, final.legacy_validity)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def _strip_invariants(cmd: ast.Command) -> ast.Command:
+    if isinstance(cmd, ast.Seq):
+        return ast.seq(*[_strip_invariants(c) for c in cmd.commands])
+    if isinstance(cmd, ast.If):
+        return ast.If(cmd.cond, _strip_invariants(cmd.then), _strip_invariants(cmd.orelse))
+    if isinstance(cmd, ast.While):
+        return ast.While(cmd.cond, _strip_invariants(cmd.body), ())
+    return cmd
+
+
+def _bare_target(name: str) -> TargetProgram:
+    target = get(name).target()
+    return TargetProgram(
+        target.function, _strip_invariants(target.body), target.cost_bound, target.aligned_only
+    )
+
+
+def run_workloads(quick: bool, jobs: int) -> Dict:
+    unroll_names = (
+        ["noisy_max", "svt", "bad_svt_no_budget"]
+        if quick
+        else [s.name for s in all_specs()]
+    )
+    invariant_names = (
+        ["svt"] if quick else [s.name for s in all_specs(include_buggy=False)]
+    )
+    houdini_names = ["noisy_max"]
+
+    results: Dict = {"workloads": {}, "quick": quick, "jobs": jobs}
+
+    def record(workload: str, side: str, queries: int, hits: int, solves: int, seconds: float) -> None:
+        entry = results["workloads"].setdefault(workload, {})
+        entry[side] = {
+            "queries": queries,
+            "cache_hits": hits,
+            "solve_calls": solves,
+            "seconds": round(seconds, 3),
+            "queries_per_second": round(queries / seconds, 2) if seconds > 0 else None,
+        }
+
+    # -- baseline ------------------------------------------------------------
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in unroll_names:
+        spec = get(name)
+        _, validity = legacy_verify(spec.target(), spec_config(spec))
+        queries += validity.queries
+        hits += validity.cache_hits
+        solves += validity.solve_calls
+    record("registry-unroll", "baseline", queries, hits, solves, time.perf_counter() - start)
+
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in invariant_names:
+        spec = get(name)
+        config = VerificationConfig(mode="invariant", assumptions=spec.assumption_exprs())
+        _, validity = legacy_verify(spec.target(), config)
+        queries += validity.queries
+        hits += validity.cache_hits
+        solves += validity.solve_calls
+    record("registry-invariant", "baseline", queries, hits, solves, time.perf_counter() - start)
+
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in houdini_names:
+        spec = get(name)
+        config = VerificationConfig(mode="invariant", assumptions=spec.assumption_exprs())
+        _, validities = legacy_houdini(_bare_target(name), config)
+        for validity in validities:
+            queries += validity.queries
+            hits += validity.cache_hits
+            solves += validity.solve_calls
+    record("houdini", "baseline", queries, hits, solves, time.perf_counter() - start)
+
+    # -- incremental ---------------------------------------------------------
+    cache = QueryCache()
+
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in unroll_names:
+        spec = get(name)
+        config = spec_config(spec)
+        config.jobs = jobs
+        outcome = verify_target(spec.target(), config, cache=cache)
+        stats = outcome.solver_stats()
+        queries += stats["queries"]
+        hits += stats["cache_hits"]
+        solves += stats["solve_calls"]
+    record("registry-unroll", "incremental", queries, hits, solves, time.perf_counter() - start)
+
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in invariant_names:
+        spec = get(name)
+        config = VerificationConfig(
+            mode="invariant", assumptions=spec.assumption_exprs(), jobs=jobs
+        )
+        outcome = verify_target(spec.target(), config, cache=cache)
+        stats = outcome.solver_stats()
+        queries += stats["queries"]
+        hits += stats["cache_hits"]
+        solves += stats["solve_calls"]
+    record("registry-invariant", "incremental", queries, hits, solves, time.perf_counter() - start)
+
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in houdini_names:
+        spec = get(name)
+        config = VerificationConfig(
+            mode="invariant", assumptions=spec.assumption_exprs(), jobs=jobs
+        )
+        result = infer_invariants(_bare_target(name), config, peel=1, cache=cache)
+        stats = result.solver_stats  # whole run: pruning rounds + final
+        queries += stats["queries"]
+        hits += stats["cache_hits"]
+        solves += stats["solve_calls"]
+    record("houdini", "incremental", queries, hits, solves, time.perf_counter() - start)
+
+    # -- totals ---------------------------------------------------------------
+    totals: Dict = {}
+    for side in ("baseline", "incremental"):
+        totals[side] = {
+            key: sum(w[side][key] for w in results["workloads"].values())
+            for key in ("queries", "cache_hits", "solve_calls")
+        }
+        totals[side]["seconds"] = round(
+            sum(w[side]["seconds"] for w in results["workloads"].values()), 3
+        )
+    base, incr = totals["baseline"], totals["incremental"]
+    totals["solve_call_reduction"] = (
+        round(base["solve_calls"] / incr["solve_calls"], 2) if incr["solve_calls"] else None
+    )
+    totals["wall_time_speedup"] = (
+        round(base["seconds"] / incr["seconds"], 2) if incr["seconds"] else None
+    )
+    results["totals"] = totals
+    return results
+
+
+def render(results: Dict) -> str:
+    lines = [
+        "bench_solver — obligation discharge, baseline vs incremental",
+        f"{'workload':20s} {'side':12s} {'queries':>8s} {'hits':>6s} {'solves':>7s} {'sec':>8s} {'q/s':>8s}",
+    ]
+    for workload, sides in results["workloads"].items():
+        for side, stats in sides.items():
+            qps = stats["queries_per_second"]
+            lines.append(
+                f"{workload:20s} {side:12s} {stats['queries']:8d} {stats['cache_hits']:6d} "
+                f"{stats['solve_calls']:7d} {stats['seconds']:8.2f} {qps if qps is not None else '—':>8}"
+            )
+    totals = results["totals"]
+    lines.append(
+        f"{'TOTAL':20s} {'baseline':12s} {totals['baseline']['queries']:8d} "
+        f"{totals['baseline']['cache_hits']:6d} {totals['baseline']['solve_calls']:7d} "
+        f"{totals['baseline']['seconds']:8.2f}"
+    )
+    lines.append(
+        f"{'TOTAL':20s} {'incremental':12s} {totals['incremental']['queries']:8d} "
+        f"{totals['incremental']['cache_hits']:6d} {totals['incremental']['solve_calls']:7d} "
+        f"{totals['incremental']['seconds']:8.2f}"
+    )
+    lines.append(
+        f"solve-call reduction: {totals['solve_call_reduction']}x    "
+        f"wall-time speedup: {totals['wall_time_speedup']}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small subset for CI smoke")
+    parser.add_argument("--jobs", type=int, default=1, help="discharge parallelism")
+    parser.add_argument(
+        "--json-out", metavar="PATH", default=None, help="write results as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_workloads(quick=args.quick, jobs=args.jobs)
+    print(render(results))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

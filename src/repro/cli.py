@@ -11,7 +11,13 @@ Commands
 ``pipeline FILE [FILE ...] [--stage STAGE] [--json]``
     Run the staged pipeline, reporting per-stage timings, solver-query
     counts and cache hits; with several files the stages share one
-    memoization cache (``Pipeline.run_many``).
+    memoization cache and one solver query cache (``Pipeline.run_many``).
+
+Solver flags (``verify`` and ``pipeline``): ``--jobs N`` discharges
+independent obligation groups on ``N`` worker threads,
+``--no-incremental`` disables push/pop context reuse (one-shot solver
+per query), and ``--solver-stats`` prints query/cache/solve-call
+counters after the verdict.
 ``run FILE [--input name=value ...] [--seed N]``
     Execute the source program with real Laplace noise.
 ``table1``
@@ -58,6 +64,16 @@ def _config_from_args(args) -> VerificationConfig:
         bindings=_parse_bindings(getattr(args, "bind", None)),
         assumptions=tuple(parse_expr(a) for a in (getattr(args, "assume", None) or ())),
         unroll_limit=getattr(args, "unroll", 32),
+        incremental=not getattr(args, "no_incremental", False),
+        jobs=getattr(args, "jobs", 1),
+    )
+
+
+def _print_solver_stats(stats, indent: str = "") -> None:
+    print(
+        f"{indent}solver: {stats['queries']} queries, "
+        f"{stats['cache_hits']} cache hits, {stats['solve_calls']} solves, "
+        f"{stats['pushes']} pushes/{stats['pops']} pops, jobs={stats['jobs']}"
     )
 
 
@@ -81,6 +97,8 @@ def cmd_verify(args) -> int:
     print(outcome.describe())
     for failure in outcome.failures:
         print("  " + failure.describe())
+    if args.solver_stats:
+        _print_solver_stats(outcome.solver_stats())
     return 0 if outcome.verified else 1
 
 
@@ -110,6 +128,8 @@ def cmd_pipeline(args) -> int:
                 print(f"  {run.outcome.describe()}")
                 for failure in run.outcome.failures:
                     print("    " + failure.describe())
+                if args.solver_stats:
+                    _print_solver_stats(run.outcome.solver_stats(), indent="  ")
             print()
     failed = any(run.outcome is not None and not run.outcome.verified for run in runs)
     return 1 if failed else 0
@@ -153,6 +173,24 @@ def _add_verification_flags(parser) -> None:
     parser.add_argument("--bind", action="append", metavar="NAME=VALUE")
     parser.add_argument("--assume", action="append", metavar="EXPR")
     parser.add_argument("--unroll", type=int, default=32)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="discharge independent obligation groups on N worker threads "
+        "(structural concurrency; GIL-bound, not a wall-clock multiplier)",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable push/pop solver-context reuse (one-shot solver per query)",
+    )
+    parser.add_argument(
+        "--solver-stats",
+        action="store_true",
+        help="print query/cache-hit/solve-call counters after the verdict",
+    )
 
 
 def main(argv=None) -> int:

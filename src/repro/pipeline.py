@@ -36,6 +36,7 @@ from repro.core.checker import CheckedProgram, check_function
 from repro.lang import ast
 from repro.lang.parser import parse_function
 from repro.lang.pretty import pretty_function
+from repro.solver.context import QueryCache
 from repro.target.transform import TargetProgram, to_target
 from repro.verify.verifier import (
     VerificationConfig,
@@ -61,7 +62,10 @@ class StageResult:
     ``seconds`` is the wall-clock cost of *producing* the artifact (0.0
     when it came out of the memo cache); ``solver_queries`` counts the
     SMT queries the stage issued (only ``check`` and ``verify`` consult
-    the solver).
+    the solver) and ``solver_cache_hits`` how many of those were answered
+    from the shared query cache.  ``solver_stats`` carries the full
+    incremental-solver counter set (solve calls, context pushes/pops,
+    discharge parallelism) for stages that report it.
     """
 
     stage: str
@@ -69,14 +73,20 @@ class StageResult:
     seconds: float
     solver_queries: int = 0
     cached: bool = False
+    solver_cache_hits: int = 0
+    solver_stats: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "stage": self.stage,
             "seconds": round(self.seconds, 6),
             "solver_queries": self.solver_queries,
+            "solver_cache_hits": self.solver_cache_hits,
             "cached": self.cached,
         }
+        if self.solver_stats is not None:
+            data["solver_stats"] = dict(self.solver_stats)
+        return data
 
 
 @dataclass
@@ -131,6 +141,10 @@ class PipelineRun:
     def solver_queries(self) -> int:
         return sum(r.solver_queries for r in self.stages.values())
 
+    @property
+    def solver_cache_hits(self) -> int:
+        return sum(r.solver_cache_hits for r in self.stages.values())
+
     def describe(self) -> str:
         parts = []
         for name in STAGES:
@@ -151,6 +165,7 @@ class PipelineRun:
             "stages": [self.stages[s].to_dict() for s in STAGES if s in self.stages],
             "seconds": round(self.seconds, 6),
             "solver_queries": self.solver_queries,
+            "solver_cache_hits": self.solver_cache_hits,
         }
         outcome = self.outcome
         if outcome is not None:
@@ -166,7 +181,14 @@ def source_hash(source: str) -> str:
 
 
 def _config_fingerprint(config: VerificationConfig) -> str:
-    """A stable cache key component for a verification configuration."""
+    """A stable cache key component for a verification configuration.
+
+    Solver-strategy settings (``incremental``, ``jobs``) are part of the
+    key even though they cannot change the verdict: a rerun requested
+    with different solver settings is usually after the *statistics*
+    (cache hits, solve calls, parallel speedup), which a memoized
+    artifact from a different strategy would silently misreport.
+    """
     return repr(
         (
             config.mode,
@@ -176,6 +198,8 @@ def _config_fingerprint(config: VerificationConfig) -> str:
             config.extra_invariants,
             config.use_lemmas,
             config.collect_models,
+            config.incremental,
+            config.jobs,
         )
     )
 
@@ -198,15 +222,23 @@ class Pipeline:
 
     Cache hits and misses are tallied per stage in :attr:`cache_hits` /
     :attr:`cache_misses`.
+
+    Below the stage memo sits a second, finer cache: one shared
+    :class:`QueryCache` (:attr:`query_cache`) threaded through every
+    ``verify`` stage this pipeline runs, so identical solver queries
+    recur for free across programs, bindings and batch sweeps
+    (:meth:`run_many`).
     """
 
     def __init__(
         self,
         config: Optional[VerificationConfig] = None,
         memoize: bool = True,
+        query_cache: Optional[QueryCache] = None,
     ) -> None:
         self.config = config or VerificationConfig()
         self.memoize = memoize
+        self.query_cache = query_cache if query_cache is not None else QueryCache()
         self._cache: Dict[Tuple[str, str, str], StageResult] = {}
         self.cache_hits: Dict[str, int] = {name: 0 for name in STAGES}
         self.cache_misses: Dict[str, int] = {name: 0 for name in STAGES}
@@ -226,8 +258,17 @@ class Pipeline:
             return StageResult(stage, hit.artifact, 0.0, 0, cached=True)
         self.cache_misses[stage] += 1
         start = time.perf_counter()
-        artifact, queries = produce()
-        result = StageResult(stage, artifact, time.perf_counter() - start, queries)
+        produced = produce()
+        artifact, queries = produced[0], produced[1]
+        stats = produced[2] if len(produced) > 2 else None
+        result = StageResult(
+            stage,
+            artifact,
+            time.perf_counter() - start,
+            queries,
+            solver_cache_hits=(stats or {}).get("cache_hits", 0),
+            solver_stats=stats,
+        )
         if self.memoize:
             self._cache[cache_key] = result
         return result
@@ -240,7 +281,11 @@ class Pipeline:
     def _check(self, key: str, function: ast.FunctionDef) -> StageResult:
         def produce():
             checked = check_function(function)
-            return checked, checked.solver_queries
+            stats = {
+                "queries": checked.solver_queries,
+                "cache_hits": checked.solver_cache_hits,
+            }
+            return checked, checked.solver_queries, stats
 
         return self._memo("check", key, "", produce)
 
@@ -252,8 +297,8 @@ class Pipeline:
 
     def _verify(self, key: str, target: TargetProgram, config: VerificationConfig) -> StageResult:
         def produce():
-            outcome = verify_target(target, config)
-            return outcome, outcome.solver_queries
+            outcome = verify_target(target, config, cache=self.query_cache)
+            return outcome, outcome.solver_queries, outcome.solver_stats()
 
         return self._memo("verify", key, _config_fingerprint(config), produce)
 

@@ -34,6 +34,11 @@ decision procedure the pipeline needs:
     Translation from ShadowDP expressions (:mod:`repro.lang.ast`) into the
     logic IR, eliminating ternaries and absolute values by case analysis
     and abstracting nonlinear terms as opaque variables.
+
+``repro.solver.context``
+    Incremental solving: push/pop assumption scopes over one persistent
+    encoder + solver (:class:`SolverContext`) and the shared,
+    normalized-query :class:`QueryCache` behind every validity check.
 """
 
 from repro.solver.linear import LinExpr
@@ -58,6 +63,7 @@ from repro.solver.formula import (
 )
 from repro.solver.smt import SMTSolver, SatResult
 from repro.solver.encode import Encoder, EncodeError
+from repro.solver.context import QueryCache, SolverContext, ContextStats
 from repro.solver.interface import ValidityChecker, is_valid, find_model
 
 __all__ = [
@@ -83,6 +89,9 @@ __all__ = [
     "SatResult",
     "Encoder",
     "EncodeError",
+    "QueryCache",
+    "SolverContext",
+    "ContextStats",
     "ValidityChecker",
     "is_valid",
     "find_model",

@@ -42,6 +42,15 @@ class TseitinEncoder:
         self.cnf.num_vars += 1
         return self.cnf.num_vars
 
+    def new_selector(self) -> int:
+        """A fresh SAT variable not tied to any formula.
+
+        The incremental SMT layer uses these as *activation literals*:
+        clauses guarded by ``-selector`` are active only while the scope's
+        selector is passed as a solve-time assumption.
+        """
+        return self._fresh()
+
     def _add(self, *literals: Literal) -> None:
         self.cnf.clauses.append(tuple(literals))
 

@@ -1,0 +1,253 @@
+"""Incremental solver contexts and the shared query cache.
+
+Two pieces sit between the high-level validity interface and the raw
+DPLL(T) core:
+
+:class:`QueryCache`
+    A process-shareable, thread-safe map from *normalized* entailment
+    queries to their answers (and countermodels).  Normalization —
+    simplification, premise deduplication and canonical ordering — makes
+    alpha-trivial variants of a query (permuted premises, ``x+0`` vs
+    ``x``) hit the same entry, which the raw-AST-keyed caches of earlier
+    releases missed.  One cache instance is threaded through a whole
+    :class:`repro.pipeline.Pipeline`, so batch sweeps and Houdini rounds
+    share answers across programs and configurations.
+
+:class:`SolverContext`
+    A persistent :class:`~repro.solver.encode.Encoder` +
+    :class:`~repro.solver.smt.SMTSolver` pair with push/pop assumption
+    scopes.  Premises shared by many queries (a VC path prefix, the
+    global assumptions) are asserted once at the base; each query then
+    costs one pushed scope, one solve and one pop — Tseitin structure
+    and learned theory lemmas carry over between queries.  A refuted
+    query's countermodel comes out of the *same* solve that refuted it
+    (no second solve).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.simplify import simplify
+from repro.lang import ast
+from repro.solver import formula as F
+from repro.solver.encode import Encoder
+from repro.solver.smt import SatResult, SMTSolver
+
+#: A counterexample: (arithmetic model, boolean model).
+Model = Tuple[Dict[str, Fraction], Dict[str, bool]]
+
+
+# ---------------------------------------------------------------------------
+# Query normalization
+# ---------------------------------------------------------------------------
+
+
+def normalize_query(
+    goal: ast.Expr,
+    premises: Iterable[ast.Expr],
+    bool_vars: Iterable[str] = (),
+) -> Tuple:
+    """A canonical cache key for ``premises ⊨ goal``.
+
+    Premises are simplified, trivially-true ones dropped, duplicates
+    removed, and the remainder sorted by their repr — so premise order,
+    repetition and already-simplified duplicates cannot cause a miss.
+    """
+    kept: List[ast.Expr] = []
+    seen: Set[ast.Expr] = set()
+    for premise in premises:
+        premise = simplify(premise)
+        if premise == ast.TRUE or premise in seen:
+            continue
+        seen.add(premise)
+        kept.append(premise)
+    kept.sort(key=repr)
+    return (simplify(goal), tuple(kept), frozenset(bool_vars))
+
+
+@dataclass
+class CacheEntry:
+    """A memoized entailment answer.
+
+    ``status`` is the solver verdict on ``premises ∧ ¬goal`` ("unsat" =
+    valid, "sat" = refuted with ``model``, "unknown" = gave up).
+    """
+
+    valid: bool
+    status: str
+    model: Optional[Model] = None
+
+
+class QueryCache:
+    """A thread-safe cache of normalized validity queries.
+
+    ``hits``/``misses`` count lookups globally; callers that want
+    per-consumer accounting (e.g. :class:`ValidityChecker`) keep their
+    own tallies from the lookup results.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, CacheEntry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple) -> Optional[CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(self, key: Tuple, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+# ---------------------------------------------------------------------------
+# The incremental context
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContextStats:
+    """Counters a :class:`SolverContext` accumulates."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    solve_calls: int = 0
+    pushes: int = 0
+    pops: int = 0
+
+    def merge(self, other: "ContextStats") -> None:
+        self.queries += other.queries
+        self.cache_hits += other.cache_hits
+        self.solve_calls += other.solve_calls
+        self.pushes += other.pushes
+        self.pops += other.pops
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "solve_calls": self.solve_calls,
+            "pushes": self.pushes,
+            "pops": self.pops,
+        }
+
+
+class SolverContext:
+    """Push/pop assumption scopes over one persistent encoder + solver.
+
+    Usage pattern (the verifier's obligation groups)::
+
+        ctx = SolverContext(cache=shared_cache)
+        for premise in shared_premises:
+            ctx.assert_expr(premise)          # base scope, asserted once
+        for goal, extras in queries:
+            valid, model = ctx.check_entailment(goal, extras)
+
+    Each :meth:`check_entailment` runs in its own pushed scope, so the
+    base premises are encoded exactly once and theory lemmas learned for
+    one goal speed up the next.
+    """
+
+    def __init__(
+        self,
+        bool_vars: Optional[Set[str]] = None,
+        cache: Optional[QueryCache] = None,
+        max_rounds: int = 100_000,
+    ) -> None:
+        self.bool_vars = set(bool_vars or ())
+        self.encoder = Encoder(bool_vars=self.bool_vars)
+        self.solver = SMTSolver(max_rounds=max_rounds)
+        self.cache = cache
+        self.stats = ContextStats()
+        #: premises per scope; index 0 is the base scope.
+        self._premises: List[List[ast.Expr]] = [[]]
+
+    # -- assertions ------------------------------------------------------------
+
+    def assert_expr(self, expr: ast.Expr) -> None:
+        """Assert a boolean premise in the current scope."""
+        self._premises[-1].append(expr)
+        self.solver.add(self.encoder.boolean(expr))
+
+    def push(self) -> None:
+        self.solver.push()
+        self._premises.append([])
+        self.stats.pushes += 1
+
+    def pop(self) -> None:
+        self.solver.pop()
+        self._premises.pop()
+        self.stats.pops += 1
+
+    @property
+    def premises(self) -> List[ast.Expr]:
+        """All premises currently in force, outermost first."""
+        return [p for scope in self._premises for p in scope]
+
+    # -- queries ---------------------------------------------------------------
+
+    def check_entailment(
+        self, goal: ast.Expr, extra_premises: Iterable[ast.Expr] = ()
+    ) -> Tuple[bool, Optional[Model]]:
+        """Is ``premises ∧ extra_premises ⊨ goal``?  One solve, both answers.
+
+        Returns ``(valid, model)``: ``model`` is a counterexample when the
+        entailment is refuted (None when valid or when the solver gave
+        up).  Consults and feeds the shared :class:`QueryCache` under the
+        full normalized premise set, so answers interchange with
+        :class:`~repro.solver.interface.ValidityChecker` queries.
+        """
+        extra = list(extra_premises)
+        self.stats.queries += 1
+        key = None
+        if self.cache is not None:
+            key = normalize_query(goal, self.premises + extra, self.bool_vars)
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                self.stats.cache_hits += 1
+                return entry.valid, entry.model
+
+        self.push()
+        try:
+            for premise in extra:
+                self.assert_expr(premise)
+            self.solver.add(F.mk_not(self.encoder.boolean(goal)))
+            result = self.solver.check()
+        finally:
+            self.pop()
+        self.stats.solve_calls += 1
+
+        entry = entry_from_result(result)
+        if self.cache is not None and key is not None:
+            self.cache.store(key, entry)
+        return entry.valid, entry.model
+
+
+def entry_from_result(result: SatResult) -> CacheEntry:
+    """Fold a raw solver verdict into a cacheable entailment answer."""
+    if result.is_unsat:
+        return CacheEntry(valid=True, status="unsat")
+    if result.status == "sat":
+        return CacheEntry(
+            valid=False, status="sat", model=(result.arith_model, result.bool_model)
+        )
+    return CacheEntry(valid=False, status="unknown")

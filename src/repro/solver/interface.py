@@ -4,15 +4,25 @@ This is the interface the type checker and verifier actually use: they
 ask whether ``premises ⊨ goal`` for boolean ShadowDP expressions.  The
 check is performed by refutation: ``premises ∧ ¬goal`` is encoded and
 handed to the DPLL(T) core; validity holds iff the query is unsatisfiable.
+
+Queries are memoized in a :class:`~repro.solver.context.QueryCache`
+keyed on the *normalized* query (simplified goal, deduplicated and
+canonically ordered premises), so alpha-trivial variants — permuted
+premise lists, ``x+0`` vs ``x`` — share one entry.  Each checker owns a
+private cache by default; pass a shared one to pool answers across
+checkers (the pipeline does this for whole batch runs).  A refuted
+query's countermodel is captured from the same solve that refuted it,
+so ``is_valid`` followed by ``find_model`` costs one solver call, not
+two.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set, Tuple
 
 from repro.lang import ast
 from repro.solver import formula as F
+from repro.solver.context import Model, QueryCache, entry_from_result, normalize_query
 from repro.solver.encode import Encoder
 from repro.solver.smt import SatResult, SMTSolver
 
@@ -20,62 +30,73 @@ from repro.solver.smt import SatResult, SMTSolver
 class ValidityChecker:
     """Checks entailments between ShadowDP boolean expressions.
 
-    The checker is stateless apart from its configuration, and exposes a
-    simple cache: typing a single program asks many identical questions
-    (e.g. the loop fixpoint re-checks the body).
+    The checker is stateless apart from its configuration and cache:
+    typing a single program asks many identical questions (e.g. the loop
+    fixpoint re-checks the body), and batch runs repeat whole premise
+    sets across obligations.
     """
 
-    def __init__(self, bool_vars: Optional[Set[str]] = None) -> None:
+    def __init__(
+        self,
+        bool_vars: Optional[Set[str]] = None,
+        cache: Optional[QueryCache] = None,
+    ) -> None:
         self.bool_vars = set(bool_vars or ())
-        self._cache: Dict[Tuple, bool] = {}
+        self.cache = cache if cache is not None else QueryCache()
         self.queries = 0
         self.cache_hits = 0
+        self.solve_calls = 0
 
-    def is_valid(self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()) -> bool:
-        """True iff ``premises ⊨ goal`` in linear real arithmetic.
+    # -- core entailment -------------------------------------------------------
+
+    def entailment(
+        self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()
+    ) -> Tuple[bool, Optional[Model]]:
+        """``(valid, countermodel)`` for ``premises ⊨ goal`` in one solve.
 
         Sound but incomplete in the presence of nonlinear subterms (they
         are abstracted as opaque constants): a True answer is always
         trustworthy, a False answer may be a spurious abstraction effect.
         This matches how the pipeline uses the answer — a failed check
-        makes the type checker reject (conservative direction).
+        makes the type checker reject (conservative direction).  The
+        countermodel is None when the goal is valid or the solver gave
+        up (round limit).
         """
         premises = tuple(premises)
-        key = (goal, premises, frozenset(self.bool_vars))
         self.queries += 1
-        if key in self._cache:
+        key = normalize_query(goal, premises, self.bool_vars)
+        entry = self.cache.lookup(key)
+        if entry is not None:
             self.cache_hits += 1
-            return self._cache[key]
+            return entry.valid, entry.model
 
-        encoder = Encoder(bool_vars=self.bool_vars)
-        solver = SMTSolver()
-        for premise in premises:
-            solver.add(encoder.boolean(premise))
-        solver.add(F.mk_not(encoder.boolean(goal)))
-        result = solver.check()
-        answer = result.is_unsat
-        self._cache[key] = answer
-        return answer
+        result = self._solve(goal, premises)
+        self.solve_calls += 1
+        entry = entry_from_result(result)
+        self.cache.store(key, entry)
+        return entry.valid, entry.model
+
+    def is_valid(self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()) -> bool:
+        """True iff ``premises ⊨ goal`` in linear real arithmetic."""
+        valid, _ = self.entailment(goal, premises)
+        return valid
 
     def find_model(
         self, goal: ast.Expr, premises: Iterable[ast.Expr] = ()
-    ) -> Optional[Tuple[Dict[str, Fraction], Dict[str, bool]]]:
+    ) -> Optional[Model]:
         """A counterexample to ``premises ⊨ goal``, or None if valid.
 
         Returns ``(arithmetic model, boolean model)`` making all premises
-        true and the goal false.
+        true and the goal false.  After an ``is_valid`` miss on the same
+        query this is a pure cache hit — the model was captured by the
+        refuting solve.
         """
-        encoder = Encoder(bool_vars=self.bool_vars)
-        solver = SMTSolver()
-        for premise in premises:
-            solver.add(encoder.boolean(premise))
-        solver.add(F.mk_not(encoder.boolean(goal)))
-        result = solver.check()
-        if result.is_unsat:
+        valid, model = self.entailment(goal, premises)
+        if valid:
             return None
-        if result.status != "sat":
+        if model is None:
             raise RuntimeError("solver gave up (round limit)")
-        return result.arith_model, result.bool_model
+        return model
 
     def is_satisfiable(self, exprs: Iterable[ast.Expr]) -> SatResult:
         """Check satisfiability of a conjunction of boolean expressions."""
@@ -83,6 +104,16 @@ class ValidityChecker:
         solver = SMTSolver()
         for expr in exprs:
             solver.add(encoder.boolean(expr))
+        return solver.check()
+
+    # -- internals -------------------------------------------------------------
+
+    def _solve(self, goal: ast.Expr, premises: Tuple[ast.Expr, ...]) -> SatResult:
+        encoder = Encoder(bool_vars=self.bool_vars)
+        solver = SMTSolver()
+        for premise in premises:
+            solver.add(encoder.boolean(premise))
+        solver.add(F.mk_not(encoder.boolean(goal)))
         return solver.check()
 
 

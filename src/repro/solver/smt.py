@@ -12,13 +12,24 @@ The loop is the classic lemmas-on-demand architecture:
 Equality atoms get a theory-split clause ``(x = y) ∨ (x < y) ∨ (x > y)``
 at encoding time so that *negated* equalities never reach the simplex
 (which cannot represent disequalities).
+
+The solver is **incremental**: the SAT core, the Tseitin encoding and
+the simplex tableau persist across :meth:`SMTSolver.check` calls, so
+formulas added after a check only pay for their own clauses, and theory
+lemmas learned in one query prune the search in the next.  On top of
+that, :meth:`SMTSolver.push`/:meth:`SMTSolver.pop` provide retractable
+assertion scopes in the MiniSat style: each scope owns a fresh
+*selector* variable, scoped clauses are guarded by its negation, checks
+pass the active selectors as solve-time assumptions, and popping a
+scope permanently asserts the negated selector (deactivating its
+clauses without disturbing anything learned from them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.solver import formula as F
 from repro.solver.cnf import TseitinEncoder
@@ -46,59 +57,88 @@ class SatResult:
 
 
 class SMTSolver:
-    """A one-shot SMT solver: assert formulas, then :meth:`check`."""
+    """An incremental SMT solver: assert, :meth:`check`, assert more, …
+
+    ``push()``/``pop()`` open and close retractable assertion scopes;
+    assertions made outside any scope are permanent.  :attr:`solve_calls`
+    counts the DPLL(T) checks actually executed (the currency the
+    benchmark suite reports).
+    """
 
     def __init__(self, max_rounds: int = 100_000) -> None:
         self._encoder = TseitinEncoder()
-        self._assertions: List[F.Formula] = []
         self._max_rounds = max_rounds
+        # Persistent engines.
+        self._sat = CDCLSolver()
+        self._simplex = Simplex()
+        self._slack_of: Dict[LinExpr, Tuple[str, Fraction]] = {}
+        # Incremental bookkeeping.
+        self._synced = 0  # clauses already handed to the SAT core
+        self._splits_done: Set[int] = set()  # equality atoms already split
+        self._scopes: List[int] = []  # active selector variables
+        self.solve_calls = 0
+
+    # -- assertion scopes ------------------------------------------------------
+
+    @property
+    def scope_depth(self) -> int:
+        return len(self._scopes)
+
+    def push(self) -> None:
+        """Open a retractable assertion scope."""
+        self._scopes.append(self._encoder.new_selector())
+
+    def pop(self) -> None:
+        """Close the innermost scope, retracting its assertions."""
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        selector = self._scopes.pop()
+        # Permanently false selector: every clause guarded by -selector is
+        # satisfied, i.e. dead — clauses learned *from* them stay valid.
+        self._encoder.cnf.clauses.append((-selector,))
 
     def add(self, node: F.Formula) -> None:
-        self._assertions.append(node)
-        self._encoder.assert_formula(node)
+        """Assert ``node`` in the current scope (permanent when no scope)."""
+        if not self._scopes:
+            self._encoder.assert_formula(node)
+        else:
+            self._assert_scoped(node, self._scopes[-1])
+
+    def _assert_scoped(self, node: F.Formula, selector: int) -> None:
+        if isinstance(node, F.FTrue):
+            return
+        if isinstance(node, F.FFalse):
+            self._encoder.cnf.clauses.append((-selector,))
+            return
+        # Split top-level conjunctions exactly like assert_formula does,
+        # guarding each conjunct — keeps the CNF small for VC premises.
+        if isinstance(node, F.FAnd):
+            for arg in node.args:
+                self._assert_scoped(arg, selector)
+            return
+        literal = self._encoder.literal(node)
+        self._encoder.cnf.clauses.append((-selector, literal))
+
+    # -- the check -------------------------------------------------------------
 
     def check(self) -> SatResult:
         cnf = self._encoder.cnf
         self._add_equality_splits()
+        self._sat.ensure_vars(cnf.num_vars)
+        while self._synced < len(cnf.clauses):
+            self._sat.add_clause(cnf.clauses[self._synced])
+            self._synced += 1
 
-        sat = CDCLSolver(cnf.num_vars)
-        for clause in cnf.clauses:
-            sat.add_clause(clause)
-
-        simplex = Simplex()
-        slack_of: Dict[LinExpr, Tuple[str, Fraction]] = {}
-
-        def bound_target(expr: LinExpr) -> Tuple[str, Fraction, Fraction]:
-            """Map ``expr OP 0`` to a bound on a single simplex variable.
-
-            Returns ``(var, scale, shift)`` with ``expr == scale*(var) +
-            shift`` and ``scale > 0``; the bound ``expr <= 0`` becomes
-            ``var <= -shift/scale``.
-            """
-            canon, factor = expr.normalized()
-            shift = canon.const
-            body = canon - shift
-            terms = body.terms
-            if len(terms) == 1:
-                ((name, coeff),) = terms.items()
-                if coeff == 1:
-                    simplex.add_variable(name)
-                    return name, factor, shift * factor
-            if body not in slack_of:
-                slack = f"%s{len(slack_of)}"
-                simplex.define(slack, body)
-                slack_of[body] = (slack, Fraction(1))
-            slack, _ = slack_of[body]
-            return slack, factor, shift * factor
-
+        assumptions = tuple(self._scopes)
+        self.solve_calls += 1
         rounds = 0
         while rounds < self._max_rounds:
             rounds += 1
-            if not sat.solve():
+            if not self._sat.solve(assumptions):
                 return SatResult("unsat")
-            model = sat.model()
+            model = self._sat.model()
 
-            simplex.reset_bounds()
+            self._simplex.reset_bounds()
             conflict: Optional[set] = None
             try:
                 for var, atom in cnf.atom_of_var.items():
@@ -107,15 +147,15 @@ class SMTSolver:
                         continue
                     literal = var if value else -var
                     if value:
-                        self._assert_atom(simplex, bound_target, atom, literal)
+                        self._assert_atom(atom, literal)
                     else:
-                        self._assert_negated_atom(simplex, bound_target, atom, literal)
-                simplex.check()
+                        self._assert_negated_atom(atom, literal)
+                self._simplex.check()
             except Infeasible as err:
                 conflict = {t for t in err.conflict if isinstance(t, int)}
 
             if conflict is None:
-                arith = simplex.concrete_model()
+                arith = self._simplex.concrete_model()
                 arith = {k: v for k, v in arith.items() if not k.startswith("%")}
                 booleans = {
                     name: model[var]
@@ -124,17 +164,43 @@ class SMTSolver:
                 }
                 return SatResult("sat", arith, booleans)
 
-            # Learn the theory conflict and continue.
-            sat.add_clause([-lit for lit in conflict])
+            # Learn the theory conflict and continue.  Theory lemmas are
+            # valid independently of any scope, so they persist across
+            # pops — the incremental payoff.
+            self._sat.add_clause([-lit for lit in conflict])
         return SatResult("unknown")
 
     # -- helpers ---------------------------------------------------------------
 
+    def _bound_target(self, expr: LinExpr) -> Tuple[str, Fraction, Fraction]:
+        """Map ``expr OP 0`` to a bound on a single simplex variable.
+
+        Returns ``(var, scale, shift)`` with ``expr == scale*(var) +
+        shift`` and ``scale > 0``; the bound ``expr <= 0`` becomes
+        ``var <= -shift/scale``.
+        """
+        canon, factor = expr.normalized()
+        shift = canon.const
+        body = canon - shift
+        terms = body.terms
+        if len(terms) == 1:
+            ((name, coeff),) = terms.items()
+            if coeff == 1:
+                self._simplex.add_variable(name)
+                return name, factor, shift * factor
+        if body not in self._slack_of:
+            slack = f"%s{len(self._slack_of)}"
+            self._simplex.define(slack, body)
+            self._slack_of[body] = (slack, Fraction(1))
+        slack, _ = self._slack_of[body]
+        return slack, factor, shift * factor
+
     def _add_equality_splits(self) -> None:
         cnf = self._encoder.cnf
         for var, atom in list(cnf.atom_of_var.items()):
-            if atom.op != "=":
+            if atom.op != "=" or var in self._splits_done:
                 continue
+            self._splits_done.add(var)
             lt = self._encoder.literal(F.FAtom("<", atom.expr))
             gt = self._encoder.literal(F.FAtom("<", -atom.expr))
             # x=0 ∨ x<0 ∨ x>0 — lets a negated equality satisfy the theory.
@@ -143,32 +209,30 @@ class SMTSolver:
             self._encoder.cnf.clauses.append((-var, -lt))
             self._encoder.cnf.clauses.append((-var, -gt))
 
-    @staticmethod
-    def _assert_atom(simplex: Simplex, bound_target, atom: F.FAtom, tag: int) -> None:
-        var, scale, shift = bound_target(atom.expr)
+    def _assert_atom(self, atom: F.FAtom, tag: int) -> None:
+        var, scale, shift = self._bound_target(atom.expr)
         # atom.expr OP 0  with  atom.expr = scale*var + shift, scale > 0.
         limit = -shift / scale
         if atom.op == "<=":
-            simplex.assert_upper(var, DeltaRat(limit), tag)
+            self._simplex.assert_upper(var, DeltaRat(limit), tag)
         elif atom.op == "<":
-            simplex.assert_upper(var, DeltaRat(limit, Fraction(-1)), tag)
+            self._simplex.assert_upper(var, DeltaRat(limit, Fraction(-1)), tag)
         else:  # "="
-            simplex.assert_upper(var, DeltaRat(limit), tag)
-            simplex.assert_lower(var, DeltaRat(limit), tag)
+            self._simplex.assert_upper(var, DeltaRat(limit), tag)
+            self._simplex.assert_lower(var, DeltaRat(limit), tag)
 
-    @staticmethod
-    def _assert_negated_atom(simplex: Simplex, bound_target, atom: F.FAtom, tag: int) -> None:
+    def _assert_negated_atom(self, atom: F.FAtom, tag: int) -> None:
         if atom.op == "=":
             # Handled by the split clause; nothing to assert.
             return
-        var, scale, shift = bound_target(atom.expr)
+        var, scale, shift = self._bound_target(atom.expr)
         limit = -shift / scale
         if atom.op == "<=":
             # ¬(e <= 0) is e > 0.
-            simplex.assert_lower(var, DeltaRat(limit, Fraction(1)), tag)
+            self._simplex.assert_lower(var, DeltaRat(limit, Fraction(1)), tag)
         else:
             # ¬(e < 0) is e >= 0.
-            simplex.assert_lower(var, DeltaRat(limit), tag)
+            self._simplex.assert_lower(var, DeltaRat(limit), tag)
 
 
 def check_formulas(*assertions: F.Formula, max_rounds: int = 100_000) -> SatResult:

@@ -16,11 +16,13 @@ With one peel, the pool below suffices to verify Report Noisy Max with
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.simplify import simplify
 from repro.lang import ast
+from repro.solver.context import QueryCache
 from repro.target.transform import COST_VAR, TargetProgram
 from repro.verify.verifier import (
     ObligationChecker,
@@ -31,19 +33,24 @@ from repro.verify.verifier import (
     bind_expr,
     _bind_psi,
 )
-from repro.verify.vcgen import VCGenerator
+from repro.verify.vcgen import Obligation, VCGenerator
 
 _MAX_ROUNDS = 64
 
 
 @dataclass
 class HoudiniResult:
-    """Surviving invariants plus the final verification outcome."""
+    """Surviving invariants plus the final verification outcome.
+
+    ``solver_stats`` aggregates the whole run — pruning rounds *and*
+    final verification — while ``outcome`` carries the final
+    verification's own accounting."""
 
     invariants: Tuple[ast.Expr, ...]
     outcome: VerificationOutcome
     rounds: int
     candidates_tried: int
+    solver_stats: Dict[str, int] = field(default_factory=dict)
 
 
 def peel_loops(cmd: ast.Command, times: int) -> ast.Command:
@@ -191,13 +198,31 @@ def _hat_names(cmd: ast.Command) -> Set[str]:
 # ---------------------------------------------------------------------------
 
 
+def _is_candidate_obligation(obligation: Obligation) -> bool:
+    """Entry/preservation obligations of Houdini-injected candidates.
+
+    Program-annotated invariants are not pruned."""
+    if obligation.tag not in ("invariant-entry", "invariant-preserved"):
+        return False
+    label = obligation.label
+    return isinstance(label, tuple) and label[0] == "extra"
+
+
 def infer_invariants(
     target: TargetProgram,
     config: Optional[VerificationConfig] = None,
     candidates: Optional[Sequence[ast.Expr]] = None,
     peel: int = 1,
+    cache: Optional[QueryCache] = None,
 ) -> HoudiniResult:
-    """Run Houdini and verify the program with the surviving invariants."""
+    """Run Houdini and verify the program with the surviving invariants.
+
+    One :class:`QueryCache` spans the whole run: obligations whose goal
+    and premises survive from one pruning round to the next (loop-entry
+    obligations of surviving candidates in particular) are answered
+    once, and the final full verification replays the last round's
+    queries out of the cache instead of re-solving them.
+    """
     config = config or VerificationConfig(mode="invariant")
     pool = list(candidates) if candidates is not None else default_candidates(target, config.bindings)
     total = len(pool)
@@ -205,7 +230,16 @@ def infer_invariants(
     body = peel_loops(bind_command(target.body, config.bindings), peel)
     psi = _bind_psi(target.function.precondition, config.bindings)
     assumptions = [bind_expr(a, config.bindings) for a in config.assumptions]
-    checker = ObligationChecker(psi, assumptions, use_lemmas=config.use_lemmas, collect_models=False)
+    cache = cache if cache is not None else QueryCache()
+    checker = ObligationChecker(
+        psi,
+        assumptions,
+        use_lemmas=config.use_lemmas,
+        collect_models=False,
+        cache=cache,
+        incremental=config.incremental,
+        jobs=config.jobs,
+    )
 
     surviving = list(pool)
     rounds = 0
@@ -213,44 +247,53 @@ def infer_invariants(
         generator = VCGenerator(use_invariants=True, extra_invariants=tuple(surviving))
         generator.run(body)
         bad: Set[int] = set()
-        for obligation in generator.obligations:
-            if obligation.tag not in ("invariant-entry", "invariant-preserved"):
-                continue
-            label = obligation.label
-            if not (isinstance(label, tuple) and label[0] == "extra"):
-                continue  # program-annotated invariants are not pruned
-            if label[1] in bad:
-                continue
-            if checker.check(obligation) is not None:
-                bad.add(label[1])
+        # Batched discharge makes each refuting model prune *every*
+        # candidate it falsifies in one solve — the seed's per-candidate
+        # skip loop is subsumed by the conjoined check's refinement.
+        checker.check_all(
+            [ob for ob in generator.obligations if _is_candidate_obligation(ob)],
+            on_failure=lambda ob: bad.add(ob.label[1]),
+        )
         if not bad:
             break
         surviving = [inv for k, inv in enumerate(surviving) if k not in bad]
 
     # Final full verification (asserts included) with the inductive set.
-    import time
-
+    # The invariant obligations were all checked in the last pruning
+    # round with identical premises, so they come out of the cache; only
+    # the program's own assertions still reach the solver.
     start = time.perf_counter()
     generator = VCGenerator(use_invariants=True, extra_invariants=tuple(surviving))
     generator.run(body)
     final_checker = ObligationChecker(
-        psi, assumptions, use_lemmas=config.use_lemmas, collect_models=config.collect_models
+        psi,
+        assumptions,
+        use_lemmas=config.use_lemmas,
+        collect_models=config.collect_models,
+        cache=cache,
+        incremental=config.incremental,
+        jobs=config.jobs,
     )
-    failures: List[ObligationFailure] = []
-    for obligation in generator.obligations:
-        failure = final_checker.check(obligation)
-        if failure is not None:
-            failures.append(failure)
+    failures: List[ObligationFailure] = final_checker.check_all(generator.obligations)
+    stats = final_checker.solver_stats()
+    run_stats = checker.solver_stats()
+    run_stats.merge(stats)
     outcome = VerificationOutcome(
         verified=not failures,
         obligations_total=len(generator.obligations),
         failures=failures,
         seconds=time.perf_counter() - start,
-        solver_queries=final_checker.validity.queries,
+        solver_queries=stats.queries,
+        cache_hits=stats.cache_hits,
+        solve_calls=stats.solve_calls,
+        context_pushes=stats.pushes,
+        context_pops=stats.pops,
+        jobs=final_checker.jobs,
     )
     return HoudiniResult(
         invariants=tuple(surviving),
         outcome=outcome,
         rounds=rounds,
         candidates_tried=total,
+        solver_stats=run_stats.to_dict(),
     )

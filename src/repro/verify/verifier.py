@@ -21,15 +21,17 @@ Three regimes mirror the paper's Table 1 columns:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import preconditions
 from repro.core.simplify import simplify
 from repro.lang import ast
+from repro.solver import formula as F
+from repro.solver.context import ContextStats, Model, QueryCache, SolverContext
 from repro.solver.encode import EncodeError, Encoder
-from repro.solver.formula import mk_not
 from repro.solver.interface import ValidityChecker
 from repro.target.transform import TargetProgram
 from repro.verify import lemmas as lemma_mod
@@ -45,6 +47,15 @@ class VerificationConfig:
     "fix ε" regime and the way loops become boundedly unrollable.
     ``assumptions`` are extra premises about the (remaining symbolic)
     parameters, e.g. ``eps > 0``.
+
+    ``incremental`` discharges obligations grouped by shared path prefix
+    under one pushed solver context per group (same verdicts, fewer and
+    cheaper solves); ``jobs`` > 1 discharges independent groups on a
+    thread pool.  Note the solver is pure Python, so thread workers
+    interleave under the GIL rather than run truly concurrently —
+    ``jobs`` bounds discharge concurrency structurally (and exercises
+    the shared-cache locking) but is not a wall-clock multiplier on
+    CPython today.
     """
 
     mode: str = "unroll"  # "unroll" | "invariant"
@@ -54,6 +65,8 @@ class VerificationConfig:
     extra_invariants: Tuple[ast.Expr, ...] = ()
     use_lemmas: bool = True
     collect_models: bool = True
+    incremental: bool = True
+    jobs: int = 1
 
 
 @dataclass
@@ -76,13 +89,27 @@ class ObligationFailure:
 
 @dataclass
 class VerificationOutcome:
-    """The verdict plus accounting."""
+    """The verdict plus accounting.
+
+    ``solver_queries`` counts entailment questions asked;
+    ``cache_hits`` how many were answered from the shared query cache;
+    ``solve_calls`` the DPLL(T) solves actually executed (each refuted
+    obligation costs exactly one — the countermodel comes from the
+    refuting solve).  ``context_pushes``/``context_pops`` count
+    incremental scope traffic, and ``jobs`` records the discharge
+    parallelism used.
+    """
 
     verified: bool
     obligations_total: int
     failures: List[ObligationFailure]
     seconds: float
     solver_queries: int = 0
+    cache_hits: int = 0
+    solve_calls: int = 0
+    context_pushes: int = 0
+    context_pops: int = 0
+    jobs: int = 1
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
@@ -90,6 +117,16 @@ class VerificationOutcome:
             f"{status}: {self.obligations_total} obligations, "
             f"{len(self.failures)} failed, {self.seconds:.3f}s"
         )
+
+    def solver_stats(self) -> Dict[str, int]:
+        return {
+            "queries": self.solver_queries,
+            "cache_hits": self.cache_hits,
+            "solve_calls": self.solve_calls,
+            "pushes": self.context_pushes,
+            "pops": self.context_pops,
+            "jobs": self.jobs,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +176,27 @@ def bind_command(cmd: ast.Command, bindings: Dict[str, Fraction]) -> ast.Command
 
 
 class ObligationChecker:
-    """Checks obligations against Ψ, assumptions and nonlinear lemmas."""
+    """Checks obligations against Ψ, assumptions and nonlinear lemmas.
+
+    Discharge strategies (:meth:`check_all`):
+
+    * **incremental** (default) — obligations are grouped by their shared
+      path condition; each group's premises (assumptions + path) are
+      asserted once into a :class:`SolverContext` and every member is
+      checked under one pushed scope, reusing the Tseitin encoding and
+      learned theory lemmas across the group.
+    * **parallel** — independent groups are discharged on a thread pool
+      (``jobs`` workers) sharing one :class:`QueryCache`.
+    * **serial one-shot** — ``incremental=False`` restores a fresh solver
+      per query (still single-solve and cache-backed).
+
+    All strategies are sound and agree on every genuine verdict.  The
+    conjoined check asserts the *union* of its chunk's premise
+    extensions — all valid facts — so it can additionally prove goals
+    the one-shot abstraction spuriously refutes (strictly more
+    complete, never less sound); refutations always come with a
+    concrete countermodel and are identical across strategies.
+    """
 
     def __init__(
         self,
@@ -147,20 +204,36 @@ class ObligationChecker:
         assumptions: Sequence[ast.Expr],
         use_lemmas: bool = True,
         collect_models: bool = True,
+        cache: Optional[QueryCache] = None,
+        incremental: bool = True,
+        jobs: int = 1,
     ) -> None:
         self.psi = psi
         self.assumptions = [simplify(a) for a in assumptions]
         self.use_lemmas = use_lemmas
         self.collect_models = collect_models
-        self.validity = ValidityChecker()
+        self.cache = cache if cache is not None else QueryCache()
+        self.incremental = incremental
+        self.jobs = max(1, jobs)
+        self.validity = ValidityChecker(cache=self.cache)
+        self.stats = ContextStats()
+
+    # -- premise assembly ------------------------------------------------------
+
+    def extra_premises_for(self, obligation: Obligation) -> List[ast.Expr]:
+        """The per-obligation premises beyond assumptions + path:
+        Ψ instances for the query's index terms, plus nonlinear lemmas."""
+        queries = list(obligation.path) + [obligation.goal] + self.assumptions
+        psi_premises = preconditions.instantiate(self.psi, queries)
+        extra = list(psi_premises)
+        if self.use_lemmas:
+            premises = list(self.assumptions) + psi_premises + list(obligation.path)
+            extra += self._lemmas(premises + [obligation.goal])
+        return extra
 
     def premises_for(self, obligation: Obligation) -> List[ast.Expr]:
-        queries = list(obligation.path) + [obligation.goal] + self.assumptions
-        premises = list(self.assumptions)
-        premises += preconditions.instantiate(self.psi, queries)
-        premises += list(obligation.path)
-        if self.use_lemmas:
-            premises += self._lemmas(premises + [obligation.goal])
+        premises = list(self.assumptions) + list(obligation.path)
+        premises += self.extra_premises_for(obligation)
         return premises
 
     def _lemmas(self, exprs: Sequence[ast.Expr]) -> List[ast.Expr]:
@@ -178,18 +251,237 @@ class ObligationChecker:
         out += lemma_mod.monotonicity_lemmas(encoder, candidates)
         return out
 
+    # -- discharge -------------------------------------------------------------
+
     def check(self, obligation: Obligation) -> Optional[ObligationFailure]:
-        """None when the obligation is valid, a failure record otherwise."""
-        premises = self.premises_for(obligation)
-        if self.validity.is_valid(obligation.goal, premises):
+        """None when the obligation is valid, a failure record otherwise.
+
+        A refuted check returns its counterexample from the same solve
+        that refuted it — no second query.
+        """
+        valid, model = self.validity.entailment(
+            obligation.goal, self.premises_for(obligation)
+        )
+        return self._failure(obligation, valid, model)
+
+    def check_all(
+        self,
+        obligations: Sequence[Obligation],
+        skip: Optional[Callable[[Obligation], bool]] = None,
+        on_failure: Optional[Callable[[Obligation], None]] = None,
+        batch: bool = True,
+    ) -> List[ObligationFailure]:
+        """Discharge a batch of obligations; failures in input order.
+
+        ``skip`` is consulted just before each obligation is checked and
+        ``on_failure`` fires as refutations are found — together they let
+        Houdini prune a candidate's remaining obligations mid-batch
+        (``skip`` implies per-obligation discharge).  ``batch`` enables
+        conjoined group discharge: all goals of a group proved in one
+        solve, with model-guided refinement when some fail.
+        """
+        obligations = list(obligations)
+        if not self.incremental:
+            failures = []
+            for obligation in obligations:
+                if skip is not None and skip(obligation):
+                    continue
+                failure = self.check(obligation)
+                if failure is not None:
+                    failures.append(failure)
+                    if on_failure is not None:
+                        on_failure(obligation)
+            return failures
+
+        groups = _prefix_groups(obligations)
+        results: List[Optional[ObligationFailure]] = [None] * len(obligations)
+
+        def discharge(group: "_Group") -> ContextStats:
+            context = SolverContext(cache=self.cache)
+            for premise in self.assumptions:
+                context.assert_expr(premise)
+            for premise in group.base:
+                context.assert_expr(premise)
+            if batch and skip is None and len(group.members) > 1:
+                self._discharge_batched(context, group.members, results, on_failure)
+            else:
+                self._discharge_each(context, group.members, results, skip, on_failure)
+            return context.stats
+
+        if self.jobs > 1 and len(groups) > 1:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                stats = list(pool.map(discharge, groups))
+        else:
+            stats = [discharge(group) for group in groups]
+        for group_stats in stats:
+            self.stats.merge(group_stats)
+        return [failure for failure in results if failure is not None]
+
+    def _discharge_each(self, context, members, results, skip, on_failure) -> None:
+        for index, obligation, suffix in members:
+            if skip is not None and skip(obligation):
+                continue
+            valid, model = context.check_entailment(
+                obligation.goal,
+                list(suffix) + self.extra_premises_for(obligation),
+            )
+            failure = self._failure(obligation, valid, model)
+            if failure is not None:
+                results[index] = failure
+                if on_failure is not None:
+                    on_failure(obligation)
+
+    #: Conjoined-discharge width: batches wider than this are chunked.
+    #: Bounds the case-split breadth of one solve — a refuting model
+    #: still prunes across its whole chunk, while each solve stays
+    #: comparable in size to a handful of individual queries.
+    batch_limit: int = 8
+
+    def _discharge_batched(self, context, members, results, on_failure) -> None:
+        """Conjoined discharge: prove all goals of a group in few solves.
+
+        Each member contributes the guarded goal ``suffix → g`` (its
+        path facts beyond the group base as the guard), so the conjoined
+        query ``base ⊨ ∧ᵢ (suffixᵢ → gᵢ)`` asks exactly the individual
+        questions at once.  The per-goal premise extensions (Ψ instances
+        under the precondition, sound real-arithmetic lemmas) are all
+        valid facts, so asserting their union preserves each verdict's
+        soundness.  UNSAT certifies every goal.  A SAT model satisfies
+        the base premises, hence falsifying ``suffixᵢ → gᵢ`` makes it a
+        genuine counterexample for obligation *i* — those are recorded
+        at zero extra solves and the remainder re-batched.  Goals the
+        model leaves undecided (or that evaluation cannot reach) fall
+        back to individual checks, so the refinement loop strictly
+        shrinks.
+        """
+        remaining: List[Tuple[int, Obligation, Tuple[ast.Expr, ...], List[ast.Expr]]] = [
+            (index, obligation, suffix, self.extra_premises_for(obligation))
+            for index, obligation, suffix in members
+        ]
+        while remaining:
+            chunk = remaining[: self.batch_limit]
+            remaining = remaining[self.batch_limit:]
+            self._discharge_chunk(context, chunk, results, on_failure)
+
+    def _discharge_chunk(self, context, pending, results, on_failure) -> None:
+        while len(pending) > 1:
+            extras: List[ast.Expr] = []
+            seen = set()
+            for _, _, _, extension in pending:
+                for premise in extension:
+                    if premise not in seen:
+                        seen.add(premise)
+                        extras.append(premise)
+            conjunction: Optional[ast.Expr] = None
+            for _, obligation, suffix, _ in pending:
+                guarded = _guarded_goal(obligation.goal, suffix)
+                conjunction = (
+                    guarded if conjunction is None else ast.BinOp("&&", conjunction, guarded)
+                )
+            valid, model = context.check_entailment(conjunction, extras)
+            if valid:
+                return
+            if model is None:
+                break  # solver gave up on the batch; decide individually
+            falsified = [
+                (index, obligation)
+                for index, obligation, suffix, _ in pending
+                if _model_falsifies(_guarded_goal(obligation.goal, suffix), model)
+            ]
+            if not falsified:
+                break  # model decides nothing we can evaluate
+            for index, obligation in falsified:
+                results[index] = self._failure(obligation, False, model)
+                if on_failure is not None:
+                    on_failure(obligation)
+            decided = {index for index, _ in falsified}
+            pending = [item for item in pending if item[0] not in decided]
+        for index, obligation, suffix, extension in pending:
+            valid, model = context.check_entailment(
+                obligation.goal, list(suffix) + extension
+            )
+            failure = self._failure(obligation, valid, model)
+            if failure is not None:
+                results[index] = failure
+                if on_failure is not None:
+                    on_failure(obligation)
+
+    def _failure(
+        self, obligation: Obligation, valid: bool, model
+    ) -> Optional[ObligationFailure]:
+        if valid:
             return None
-        if not self.collect_models:
+        if not self.collect_models or model is None:
             return ObligationFailure(obligation)
-        model = self.validity.find_model(obligation.goal, premises)
-        if model is None:  # pragma: no cover — cache raced; treat as valid
-            return None
         arith, booleans = model
         return ObligationFailure(obligation, arith, booleans)
+
+    # -- accounting ------------------------------------------------------------
+
+    def solver_stats(self) -> ContextStats:
+        """Aggregate counters: one-shot queries plus all context work."""
+        stats = ContextStats(
+            queries=self.validity.queries,
+            cache_hits=self.validity.cache_hits,
+            solve_calls=self.validity.solve_calls,
+        )
+        stats.merge(self.stats)
+        return stats
+
+
+@dataclass
+class _Group:
+    """Obligations sharing a path prefix.
+
+    ``base`` is the common prefix (asserted once into the group's solver
+    context); each member carries its path *suffix* beyond the base.
+    """
+
+    base: Tuple[ast.Expr, ...]
+    members: List[Tuple[int, Obligation, Tuple[ast.Expr, ...]]]
+
+
+def _prefix_groups(obligations: Sequence[Obligation]) -> List[_Group]:
+    """Greedy chain grouping in generation order.
+
+    Symbolic execution emits obligations along straight-line segments
+    with monotonically growing paths; each such chain becomes one group
+    whose base is its first obligation's path.  A branch merge resets
+    the chain (its paths are not extensions of the previous base), which
+    starts a fresh group.
+    """
+    groups: List[_Group] = []
+    for index, obligation in enumerate(obligations):
+        if groups:
+            base = groups[-1].base
+            if obligation.path[: len(base)] == base:
+                groups[-1].members.append((index, obligation, obligation.path[len(base):]))
+                continue
+        groups.append(_Group(obligation.path, [(index, obligation, ())]))
+    return groups
+
+
+def _guarded_goal(goal: ast.Expr, suffix: Tuple[ast.Expr, ...]) -> ast.Expr:
+    """``suffix → goal`` as an expression (``goal`` when no suffix)."""
+    if not suffix:
+        return goal
+    guard = suffix[0]
+    for fact in suffix[1:]:
+        guard = ast.BinOp("&&", guard, fact)
+    return ast.BinOp("||", ast.Not(guard), goal)
+
+
+def _model_falsifies(goal: ast.Expr, model: Model) -> bool:
+    """Does the (total, rational) model make ``goal`` false?
+
+    Conservative: any variable the model misses or any construct the
+    encoder cannot reach counts as "undecided", never as falsified.
+    """
+    arith, booleans = model
+    try:
+        return not F.evaluate(Encoder().boolean(goal), arith, booleans)
+    except (KeyError, EncodeError, ArithmeticError):
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -197,8 +489,17 @@ class ObligationChecker:
 # ---------------------------------------------------------------------------
 
 
-def verify_target(target: TargetProgram, config: Optional[VerificationConfig] = None) -> VerificationOutcome:
-    """Verify that every assertion of ``target`` always holds."""
+def verify_target(
+    target: TargetProgram,
+    config: Optional[VerificationConfig] = None,
+    cache: Optional[QueryCache] = None,
+) -> VerificationOutcome:
+    """Verify that every assertion of ``target`` always holds.
+
+    ``cache`` is an optional shared :class:`QueryCache`; the pipeline
+    passes one per batch so repeated obligations across programs,
+    bindings and Houdini rounds are answered once.
+    """
     config = config or VerificationConfig()
     start = time.perf_counter()
 
@@ -219,19 +520,24 @@ def verify_target(target: TargetProgram, config: Optional[VerificationConfig] = 
         assumptions,
         use_lemmas=config.use_lemmas,
         collect_models=config.collect_models,
+        cache=cache,
+        incremental=config.incremental,
+        jobs=config.jobs,
     )
-    failures: List[ObligationFailure] = []
-    for obligation in generator.obligations:
-        failure = checker.check(obligation)
-        if failure is not None:
-            failures.append(failure)
+    failures = checker.check_all(generator.obligations)
+    stats = checker.solver_stats()
 
     return VerificationOutcome(
         verified=not failures,
         obligations_total=len(generator.obligations),
         failures=failures,
         seconds=time.perf_counter() - start,
-        solver_queries=checker.validity.queries,
+        solver_queries=stats.queries,
+        cache_hits=stats.cache_hits,
+        solve_calls=stats.solve_calls,
+        context_pushes=stats.pushes,
+        context_pops=stats.pops,
+        jobs=checker.jobs,
     )
 
 
