@@ -16,12 +16,25 @@ verification obligations two ways:
   normalized-query :class:`QueryCache` shared across the whole sweep.
 
 Reported per workload and in total: entailment queries asked, DPLL(T)
-solve calls actually executed, queries per second, and wall-clock time.
+solve calls actually executed, simplex pivots (incremental side),
+queries per second, and wall-clock time.  A separate **microbench**
+section exercises the inner loops in isolation: term-layer interning
+throughput, simplex pivoting on a difference chain, and CDCL
+propagation on a planted 3-SAT instance.
 
 Usage::
 
     PYTHONPATH=src:. python benchmarks/bench_solver.py [--quick] \
         [--jobs N] [--json-out BENCH_solver.json]
+
+    # CI regression guard: quick sweep, compare the (deterministic)
+    # solve-call and pivot counters against the committed reference,
+    # fail on >20% regression.
+    PYTHONPATH=src:. python benchmarks/bench_solver.py --guard BENCH_solver.json
+
+    # Refresh the committed reference counters in place.
+    PYTHONPATH=src:. python benchmarks/bench_solver.py \
+        --update-reference BENCH_solver.json
 
 ``--quick`` runs a small subset (seconds, for CI smoke); the default
 sweep covers every registry algorithm in the unroll regime, the correct
@@ -32,13 +45,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
+from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.lang import ast
 from repro.solver import formula as F
+from repro.solver import intern
+from repro.solver.delta import DeltaRat
 from repro.solver.encode import Encoder
+from repro.solver.linear import LinExpr
+from repro.solver.profile import SolverProfile
+from repro.solver.sat import CDCLSolver
+from repro.solver.simplex import Simplex
 from repro.solver.smt import SMTSolver
 from repro.solver.context import QueryCache
 from repro.target.transform import TargetProgram
@@ -217,7 +238,15 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
 
     results: Dict = {"workloads": {}, "quick": quick, "jobs": jobs}
 
-    def record(workload: str, side: str, queries: int, hits: int, solves: int, seconds: float) -> None:
+    def record(
+        workload: str,
+        side: str,
+        queries: int,
+        hits: int,
+        solves: int,
+        seconds: float,
+        pivots: Optional[int] = None,
+    ) -> None:
         entry = results["workloads"].setdefault(workload, {})
         entry[side] = {
             "queries": queries,
@@ -226,6 +255,8 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
             "seconds": round(seconds, 3),
             "queries_per_second": round(queries / seconds, 2) if seconds > 0 else None,
         }
+        if pivots is not None:
+            entry[side]["pivots"] = pivots
 
     # -- baseline ------------------------------------------------------------
     queries = hits = solves = 0
@@ -264,32 +295,42 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
     # -- incremental ---------------------------------------------------------
     cache = QueryCache()
 
-    queries = hits = solves = 0
+    queries = hits = solves = pivots = 0
     start = time.perf_counter()
     for name in unroll_names:
         spec = get(name)
         config = spec_config(spec)
         config.jobs = jobs
+        config.profile = True
         outcome = verify_target(spec.target(), config, cache=cache)
         stats = outcome.solver_stats()
         queries += stats["queries"]
         hits += stats["cache_hits"]
         solves += stats["solve_calls"]
-    record("registry-unroll", "incremental", queries, hits, solves, time.perf_counter() - start)
+        pivots += outcome.profile["pivots"]
+    record(
+        "registry-unroll", "incremental", queries, hits, solves,
+        time.perf_counter() - start, pivots=pivots,
+    )
 
-    queries = hits = solves = 0
+    queries = hits = solves = pivots = 0
     start = time.perf_counter()
     for name in invariant_names:
         spec = get(name)
         config = VerificationConfig(
-            mode="invariant", assumptions=spec.assumption_exprs(), jobs=jobs
+            mode="invariant", assumptions=spec.assumption_exprs(), jobs=jobs,
+            profile=True,
         )
         outcome = verify_target(spec.target(), config, cache=cache)
         stats = outcome.solver_stats()
         queries += stats["queries"]
         hits += stats["cache_hits"]
         solves += stats["solve_calls"]
-    record("registry-invariant", "incremental", queries, hits, solves, time.perf_counter() - start)
+        pivots += outcome.profile["pivots"]
+    record(
+        "registry-invariant", "incremental", queries, hits, solves,
+        time.perf_counter() - start, pivots=pivots,
+    )
 
     queries = hits = solves = 0
     start = time.perf_counter()
@@ -315,6 +356,9 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
         totals[side]["seconds"] = round(
             sum(w[side]["seconds"] for w in results["workloads"].values()), 3
         )
+    totals["incremental"]["pivots"] = sum(
+        w["incremental"].get("pivots", 0) for w in results["workloads"].values()
+    )
     base, incr = totals["baseline"], totals["incremental"]
     totals["solve_call_reduction"] = (
         round(base["solve_calls"] / incr["solve_calls"], 2) if incr["solve_calls"] else None
@@ -324,6 +368,191 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
     )
     results["totals"] = totals
     return results
+
+
+# ---------------------------------------------------------------------------
+# Inner-loop microbenchmarks
+# ---------------------------------------------------------------------------
+
+
+def microbench_terms(iterations: int = 40, width: int = 200) -> Dict:
+    """Term-layer throughput: rebuild the same and/or/atom structure and
+    measure how much of it the interner absorbs."""
+    hits0, misses0 = intern.counters()
+    start = time.perf_counter()
+    built = 0
+    for _ in range(iterations):
+        atoms = [
+            F.mk_atom("<=", LinExpr.variable(f"v{i}"), LinExpr.variable(f"v{i + 1}"))
+            for i in range(width)
+        ]
+        node = F.mk_and(
+            *[F.mk_or(atoms[i], F.mk_not(atoms[(i + 7) % width])) for i in range(width)]
+        )
+        F.atoms_of(node)
+        built += width
+    seconds = time.perf_counter() - start
+    hits1, misses1 = intern.counters()
+    hits, misses = hits1 - hits0, misses1 - misses0
+    return {
+        "nodes_built": built,
+        "seconds": round(seconds, 3),
+        "intern_hits": hits,
+        "intern_misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4) if hits + misses else None,
+    }
+
+
+def microbench_simplex(rounds: int = 30, chain: int = 40) -> Dict:
+    """Theory-layer throughput: difference-chain bound rounds under
+    push/pop, counting pivots per second."""
+    profile = SolverProfile()
+    simplex = Simplex(profile=profile)
+    variables = [LinExpr.variable(f"x{i}") for i in range(chain)]
+    for i in range(chain - 1):
+        simplex.define(f"d{i}", variables[i] - variables[i + 1])
+    start = time.perf_counter()
+    for _ in range(rounds):
+        simplex.push_state()
+        for i in range(chain - 1):
+            # x_i <= x_{i+1} - 1: pushes every link of the chain.
+            simplex.assert_upper(f"d{i}", DeltaRat(Fraction(-1)), ("u", i))
+        simplex.assert_lower("x0", DeltaRat(Fraction(0)), "l")
+        simplex.check()
+        simplex.pop_state()
+    seconds = time.perf_counter() - start
+    return {
+        "rounds": rounds,
+        "seconds": round(seconds, 3),
+        "pivots": profile.pivots,
+        "bound_asserts": profile.bound_asserts,
+        "pivots_per_second": round(profile.pivots / seconds, 1) if seconds > 0 else None,
+    }
+
+
+def microbench_sat(num_vars: int = 150, num_clauses: int = 600) -> Dict:
+    """SAT-layer throughput: a planted (satisfiable) random 3-SAT
+    instance, counting propagations per second."""
+    rng = random.Random(1234)
+    planted = [rng.choice([True, False]) for _ in range(num_vars)]
+    solver = CDCLSolver(num_vars)
+    for _ in range(num_clauses):
+        vars_ = rng.sample(range(1, num_vars + 1), 3)
+        clause = [v if rng.random() < 0.7 else -v for v in vars_]
+        pick = rng.choice(range(3))
+        v = abs(clause[pick])
+        clause[pick] = v if planted[v - 1] else -v
+        solver.add_clause(clause)
+    start = time.perf_counter()
+    assert solver.solve()
+    seconds = time.perf_counter() - start
+    profile = solver.profile
+    return {
+        "num_vars": num_vars,
+        "num_clauses": num_clauses,
+        "seconds": round(seconds, 3),
+        "decisions": profile.decisions,
+        "propagations": profile.propagations,
+        "conflicts": profile.conflicts,
+        "restarts": profile.restarts,
+        "propagations_per_second": (
+            round(profile.propagations / seconds, 1) if seconds > 0 else None
+        ),
+    }
+
+
+def run_microbench() -> Dict:
+    return {
+        "term_intern": microbench_terms(),
+        "simplex_pivot": microbench_simplex(),
+        "sat_propagate": microbench_sat(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CI counter guard
+# ---------------------------------------------------------------------------
+
+#: Counters the guard compares.  With a pinned ``PYTHONHASHSEED`` (the
+#: guard re-executes itself under seed 0 — see :func:`_pin_hash_seed`)
+#: they are fully deterministic for a given code state, so the check is
+#: runner-stable in a way wall-clock thresholds are not.
+GUARD_COUNTERS = ("solve_calls", "pivots")
+
+#: Allowed relative growth before the guard fails.
+GUARD_TOLERANCE = 0.20
+
+
+def guard_counters(results: Dict) -> Dict[str, int]:
+    """The counters the regression guard tracks, from a quick run."""
+    totals = results["totals"]["incremental"]
+    return {key: int(totals.get(key, 0)) for key in GUARD_COUNTERS}
+
+
+def _pin_hash_seed() -> None:
+    """Re-exec under ``PYTHONHASHSEED=0`` if string hashing is randomized.
+
+    Dict/set iteration over string-keyed structures (variable names,
+    monomials) feeds variable-id assignment and pivot tie-breaking, so
+    pivot counts are only reproducible under a fixed hash seed.  The
+    guard and the reference writer both pin seed 0 so their numbers
+    compare like for like.
+    """
+    import os
+    import subprocess
+
+    if os.environ.get("PYTHONHASHSEED") == "0":
+        return
+    env = dict(os.environ, PYTHONHASHSEED="0")
+    raise SystemExit(subprocess.call([sys.executable] + sys.argv, env=env))
+
+
+def run_guard(reference_path: str, jobs: int) -> int:
+    with open(reference_path) as handle:
+        reference = json.load(handle)
+    expected = reference.get("quick_reference")
+    if not expected:
+        print(f"error: {reference_path} has no quick_reference section; "
+              f"run --update-reference first", file=sys.stderr)
+        return 2
+    results = run_workloads(quick=True, jobs=jobs)
+    current = guard_counters(results)
+    print(render(results))
+    failed = False
+    for key in GUARD_COUNTERS:
+        old = expected.get(key)
+        new = current[key]
+        if not old:
+            print(f"bench-guard: {key}: no reference value, skipping")
+            continue
+        limit = old * (1 + GUARD_TOLERANCE)
+        status = "OK" if new <= limit else "REGRESSION"
+        print(f"bench-guard: {key}: reference={old} current={new} "
+              f"limit={limit:.0f} [{status}]")
+        if new > limit:
+            failed = True
+    if failed:
+        print("bench-guard: FAILED (counters regressed by more than "
+              f"{GUARD_TOLERANCE:.0%})", file=sys.stderr)
+        return 1
+    print("bench-guard: passed")
+    return 0
+
+
+def update_reference(reference_path: str, jobs: int) -> int:
+    try:
+        with open(reference_path) as handle:
+            reference = json.load(handle)
+    except FileNotFoundError:
+        reference = {}
+    results = run_workloads(quick=True, jobs=jobs)
+    print(render(results))
+    reference["quick_reference"] = guard_counters(results)
+    with open(reference_path, "w") as handle:
+        json.dump(reference, handle, indent=2)
+    print(f"updated quick_reference in {reference_path}: "
+          f"{reference['quick_reference']}")
+    return 0
 
 
 def render(results: Dict) -> str:
@@ -353,6 +582,28 @@ def render(results: Dict) -> str:
         f"solve-call reduction: {totals['solve_call_reduction']}x    "
         f"wall-time speedup: {totals['wall_time_speedup']}x"
     )
+    if "pivots" in totals["incremental"]:
+        lines.append(f"incremental pivots: {totals['incremental']['pivots']}")
+    micro = results.get("microbench")
+    if micro:
+        lines.append("")
+        lines.append("microbench — inner loops in isolation")
+        term = micro["term_intern"]
+        lines.append(
+            f"  term layer:   {term['nodes_built']} nodes in {term['seconds']}s, "
+            f"intern hit rate {term['hit_rate']}"
+        )
+        spx = micro["simplex_pivot"]
+        lines.append(
+            f"  simplex:      {spx['pivots']} pivots / {spx['bound_asserts']} asserts "
+            f"in {spx['seconds']}s ({spx['pivots_per_second']} pivots/s)"
+        )
+        sat = micro["sat_propagate"]
+        lines.append(
+            f"  CDCL:         {sat['propagations']} propagations, {sat['conflicts']} "
+            f"conflicts, {sat['restarts']} restarts in {sat['seconds']}s "
+            f"({sat['propagations_per_second']} props/s)"
+        )
     return "\n".join(lines)
 
 
@@ -363,9 +614,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json-out", metavar="PATH", default=None, help="write results as JSON"
     )
+    parser.add_argument(
+        "--no-microbench", action="store_true", help="skip the inner-loop microbenchmarks"
+    )
+    parser.add_argument(
+        "--guard",
+        metavar="PATH",
+        default=None,
+        help="quick run; fail on >20%% counter regression vs PATH's quick_reference",
+    )
+    parser.add_argument(
+        "--update-reference",
+        metavar="PATH",
+        default=None,
+        help="quick run; write the counters into PATH's quick_reference section",
+    )
     args = parser.parse_args(argv)
 
+    if args.guard:
+        _pin_hash_seed()
+        return run_guard(args.guard, jobs=args.jobs)
+    if args.update_reference:
+        _pin_hash_seed()
+        return update_reference(args.update_reference, jobs=args.jobs)
+
     results = run_workloads(quick=args.quick, jobs=args.jobs)
+    if not args.no_microbench:
+        results["microbench"] = run_microbench()
     print(render(results))
     if args.json_out:
         with open(args.json_out, "w") as handle:

@@ -16,8 +16,10 @@ Commands
 Solver flags (``verify`` and ``pipeline``): ``--jobs N`` discharges
 independent obligation groups on ``N`` worker threads,
 ``--no-incremental`` disables push/pop context reuse (one-shot solver
-per query), and ``--solver-stats`` prints query/cache/solve-call
-counters after the verdict.
+per query), ``--solver-stats`` prints query/cache/solve-call counters
+after the verdict, and ``--profile`` additionally reports the
+inner-loop solver profile (SAT decisions/propagations/conflicts/
+restarts, simplex pivots, interned-node hits).
 ``run FILE [--input name=value ...] [--seed N]``
     Execute the source program with real Laplace noise.
 ``table1``
@@ -66,6 +68,7 @@ def _config_from_args(args) -> VerificationConfig:
         unroll_limit=getattr(args, "unroll", 32),
         incremental=not getattr(args, "no_incremental", False),
         jobs=getattr(args, "jobs", 1),
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -75,6 +78,20 @@ def _print_solver_stats(stats, indent: str = "") -> None:
         f"{stats['cache_hits']} cache hits, {stats['solve_calls']} solves, "
         f"{stats['pushes']} pushes/{stats['pops']} pops, jobs={stats['jobs']}"
     )
+
+
+def _print_profile(profile, indent: str = "") -> None:
+    """Render the inner-loop SolverProfile counters, grouped by layer."""
+    groups = (
+        ("sat", ("decisions", "propagations", "conflicts", "restarts",
+                 "learned_clauses", "deleted_clauses")),
+        ("theory", ("pivots", "bound_asserts", "theory_conflicts")),
+        ("terms", ("intern_hits", "intern_misses")),
+        ("loop", ("solve_calls", "rounds")),
+    )
+    for label, names in groups:
+        rendered = ", ".join(f"{name}={profile.get(name, 0)}" for name in names)
+        print(f"{indent}profile[{label}]: {rendered}")
 
 
 def cmd_check(args) -> int:
@@ -99,6 +116,8 @@ def cmd_verify(args) -> int:
         print("  " + failure.describe())
     if args.solver_stats:
         _print_solver_stats(outcome.solver_stats())
+    if args.profile and outcome.profile is not None:
+        _print_profile(outcome.profile)
     return 0 if outcome.verified else 1
 
 
@@ -130,6 +149,8 @@ def cmd_pipeline(args) -> int:
                     print("    " + failure.describe())
                 if args.solver_stats:
                     _print_solver_stats(run.outcome.solver_stats(), indent="  ")
+                if args.profile and run.outcome.profile is not None:
+                    _print_profile(run.outcome.profile, indent="  ")
             print()
     failed = any(run.outcome is not None and not run.outcome.verified for run in runs)
     return 1 if failed else 0
@@ -190,6 +211,12 @@ def _add_verification_flags(parser) -> None:
         "--solver-stats",
         action="store_true",
         help="print query/cache-hit/solve-call counters after the verdict",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect and print the inner-loop solver profile (pivots, "
+        "propagations, conflicts, restarts, interned-node hits, ...)",
     )
 
 

@@ -25,10 +25,31 @@ from typing import Mapping, Optional
 from repro.lang import ast
 
 
+#: Node-keyed memo table: expression -> its simplified form.  AST nodes
+#: are immutable frozen dataclasses, so the map is sound; simplification
+#: is idempotent, so results are stored as fixpoints of themselves.  The
+#: table is cleared wholesale when it grows past ``_MEMO_LIMIT`` (the
+#: verification workload plateaus far below it).
+_MEMO: dict = {}
+_MEMO_LIMIT = 1 << 16
+
+
 def simplify(expr: ast.Expr) -> ast.Expr:
-    """Bottom-up simplification to a small canonical form."""
+    """Bottom-up simplification to a small canonical form (memoized)."""
     if isinstance(expr, (ast.Real, ast.BoolLit, ast.Var, ast.Hat)):
         return expr
+    cached = _MEMO.get(expr)
+    if cached is not None:
+        return cached
+    result = _simplify_uncached(expr)
+    if len(_MEMO) >= _MEMO_LIMIT:
+        _MEMO.clear()
+    _MEMO[expr] = result
+    _MEMO[result] = result
+    return result
+
+
+def _simplify_uncached(expr: ast.Expr) -> ast.Expr:
     if isinstance(expr, ast.Neg):
         return _neg(simplify(expr.operand))
     if isinstance(expr, ast.Not):

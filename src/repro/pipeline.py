@@ -27,6 +27,7 @@ as a thin wrapper (see :mod:`repro.__init__`).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import time
 from dataclasses import dataclass, field
@@ -200,6 +201,7 @@ def _config_fingerprint(config: VerificationConfig) -> str:
             config.collect_models,
             config.incremental,
             config.jobs,
+            config.profile,
         )
     )
 
@@ -309,6 +311,7 @@ class Pipeline:
         program: Program,
         config: Optional[VerificationConfig] = None,
         stop_after: str = "verify",
+        profile: Optional[bool] = None,
     ) -> PipelineRun:
         """Run the pipeline through ``stop_after`` (inclusive).
 
@@ -318,12 +321,19 @@ class Pipeline:
         inference); in the latter case the ``parse`` stage is recorded
         as instantaneous and memoization keys on the pretty-printed
         form, which round-trips through the parser.
+
+        ``profile=True`` attaches the inner-loop solver counters
+        (pivots, propagations, conflicts, restarts, interned-node hits…)
+        to the ``verify`` stage's ``solver_stats`` under a ``"profile"``
+        key (see :class:`repro.solver.profile.SolverProfile`).
         """
         if stop_after not in STAGES:
             raise PipelineError(
                 f"unknown stage {stop_after!r}; expected one of {', '.join(STAGES)}"
             )
         config = config or self.config
+        if profile is not None and profile != config.profile:
+            config = dataclasses.replace(config, profile=profile)
 
         if isinstance(program, ast.FunctionDef):
             source = pretty_function(program)

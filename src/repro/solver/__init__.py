@@ -5,26 +5,42 @@ and verifies transformed programs with CPAChecker.  Neither tool is
 available in this offline environment, so this package implements the
 decision procedure the pipeline needs:
 
+``repro.solver.intern``
+    Hash-consing tables: every formula and linear expression is interned,
+    so structural equality is pointer equality and per-node caches are
+    shared process-wide.
+
 ``repro.solver.linear``
-    Exact linear expressions over :class:`fractions.Fraction`.
+    Exact linear expressions over :class:`fractions.Fraction`, interned
+    with cached variable tuples and scale-canonical forms.
 
 ``repro.solver.delta``
     Delta-rationals ``a + b·δ`` (Dutertre & de Moura), which let the
     simplex core handle strict inequalities exactly.
 
 ``repro.solver.formula``
-    A small logic IR: boolean structure over linear-arithmetic atoms.
+    A small logic IR: boolean structure over linear-arithmetic atoms,
+    hash-consed, with leaf sets (atoms, boolean/arithmetic variables)
+    cached on the node.
 
 ``repro.solver.cnf``
     Tseitin transformation to CNF with structural sharing.
 
 ``repro.solver.sat``
-    A CDCL SAT solver (two-watched literals, 1UIP learning, VSIDS-style
-    activities, geometric restarts).
+    A CDCL SAT solver (two-watched literals, 1UIP learning, heap-based
+    VSIDS with exponential decay, phase saving, Luby restarts,
+    LBD-based clause-database reduction).
 
 ``repro.solver.simplex``
     The Dutertre–de Moura general simplex for conjunctions of linear
-    constraints, producing minimal-ish conflict sets.
+    constraints, producing minimal-ish conflict sets: integer-indexed
+    rows with column occurrence lists, a trail-based bound stack
+    (``push_state``/``pop_state``) and Dantzig/Bland pivot selection.
+
+``repro.solver.profile``
+    The ``SolverProfile`` counter bundle (pivots, propagations,
+    conflicts, restarts, interned-node hits…) threaded through the whole
+    stack and surfaced by the CLI ``--profile`` flag.
 
 ``repro.solver.smt``
     The lazy DPLL(T) loop tying the SAT core to the simplex, with model
@@ -65,6 +81,7 @@ from repro.solver.smt import SMTSolver, SatResult
 from repro.solver.encode import Encoder, EncodeError
 from repro.solver.context import QueryCache, SolverContext, ContextStats
 from repro.solver.interface import ValidityChecker, is_valid, find_model
+from repro.solver.profile import SolverProfile
 
 __all__ = [
     "LinExpr",

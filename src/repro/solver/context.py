@@ -27,6 +27,7 @@ DPLL(T) core:
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -35,6 +36,7 @@ from repro.core.simplify import simplify
 from repro.lang import ast
 from repro.solver import formula as F
 from repro.solver.encode import Encoder
+from repro.solver.profile import SolverProfile
 from repro.solver.smt import SatResult, SMTSolver
 
 #: A counterexample: (arithmetic model, boolean model).
@@ -83,18 +85,28 @@ class CacheEntry:
 
 
 class QueryCache:
-    """A thread-safe cache of normalized validity queries.
+    """A thread-safe **LRU** cache of normalized validity queries.
 
     ``hits``/``misses`` count lookups globally; callers that want
     per-consumer accounting (e.g. :class:`ValidityChecker`) keep their
     own tallies from the lookup results.
+
+    The cache is bounded: once ``max_entries`` is reached the least
+    recently *used* entry (lookups and stores both refresh recency) is
+    evicted, so long Houdini runs and registry sweeps cannot grow it
+    without limit.  ``evictions`` counts the entries dropped; the full
+    counter set is available from :meth:`stats`.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple, CacheEntry] = {}
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -106,17 +118,34 @@ class QueryCache:
                 self.misses += 1
             else:
                 self.hits += 1
+                self._entries.move_to_end(key)
             return entry
 
     def store(self, key: Tuple, entry: CacheEntry) -> None:
         with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
             self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +209,11 @@ class SolverContext:
         self.stats = ContextStats()
         #: premises per scope; index 0 is the base scope.
         self._premises: List[List[ast.Expr]] = [[]]
+
+    @property
+    def profile(self) -> SolverProfile:
+        """The inner-loop counters of the underlying solver."""
+        return self.solver.profile
 
     # -- assertions ------------------------------------------------------------
 

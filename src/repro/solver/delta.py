@@ -7,50 +7,72 @@ bounds ``x <= c - δ`` over delta-rationals, so the simplex core needs no
 special cases for strictness.  When a model is extracted, a concrete
 positive rational value for ``δ`` small enough to satisfy every strict
 constraint is computed (see :func:`concretize`).
+
+The class is deliberately bare-metal — ``__slots__``, constructor-bypass
+allocation in the arithmetic operators, field-by-field comparisons — as
+delta-rational sums and scalings sit on the simplex pivot/update path,
+the hottest loop of the whole solver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Tuple, Union
 
 Number = Union[int, Fraction]
 
+_ZERO = Fraction(0)
 
-@dataclass(frozen=True)
+
 class DeltaRat:
     """The value ``real + delta * infinitesimal``."""
 
-    real: Fraction
-    delta: Fraction = Fraction(0)
+    __slots__ = ("real", "delta")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.real, Fraction):
-            object.__setattr__(self, "real", Fraction(self.real))
-        if not isinstance(self.delta, Fraction):
-            object.__setattr__(self, "delta", Fraction(self.delta))
+    def __init__(self, real: Number, delta: Number = _ZERO) -> None:
+        if not isinstance(real, Fraction):
+            real = Fraction(real)
+        if not isinstance(delta, Fraction):
+            delta = Fraction(delta)
+        self.real = real
+        self.delta = delta
 
     # -- arithmetic ---------------------------------------------------------
 
     def __add__(self, other: Union["DeltaRat", Number]) -> "DeltaRat":
-        other = _coerce(other)
-        return DeltaRat(self.real + other.real, self.delta + other.delta)
+        if not isinstance(other, DeltaRat):
+            other = _coerce(other)
+        result = object.__new__(DeltaRat)
+        result.real = self.real + other.real
+        result.delta = self.delta + other.delta
+        return result
 
     __radd__ = __add__
 
     def __neg__(self) -> "DeltaRat":
-        return DeltaRat(-self.real, -self.delta)
+        result = object.__new__(DeltaRat)
+        result.real = -self.real
+        result.delta = -self.delta
+        return result
 
     def __sub__(self, other: Union["DeltaRat", Number]) -> "DeltaRat":
-        return self + (-_coerce(other))
+        if not isinstance(other, DeltaRat):
+            other = _coerce(other)
+        result = object.__new__(DeltaRat)
+        result.real = self.real - other.real
+        result.delta = self.delta - other.delta
+        return result
 
     def __rsub__(self, other: Number) -> "DeltaRat":
         return _coerce(other) + (-self)
 
     def scale(self, factor: Number) -> "DeltaRat":
-        factor = Fraction(factor)
-        return DeltaRat(self.real * factor, self.delta * factor)
+        if not isinstance(factor, Fraction):
+            factor = Fraction(factor)
+        result = object.__new__(DeltaRat)
+        result.real = self.real * factor
+        result.delta = self.delta * factor
+        return result
 
     def __mul__(self, factor: Number) -> "DeltaRat":
         return self.scale(factor)
@@ -63,20 +85,43 @@ class DeltaRat:
     # -- ordering (lexicographic: δ is positive but smaller than any
     #    positive rational) -------------------------------------------------
 
-    def _pair(self) -> Tuple[Fraction, Fraction]:
-        return (self.real, self.delta)
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeltaRat):
+            return self.real == other.real and self.delta == other.delta
+        if isinstance(other, (int, Fraction)):
+            return self.delta == 0 and self.real == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.real, self.delta))
 
     def __lt__(self, other: Union["DeltaRat", Number]) -> bool:
-        return self._pair() < _coerce(other)._pair()
+        if not isinstance(other, DeltaRat):
+            other = _coerce(other)
+        if self.real != other.real:
+            return self.real < other.real
+        return self.delta < other.delta
 
     def __le__(self, other: Union["DeltaRat", Number]) -> bool:
-        return self._pair() <= _coerce(other)._pair()
+        if not isinstance(other, DeltaRat):
+            other = _coerce(other)
+        if self.real != other.real:
+            return self.real < other.real
+        return self.delta <= other.delta
 
     def __gt__(self, other: Union["DeltaRat", Number]) -> bool:
-        return self._pair() > _coerce(other)._pair()
+        if not isinstance(other, DeltaRat):
+            other = _coerce(other)
+        if self.real != other.real:
+            return self.real > other.real
+        return self.delta > other.delta
 
     def __ge__(self, other: Union["DeltaRat", Number]) -> bool:
-        return self._pair() >= _coerce(other)._pair()
+        if not isinstance(other, DeltaRat):
+            other = _coerce(other)
+        if self.real != other.real:
+            return self.real > other.real
+        return self.delta >= other.delta
 
     def __repr__(self) -> str:
         if self.delta == 0:

@@ -1,77 +1,221 @@
 """The solver's logic IR: boolean structure over linear-arithmetic atoms.
 
-Formulas are immutable and hash-consed by construction through the smart
-constructors (``mk_and`` etc.), which also perform cheap simplifications
-(flattening, constant elimination, duplicate removal).  Atoms are kept in
-a normal form ``lin OP 0`` with ``OP`` one of ``<=``, ``<`` or ``=``; the
-smart constructor :func:`mk_atom` handles the other comparison directions
+Formulas are immutable and **hash-consed**: every constructor returns the
+canonical node for its arguments (see :mod:`repro.solver.intern`), so
+structural equality is pointer equality, ``hash()`` is a precomputed
+integer, and the traversal results of :func:`atoms_of` /
+:func:`bool_vars_of` / :func:`arith_vars_of` are cached on the node and
+shared by every owner of the term.
+
+The smart constructors (``mk_and`` etc.) also perform cheap
+simplifications (flattening, constant elimination, duplicate removal).
+Atoms are kept in a normal form ``lin OP 0`` with ``OP`` one of ``<=``,
+``<`` or ``=``; :func:`mk_atom` handles the other comparison directions
 by negation and operand swapping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from fractions import Fraction
 from typing import Iterable, Tuple
 
+from repro.solver import intern
 from repro.solver.linear import LinExpr
 
 # Atom comparison operators, all against zero.
 ATOM_OPS = ("<=", "<", "=")
 
+_EMPTY = frozenset()
+
 
 class Formula:
-    """Base class for formula nodes."""
+    """Base class for formula nodes.
 
+    Nodes are interned: ``==`` is identity, ``hash`` is precomputed, and
+    the ``_atoms``/``_bvars``/``_avars`` slots lazily cache the leaf sets
+    of the subtree (filled by :func:`atoms_of` and friends).
+    """
+
+    __slots__ = ("_hash", "_atoms", "_bvars", "_avars")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Equality is object identity (inherited) — correct under interning.
+
+
+def _new_node(cls, key: tuple):
+    """Allocate an uncached node shell for ``key`` (caches unset)."""
+    self = object.__new__(cls)
+    self._hash = hash(key)
+    self._atoms = None
+    self._bvars = None
+    self._avars = None
+    return self
+
+
+class FTrue(Formula):
     __slots__ = ()
 
+    def __new__(cls) -> "FTrue":
+        key = (cls,)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
 
-@dataclass(frozen=True)
-class FTrue(Formula):
-    pass
+    def __repr__(self) -> str:
+        return "FTrue()"
+
+    def __reduce__(self):
+        return (FTrue, ())
 
 
-@dataclass(frozen=True)
 class FFalse(Formula):
-    pass
+    __slots__ = ()
+
+    def __new__(cls) -> "FFalse":
+        key = (cls,)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __repr__(self) -> str:
+        return "FFalse()"
+
+    def __reduce__(self):
+        return (FFalse, ())
 
 
 TRUE_F = FTrue()
 FALSE_F = FFalse()
 
 
-@dataclass(frozen=True)
 class BVar(Formula):
     """A propositional variable (a source-level boolean)."""
 
-    name: str
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "BVar":
+        key = (cls, name)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        self.name = name
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __repr__(self) -> str:
+        return f"BVar(name={self.name!r})"
+
+    def __reduce__(self):
+        return (BVar, (self.name,))
 
 
-@dataclass(frozen=True)
 class FAtom(Formula):
     """The linear-arithmetic atom ``expr OP 0``."""
 
-    op: str
-    expr: LinExpr
+    __slots__ = ("op", "expr")
 
-    def __post_init__(self) -> None:
-        if self.op not in ATOM_OPS:
-            raise ValueError(f"bad atom operator {self.op!r}")
+    def __new__(cls, op: str, expr: LinExpr) -> "FAtom":
+        if op not in ATOM_OPS:
+            raise ValueError(f"bad atom operator {op!r}")
+        key = (cls, op, expr)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        self.op = op
+        self.expr = expr
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __repr__(self) -> str:
+        return f"FAtom(op={self.op!r}, expr={self.expr!r})"
+
+    def __reduce__(self):
+        return (FAtom, (self.op, self.expr))
 
 
-@dataclass(frozen=True)
 class FNot(Formula):
-    operand: Formula
+    __slots__ = ("operand",)
+
+    def __new__(cls, operand: Formula) -> "FNot":
+        key = (cls, operand)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        self.operand = operand
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __repr__(self) -> str:
+        return f"FNot(operand={self.operand!r})"
+
+    def __reduce__(self):
+        return (FNot, (self.operand,))
 
 
-@dataclass(frozen=True)
 class FAnd(Formula):
-    args: Tuple[Formula, ...]
+    __slots__ = ("args",)
+
+    def __new__(cls, args: Tuple[Formula, ...]) -> "FAnd":
+        args = tuple(args)
+        key = (cls, args)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        self.args = args
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __repr__(self) -> str:
+        return f"FAnd(args={self.args!r})"
+
+    def __reduce__(self):
+        return (FAnd, (self.args,))
 
 
-@dataclass(frozen=True)
 class FOr(Formula):
-    args: Tuple[Formula, ...]
+    __slots__ = ("args",)
+
+    def __new__(cls, args: Tuple[Formula, ...]) -> "FOr":
+        args = tuple(args)
+        key = (cls, args)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = _new_node(cls, key)
+        self.args = args
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __repr__(self) -> str:
+        return f"FOr(args={self.args!r})"
+
+    def __reduce__(self):
+        return (FOr, (self.args,))
 
 
 # ---------------------------------------------------------------------------
@@ -105,16 +249,16 @@ def mk_atom(op: str, lhs: LinExpr, rhs: LinExpr = None) -> Formula:
     if op == "=":
         # Canonical orientation for equalities: make the leading
         # coefficient positive so `x = y` and `y = x` coincide.
-        lead = min(diff.terms)
+        lead = min(diff.iter_terms())[0]
         if diff.coeff(lead) < 0:
             diff = -diff
     return FAtom(op, diff)
 
 
 def mk_not(operand: Formula) -> Formula:
-    if isinstance(operand, FTrue):
+    if operand is TRUE_F:
         return FALSE_F
-    if isinstance(operand, FFalse):
+    if operand is FALSE_F:
         return TRUE_F
     if isinstance(operand, FNot):
         return operand.operand
@@ -185,46 +329,86 @@ def mk_ite(cond: Formula, then: Formula, orelse: Formula) -> Formula:
 
 
 # ---------------------------------------------------------------------------
-# Traversal helpers
+# Traversal helpers (results cached on the interned node)
 # ---------------------------------------------------------------------------
 
 
-def atoms_of(node: Formula) -> frozenset:
-    """All ``FAtom`` leaves of a formula."""
-    found = set()
-    stack = [node]
+def _children(node: Formula) -> Tuple[Formula, ...]:
+    if isinstance(node, FNot):
+        return (node.operand,)
+    if isinstance(node, (FAnd, FOr)):
+        return node.args
+    return ()
+
+
+def _fill_leaf_caches(root: Formula) -> None:
+    """Compute and cache the atom/bvar/arith-var sets for ``root``.
+
+    Iterative post-order (two-phase stack, safe for shared sub-DAGs):
+    caches already present on shared subterms are reused, so across a
+    workload each distinct node is visited once.
+    """
+    stack = [(root, False)]
     while stack:
-        item = stack.pop()
-        if isinstance(item, FAtom):
-            found.add(item)
-        elif isinstance(item, FNot):
-            stack.append(item.operand)
-        elif isinstance(item, (FAnd, FOr)):
-            stack.extend(item.args)
-    return frozenset(found)
+        node, ready = stack.pop()
+        if node._atoms is not None:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for child in _children(node):
+                if child._atoms is None:
+                    stack.append((child, False))
+            continue
+        if isinstance(node, FAtom):
+            node._atoms = frozenset((node,))
+            node._bvars = _EMPTY
+            node._avars = frozenset(node.expr.variables())
+        elif isinstance(node, BVar):
+            node._atoms = _EMPTY
+            node._bvars = frozenset((node,))
+            node._avars = _EMPTY
+        elif isinstance(node, FNot):
+            child = node.operand
+            node._atoms = child._atoms
+            node._bvars = child._bvars
+            node._avars = child._avars
+        elif isinstance(node, (FAnd, FOr)):
+            atoms = []
+            bvars = []
+            avars = []
+            for child in node.args:
+                atoms.append(child._atoms)
+                bvars.append(child._bvars)
+                avars.append(child._avars)
+            node._atoms = frozenset().union(*atoms) if atoms else _EMPTY
+            node._bvars = frozenset().union(*bvars) if bvars else _EMPTY
+            node._avars = frozenset().union(*avars) if avars else _EMPTY
+        else:  # FTrue / FFalse
+            node._atoms = _EMPTY
+            node._bvars = _EMPTY
+            node._avars = _EMPTY
+
+
+def atoms_of(node: Formula) -> frozenset:
+    """All ``FAtom`` leaves of a formula (cached on the node)."""
+    if node._atoms is None:
+        _fill_leaf_caches(node)
+    return node._atoms
 
 
 def bool_vars_of(node: Formula) -> frozenset:
-    """All ``BVar`` leaves of a formula."""
-    found = set()
-    stack = [node]
-    while stack:
-        item = stack.pop()
-        if isinstance(item, BVar):
-            found.add(item)
-        elif isinstance(item, FNot):
-            stack.append(item.operand)
-        elif isinstance(item, (FAnd, FOr)):
-            stack.extend(item.args)
-    return frozenset(found)
+    """All ``BVar`` leaves of a formula (cached on the node)."""
+    if node._atoms is None:
+        _fill_leaf_caches(node)
+    return node._bvars
 
 
 def arith_vars_of(node: Formula) -> frozenset:
-    """All arithmetic variable names occurring in a formula's atoms."""
-    names = set()
-    for atom in atoms_of(node):
-        names.update(atom.expr.variables())
-    return frozenset(names)
+    """All arithmetic variable names occurring in a formula's atoms
+    (cached on the node)."""
+    if node._atoms is None:
+        _fill_leaf_caches(node)
+    return node._avars
 
 
 def evaluate(node: Formula, arith: dict, booleans: dict = None) -> bool:

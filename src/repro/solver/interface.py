@@ -24,6 +24,7 @@ from repro.lang import ast
 from repro.solver import formula as F
 from repro.solver.context import Model, QueryCache, entry_from_result, normalize_query
 from repro.solver.encode import Encoder
+from repro.solver.profile import SolverProfile
 from repro.solver.smt import SatResult, SMTSolver
 
 
@@ -46,6 +47,8 @@ class ValidityChecker:
         self.queries = 0
         self.cache_hits = 0
         self.solve_calls = 0
+        #: Inner-loop counters accumulated over every solve this checker ran.
+        self.profile = SolverProfile()
 
     # -- core entailment -------------------------------------------------------
 
@@ -110,7 +113,7 @@ class ValidityChecker:
 
     def _solve(self, goal: ast.Expr, premises: Tuple[ast.Expr, ...]) -> SatResult:
         encoder = Encoder(bool_vars=self.bool_vars)
-        solver = SMTSolver()
+        solver = SMTSolver(profile=self.profile)
         for premise in premises:
             solver.add(encoder.boolean(premise))
         solver.add(F.mk_not(encoder.boolean(goal)))

@@ -2,8 +2,12 @@
 
 A :class:`LinExpr` is ``constant + Σ coeff_i · var_i`` with ``Fraction``
 coefficients and string variable names.  Instances are immutable and
-hashable, which lets the theory layer key slack variables by the linear
-form they stand for.
+**interned** (see :mod:`repro.solver.intern`): two structurally equal
+expressions are the same object, so equality is pointer equality,
+hashing is a precomputed integer, and derived data — the sorted variable
+tuple, the scale-canonical form — is computed once per distinct
+expression.  This lets the theory layer key slack variables by the
+linear form they stand for, and lets formula nodes hash in O(1).
 """
 
 from __future__ import annotations
@@ -11,25 +15,46 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
+from repro.solver import intern
+
 Number = Union[int, Fraction]
+
+_ZERO = Fraction(0)
 
 
 class LinExpr:
-    """An immutable linear expression ``constant + Σ coeffs[v] · v``."""
+    """An immutable, interned linear expression ``constant + Σ coeffs[v] · v``."""
 
-    __slots__ = ("_terms", "_constant", "_key", "_hash")
+    __slots__ = ("_terms", "_constant", "_key", "_hash", "_vars", "_norm")
 
-    def __init__(self, terms: Mapping[str, Fraction] = None, constant: Number = 0) -> None:
+    def __new__(cls, terms: Mapping[str, Fraction] = None, constant: Number = 0) -> "LinExpr":
         clean: Dict[str, Fraction] = {}
         if terms:
             for name, coeff in terms.items():
-                coeff = Fraction(coeff)
+                if not isinstance(coeff, Fraction):
+                    coeff = Fraction(coeff)
                 if coeff != 0:
                     clean[name] = coeff
+        if not isinstance(constant, Fraction):
+            constant = Fraction(constant)
+        key = (tuple(sorted(clean.items())), constant)
+        node = intern._TABLE.get(key)
+        if node is not None:
+            intern.hits += 1
+            return node
+        intern.misses += 1
+        self = object.__new__(cls)
         self._terms = clean
-        self._constant = Fraction(constant)
-        self._key = (tuple(sorted(self._terms.items())), self._constant)
-        self._hash = hash(self._key)
+        self._constant = constant
+        self._key = key
+        self._hash = hash(key)
+        self._vars = None
+        self._norm = None
+        # setdefault: atomic canonicalization under concurrent builders.
+        return intern._TABLE.setdefault(key, self)
+
+    def __reduce__(self):
+        return (_rebuild, (dict(self._terms), self._constant))
 
     # -- constructors -------------------------------------------------------
 
@@ -47,15 +72,21 @@ class LinExpr:
     def terms(self) -> Dict[str, Fraction]:
         return dict(self._terms)
 
+    def iter_terms(self):
+        """The internal ``(name, coeff)`` items — do not mutate."""
+        return self._terms.items()
+
     @property
     def const(self) -> Fraction:
         return self._constant
 
     def coeff(self, name: str) -> Fraction:
-        return self._terms.get(name, Fraction(0))
+        return self._terms.get(name, _ZERO)
 
     def variables(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._terms))
+        if self._vars is None:
+            self._vars = tuple(sorted(self._terms))
+        return self._vars
 
     def is_constant(self) -> bool:
         return not self._terms
@@ -72,7 +103,7 @@ class LinExpr:
             return LinExpr(self._terms, self._constant + other)
         merged = dict(self._terms)
         for name, coeff in other._terms.items():
-            merged[name] = merged.get(name, Fraction(0)) + coeff
+            merged[name] = merged.get(name, _ZERO) + coeff
         return LinExpr(merged, self._constant + other._constant)
 
     __radd__ = __add__
@@ -133,20 +164,24 @@ class LinExpr:
         """A scale-canonical form: divide by the leading coefficient's
         absolute value so that syntactically proportional expressions share
         one slack variable.  Returns ``(canonical, factor)`` with
-        ``self == canonical * factor`` and ``factor > 0``.
+        ``self == canonical * factor`` and ``factor > 0``.  Cached on the
+        interned node.
         """
-        if not self._terms:
-            return self, Fraction(1)
-        lead = min(self._terms)
-        factor = abs(self._terms[lead])
-        if factor == 1:
-            return self, Fraction(1)
-        return self.scale(1 / factor), factor
+        if self._norm is None:
+            if not self._terms:
+                self._norm = (self, Fraction(1))
+            else:
+                lead = min(self._terms)
+                factor = abs(self._terms[lead])
+                if factor == 1:
+                    self._norm = (self, Fraction(1))
+                else:
+                    self._norm = (self.scale(1 / factor), factor)
+        return self._norm
 
     # -- dunder -------------------------------------------------------------
 
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, LinExpr) and self._key == other._key
+    # Equality is object identity (inherited) — correct under interning.
 
     def __hash__(self) -> int:
         return self._hash
@@ -163,6 +198,11 @@ class LinExpr:
         if self._constant != 0 or not parts:
             parts.append(str(self._constant))
         return " + ".join(parts).replace("+ -", "- ")
+
+
+def _rebuild(terms: Dict[str, Fraction], constant: Fraction) -> LinExpr:
+    """Pickle helper: re-intern on load."""
+    return LinExpr(terms, constant)
 
 
 def lin_sum(exprs: Iterable[LinExpr]) -> LinExpr:

@@ -1,19 +1,43 @@
 """A CDCL SAT solver.
 
 Implements the standard architecture: two-watched-literal propagation,
-first-UIP conflict analysis with clause learning, VSIDS-style activity
-ordering with exponential decay, and geometric restarts.  The solver is
-incremental in the limited way DPLL(T) needs: new clauses (theory
-conflicts) can be added between ``solve()`` calls.
+first-UIP conflict analysis with clause learning, heap-based VSIDS
+activity ordering with exponential decay, phase saving, **Luby-sequence
+restarts** and **learned-clause database reduction by LBD** (literal
+block distance — the number of distinct decision levels in a learned
+clause; low-LBD "glue" clauses are kept forever, high-LBD ones are
+periodically dropped).  The solver is incremental in the way DPLL(T)
+needs: new clauses (theory conflicts, scoped assertions) can be added
+between ``solve()`` calls, and ``solve(assumptions)`` treats the
+assumptions as temporary first decisions.
+
+Clause-database reduction only ever removes clauses the solver *learned*
+itself (they are implied by the rest, so removal is sound and cannot
+change SAT/UNSAT answers); clauses added through :meth:`add_clause` —
+problem clauses, selector-guarded scope clauses, theory lemmas — are
+permanent.
 
 Literals follow the DIMACS convention: nonzero ints, ``-v`` negates.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.solver.profile import SolverProfile
+
 Literal = int
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-indexed) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …"""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
 
 
 class Unsatisfiable(Exception):
@@ -21,10 +45,26 @@ class Unsatisfiable(Exception):
 
 
 class CDCLSolver:
-    """A self-contained CDCL solver over int literals."""
+    """A self-contained CDCL solver over int literals.
 
-    def __init__(self, num_vars: int = 0) -> None:
+    ``restart_base`` scales the Luby sequence (conflicts until the i-th
+    restart = ``restart_base * luby(i)``); ``reduce_base``/``reduce_inc``
+    schedule learned-clause database reductions (first reduction after
+    ``reduce_base`` conflicts, then every ``reduce_inc`` more).  Tests
+    shrink these to exercise the machinery on small instances.
+    """
+
+    def __init__(
+        self,
+        num_vars: int = 0,
+        profile: Optional[SolverProfile] = None,
+        restart_base: int = 100,
+        reduce_base: int = 2000,
+        reduce_inc: int = 1000,
+        activity_decay: float = 0.95,
+    ) -> None:
         self.num_vars = 0
+        self.profile = profile if profile is not None else SolverProfile()
         # Assignment state: values[v] in (True, False, None), 1-indexed.
         self._values: List[Optional[bool]] = [None]
         self._level_of: List[int] = [0]
@@ -34,13 +74,23 @@ class CDCLSolver:
         self._trail: List[Literal] = []
         self._trail_limits: List[int] = []
         self._propagate_head = 0
-        # Clause store: each clause is a list of literals; watches index it.
-        self._clauses: List[List[Literal]] = []
+        # Clause store: each clause is a list of literals (None = deleted);
+        # watch lists hold indices and are cleaned lazily.
+        self._clauses: List[Optional[List[Literal]]] = []
         self._watches: Dict[Literal, List[int]] = {}
+        # Learned-clause bookkeeping for DB reduction.
+        self._learned: List[int] = []
+        self._lbd: Dict[int, int] = {}
         self._activity_inc = 1.0
-        self._activity_decay = 0.95
-        self._conflicts_until_restart = 100
-        self._restart_multiplier = 1.5
+        self._activity_decay = activity_decay
+        self._restart_base = restart_base
+        self._reduce_limit = reduce_base
+        self._reduce_inc = reduce_inc
+        self._conflicts_total = 0
+        self._restarts_total = 0
+        # VSIDS decision heap of (-activity, var); entries go stale when a
+        # var is bumped (a fresher entry is pushed) — stale pops are skipped.
+        self._heap: List[Tuple[float, int]] = []
         self._unsat = False
         self.ensure_vars(num_vars)
 
@@ -54,6 +104,7 @@ class CDCLSolver:
             self._reason.append(None)
             self._activity.append(0.0)
             self._phase.append(False)
+            heapq.heappush(self._heap, (0.0, self.num_vars))
 
     def new_var(self) -> int:
         self.ensure_vars(self.num_vars + 1)
@@ -66,7 +117,7 @@ class CDCLSolver:
         return value if literal > 0 else not value
 
     def add_clause(self, literals: Iterable[Literal]) -> None:
-        """Add a clause; safe to call between ``solve()`` invocations."""
+        """Add a permanent clause; safe to call between ``solve()`` calls."""
         clause = []
         seen = set()
         for literal in literals:
@@ -96,11 +147,14 @@ class CDCLSolver:
             return
         self._attach(clause)
 
-    def _attach(self, clause: List[Literal]) -> int:
+    def _attach(self, clause: List[Literal], lbd: Optional[int] = None) -> int:
         index = len(self._clauses)
         self._clauses.append(clause)
         self._watches.setdefault(clause[0], []).append(index)
         self._watches.setdefault(clause[1], []).append(index)
+        if lbd is not None:
+            self._learned.append(index)
+            self._lbd[index] = lbd
         return index
 
     # -- trail management ----------------------------------------------------
@@ -123,11 +177,14 @@ class CDCLSolver:
         if self._decision_level() <= level:
             return
         limit = self._trail_limits[level]
+        heap = self._heap
+        activity = self._activity
         for literal in reversed(self._trail[limit:]):
             var = abs(literal)
             self._phase[var] = self._values[var]
             self._values[var] = None
             self._reason[var] = None
+            heapq.heappush(heap, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_limits[level:]
         self._propagate_head = min(self._propagate_head, len(self._trail))
@@ -135,53 +192,94 @@ class CDCLSolver:
     # -- propagation ----------------------------------------------------------
 
     def _propagate(self) -> Optional[List[Literal]]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._propagate_head < len(self._trail):
-            literal = self._trail[self._propagate_head]
-            self._propagate_head += 1
-            falsified = -literal
-            watch_list = self._watches.get(falsified, [])
-            kept: List[int] = []
-            i = 0
-            while i < len(watch_list):
-                index = watch_list[i]
-                i += 1
-                clause = self._clauses[index]
-                # Normalize: watched literals are clause[0], clause[1].
-                if clause[0] == falsified:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self.value(first) is True:
+        """Unit propagation; returns a conflicting clause or None.
+
+        The literal-value checks are inlined (``values[var] == (lit > 0)``
+        instead of :meth:`value` calls) — this loop is the SAT core's
+        hottest path by an order of magnitude.
+        """
+        clauses = self._clauses
+        values = self._values
+        watches = self._watches
+        trail = self._trail
+        propagated = 0
+        try:
+            while self._propagate_head < len(trail):
+                literal = trail[self._propagate_head]
+                self._propagate_head += 1
+                falsified = -literal
+                watch_list = watches.get(falsified)
+                if not watch_list:
+                    continue
+                kept: List[int] = []
+                i = 0
+                n = len(watch_list)
+                while i < n:
+                    index = watch_list[i]
+                    i += 1
+                    clause = clauses[index]
+                    if clause is None:
+                        continue  # deleted: drop from this watch list
+                    # Normalize: watched literals are clause[0], clause[1].
+                    if clause[0] == falsified:
+                        clause[0], clause[1] = clause[1], clause[0]
+                    first = clause[0]
+                    var0 = first if first > 0 else -first
+                    val0 = values[var0]
+                    if val0 is not None and val0 == (first > 0):
+                        kept.append(index)  # satisfied by its other watch
+                        continue
+                    # Look for a replacement watch.
+                    moved = False
+                    for k in range(2, len(clause)):
+                        other = clause[k]
+                        val = values[other if other > 0 else -other]
+                        if val is None or val == (other > 0):
+                            clause[1], clause[k] = other, clause[1]
+                            entry = watches.get(other)
+                            if entry is None:
+                                watches[other] = [index]
+                            else:
+                                entry.append(index)
+                            moved = True
+                            break
+                    if moved:
+                        continue
                     kept.append(index)
-                    continue
-                # Look for a replacement watch.
-                moved = False
-                for k in range(2, len(clause)):
-                    if self.value(clause[k]) is not False:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches.setdefault(clause[1], []).append(index)
-                        moved = True
-                        break
-                if moved:
-                    continue
-                kept.append(index)
-                if self.value(first) is False:
-                    # Conflict: restore remaining watches and report.
-                    kept.extend(watch_list[i:])
-                    self._watches[falsified] = kept
-                    return clause
-                self._enqueue(first, clause)
-            self._watches[falsified] = kept
-        return None
+                    if val0 is not None:
+                        # first is false: conflict.  Restore the
+                        # remaining watches and report.
+                        kept.extend(watch_list[i:])
+                        watches[falsified] = kept
+                        return clause
+                    # Unit: enqueue first with this clause as reason.
+                    propagated += 1
+                    values[var0] = first > 0
+                    self._level_of[var0] = len(self._trail_limits)
+                    self._reason[var0] = clause
+                    trail.append(first)
+                watches[falsified] = kept
+            return None
+        finally:
+            self.profile.propagations += propagated
 
     # -- conflict analysis ----------------------------------------------------
 
     def _bump(self, var: int) -> None:
-        self._activity[var] += self._activity_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self.num_vars + 1):
-                self._activity[v] *= 1e-100
-            self._activity_inc *= 1e-100
+        activity = self._activity[var] + self._activity_inc
+        self._activity[var] = activity
+        if activity > 1e100:
+            self._rescale_activities()
+        else:
+            heapq.heappush(self._heap, (-activity, var))
+
+    def _rescale_activities(self) -> None:
+        for v in range(1, self.num_vars + 1):
+            self._activity[v] *= 1e-100
+        self._activity_inc *= 1e-100
+        # Every heap entry is now stale; rebuild from current activities.
+        self._heap = [(-self._activity[v], v) for v in range(1, self.num_vars + 1)]
+        heapq.heapify(self._heap)
 
     def _analyze(self, conflict: List[Literal]) -> Tuple[List[Literal], int]:
         """First-UIP learning; returns (learned clause, backtrack level)."""
@@ -225,18 +323,61 @@ class CDCLSolver:
         back_level = max(self._level_of[abs(l)] for l in learned[1:])
         return learned, back_level
 
+    def _clause_lbd(self, clause: Sequence[Literal]) -> int:
+        """Literal block distance: distinct decision levels in the clause."""
+        return len({self._level_of[abs(l)] for l in clause})
+
+    # -- clause database reduction ---------------------------------------------
+
+    def _locked(self, clause: List[Literal]) -> bool:
+        """Is the clause currently the reason of an implied literal?
+
+        The implied literal of a reason clause always sits at a watched
+        position (index 0 or 1), so two identity checks suffice.
+        """
+        if self._reason[abs(clause[0])] is clause:
+            return True
+        return len(clause) > 1 and self._reason[abs(clause[1])] is clause
+
+    def _reduce_db(self) -> None:
+        """Drop the worst half of the learned clauses, by LBD.
+
+        Glue clauses (LBD <= 2), binary clauses and clauses currently
+        acting as reasons are kept.  Watch lists are cleaned lazily
+        during propagation.
+        """
+        alive = [i for i in self._learned if self._clauses[i] is not None]
+        candidates = [
+            i
+            for i in alive
+            if self._lbd[i] > 2
+            and len(self._clauses[i]) > 2
+            and not self._locked(self._clauses[i])
+        ]
+        if not candidates:
+            self._learned = alive
+            return
+        # Highest LBD (ties: longer clause) goes first.
+        candidates.sort(key=lambda i: (self._lbd[i], len(self._clauses[i])))
+        doomed = candidates[len(candidates) // 2:]
+        for index in doomed:
+            self._clauses[index] = None
+            del self._lbd[index]
+        self.profile.deleted_clauses += len(doomed)
+        dead = set(doomed)
+        self._learned = [i for i in alive if i not in dead]
+
     # -- main loop --------------------------------------------------------------
 
     def _pick_branch(self) -> Optional[Literal]:
-        best_var = None
-        best_activity = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self._values[var] is None and self._activity[var] > best_activity:
-                best_var = var
-                best_activity = self._activity[var]
-        if best_var is None:
-            return None
-        return best_var if self._phase[best_var] else -best_var
+        heap = self._heap
+        values = self._values
+        activity = self._activity
+        while heap:
+            neg_activity, var = heapq.heappop(heap)
+            if values[var] is None and -neg_activity == activity[var]:
+                return var if self._phase[var] else -var
+        return None
 
     def solve(self, assumptions: Sequence[Literal] = ()) -> bool:
         """Solve the current clause set; returns True iff satisfiable.
@@ -250,8 +391,9 @@ class CDCLSolver:
         if self._propagate() is not None:
             self._unsat = True
             return False
-        conflicts = 0
-        restart_limit = self._conflicts_until_restart
+        conflicts_since_restart = 0
+        restart_index = 1
+        restart_limit = self._restart_base * luby(restart_index)
         try:
             while True:
                 conflict = self._propagate()
@@ -264,7 +406,9 @@ class CDCLSolver:
                     learned, back_level = self._analyze(conflict)
                     back_level = max(back_level, len(assumptions))
                     self._backtrack(back_level)
-                    conflicts += 1
+                    conflicts_since_restart += 1
+                    self._conflicts_total += 1
+                    self.profile.conflicts += 1
                     self._activity_inc /= self._activity_decay
                     if len(learned) == 1 and back_level == 0:
                         if not self._enqueue(learned[0], None):
@@ -276,14 +420,24 @@ class CDCLSolver:
                             levels = [self._level_of[abs(l)] for l in clause]
                             k = max(range(1, len(clause)), key=lambda j: levels[j])
                             clause[1], clause[k] = clause[k], clause[1]
-                            index = self._attach(clause)
+                            index = self._attach(clause, lbd=self._clause_lbd(clause))
+                            self.profile.learned_clauses += 1
                             self._enqueue(clause[0], self._clauses[index])
                         else:
                             self._enqueue(clause[0], None)
-                    if conflicts >= restart_limit and self._decision_level() > len(assumptions):
-                        conflicts = 0
-                        restart_limit = int(restart_limit * self._restart_multiplier)
+                    if (
+                        conflicts_since_restart >= restart_limit
+                        and self._decision_level() > len(assumptions)
+                    ):
+                        conflicts_since_restart = 0
+                        restart_index += 1
+                        restart_limit = self._restart_base * luby(restart_index)
+                        self._restarts_total += 1
+                        self.profile.restarts += 1
                         self._backtrack(len(assumptions))
+                        if self._conflicts_total >= self._reduce_limit:
+                            self._reduce_db()
+                            self._reduce_limit += self._reduce_inc
                     continue
 
                 # Apply pending assumptions as decisions.
@@ -300,6 +454,7 @@ class CDCLSolver:
                 branch = self._pick_branch()
                 if branch is None:
                     return True
+                self.profile.decisions += 1
                 self._trail_limits.append(len(self._trail))
                 self._enqueue(branch, None)
         except Unsatisfiable:

@@ -35,6 +35,7 @@ from repro.solver import formula as F
 from repro.solver.cnf import TseitinEncoder
 from repro.solver.delta import DeltaRat
 from repro.solver.linear import LinExpr
+from repro.solver.profile import SolverProfile
 from repro.solver.sat import CDCLSolver
 from repro.solver.simplex import Infeasible, Simplex
 
@@ -65,13 +66,29 @@ class SMTSolver:
     benchmark suite reports).
     """
 
-    def __init__(self, max_rounds: int = 100_000) -> None:
+    def __init__(self, max_rounds: int = 100_000, profile: Optional[SolverProfile] = None) -> None:
         self._encoder = TseitinEncoder()
         self._max_rounds = max_rounds
+        #: Inner-loop counters, shared with both engines below.
+        self.profile = profile if profile is not None else SolverProfile()
         # Persistent engines.
-        self._sat = CDCLSolver()
-        self._simplex = Simplex()
+        self._sat = CDCLSolver(profile=self.profile)
+        self._simplex = Simplex(profile=self.profile)
         self._slack_of: Dict[LinExpr, Tuple[str, Fraction]] = {}
+        # SAT var -> precomputed bound plan for its atom: (simplex var,
+        # upper-if-true, lower-if-true, upper-if-false, lower-if-false).
+        # Computed once per atom; every DPLL(T) round replays plans
+        # instead of renormalizing LinExprs and rebuilding DeltaRats.
+        self._atom_plan: Dict[
+            int,
+            Tuple[
+                str,
+                Optional[DeltaRat],
+                Optional[DeltaRat],
+                Optional[DeltaRat],
+                Optional[DeltaRat],
+            ],
+        ] = {}
         # Incremental bookkeeping.
         self._synced = 0  # clauses already handed to the SAT core
         self._splits_done: Set[int] = set()  # equality atoms already split
@@ -131,38 +148,57 @@ class SMTSolver:
 
         assumptions = tuple(self._scopes)
         self.solve_calls += 1
+        self.profile.solve_calls += 1
         rounds = 0
         while rounds < self._max_rounds:
             rounds += 1
+            self.profile.rounds += 1
             if not self._sat.solve(assumptions):
                 return SatResult("unsat")
-            model = self._sat.model()
+            sat_values = self._sat._values  # direct view; True/False/None
 
-            self._simplex.reset_bounds()
-            conflict: Optional[set] = None
+            # Bracket this candidate model's bounds with the simplex
+            # trail: popping restores the base (empty) bound state in
+            # O(changes) instead of reset + full re-assertion.
+            self._simplex.push_state()
             try:
-                for var, atom in cnf.atom_of_var.items():
-                    value = model.get(var)
-                    if value is None:
-                        continue
-                    literal = var if value else -var
-                    if value:
-                        self._assert_atom(atom, literal)
-                    else:
-                        self._assert_negated_atom(atom, literal)
-                self._simplex.check()
-            except Infeasible as err:
-                conflict = {t for t in err.conflict if isinstance(t, int)}
+                conflict: Optional[set] = None
+                try:
+                    plans = self._atom_plan
+                    simplex = self._simplex
+                    for var, atom in cnf.atom_of_var.items():
+                        value = sat_values[var]
+                        if value is None:
+                            continue
+                        plan = plans.get(var)
+                        if plan is None:
+                            plan = self._plan_atom(var, atom)
+                        name, pos_upper, pos_lower, neg_upper, neg_lower = plan
+                        if value:
+                            if pos_upper is not None:
+                                simplex.assert_upper(name, pos_upper, var)
+                            if pos_lower is not None:
+                                simplex.assert_lower(name, pos_lower, var)
+                        else:
+                            if neg_upper is not None:
+                                simplex.assert_upper(name, neg_upper, -var)
+                            if neg_lower is not None:
+                                simplex.assert_lower(name, neg_lower, -var)
+                    simplex.check()
+                except Infeasible as err:
+                    conflict = {t for t in err.conflict if isinstance(t, int)}
 
-            if conflict is None:
-                arith = self._simplex.concrete_model()
-                arith = {k: v for k, v in arith.items() if not k.startswith("%")}
-                booleans = {
-                    name: model[var]
-                    for var, name in cnf.bool_of_var.items()
-                    if var in model
-                }
-                return SatResult("sat", arith, booleans)
+                if conflict is None:
+                    arith = self._simplex.concrete_model()
+                    arith = {k: v for k, v in arith.items() if not k.startswith("%")}
+                    booleans = {
+                        name: sat_values[var]
+                        for var, name in cnf.bool_of_var.items()
+                        if sat_values[var] is not None
+                    }
+                    return SatResult("sat", arith, booleans)
+            finally:
+                self._simplex.pop_state()
 
             # Learn the theory conflict and continue.  Theory lemmas are
             # valid independently of any scope, so they persist across
@@ -172,28 +208,47 @@ class SMTSolver:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _bound_target(self, expr: LinExpr) -> Tuple[str, Fraction, Fraction]:
+    def _bound_target(self, expr: LinExpr) -> Tuple[str, int, Fraction]:
         """Map ``expr OP 0`` to a bound on a single simplex variable.
 
-        Returns ``(var, scale, shift)`` with ``expr == scale*(var) +
-        shift`` and ``scale > 0``; the bound ``expr <= 0`` becomes
-        ``var <= -shift/scale``.
+        Returns ``(var, sign, limit)`` such that ``expr <= 0`` is
+        ``var <= limit`` when ``sign > 0`` and ``var >= limit`` when
+        ``sign < 0`` (strictness carries over; ``expr = 0`` pins ``var``
+        to ``limit`` either way).
+
+        Single-variable expressions bound the variable directly — in
+        *both* orientations, so ``x >= c`` (normalized ``-x + c``) costs
+        no tableau row.  Multi-variable bodies share one slack variable
+        per sign-canonical form: ``x - y`` and ``y - x`` hit the same
+        row with opposite signs.
         """
-        canon, factor = expr.normalized()
+        canon, _ = expr.normalized()
         shift = canon.const
         body = canon - shift
-        terms = body.terms
-        if len(terms) == 1:
-            ((name, coeff),) = terms.items()
+        names = body.variables()
+        if len(names) == 1:
+            name = names[0]
+            coeff = body.coeff(name)
+            # normalized() scales by |lead coeff|, so coeff is ±1 here.
             if coeff == 1:
                 self._simplex.add_variable(name)
-                return name, factor, shift * factor
-        if body not in self._slack_of:
+                return name, 1, -shift
+            if coeff == -1:
+                self._simplex.add_variable(name)
+                return name, -1, shift
+        sign = 1
+        if body.coeff(names[0]) < 0:
+            body = -body
+            sign = -1
+        slack_entry = self._slack_of.get(body)
+        if slack_entry is None:
             slack = f"%s{len(self._slack_of)}"
             self._simplex.define(slack, body)
             self._slack_of[body] = (slack, Fraction(1))
-        slack, _ = self._slack_of[body]
-        return slack, factor, shift * factor
+            slack_entry = self._slack_of[body]
+        slack, _ = slack_entry
+        # canon OP 0  ⇔  sign*body + shift OP 0  ⇔  sign*slack OP -shift.
+        return slack, sign, -shift if sign > 0 else shift
 
     def _add_equality_splits(self) -> None:
         cnf = self._encoder.cnf
@@ -209,30 +264,39 @@ class SMTSolver:
             self._encoder.cnf.clauses.append((-var, -lt))
             self._encoder.cnf.clauses.append((-var, -gt))
 
-    def _assert_atom(self, atom: F.FAtom, tag: int) -> None:
-        var, scale, shift = self._bound_target(atom.expr)
-        # atom.expr OP 0  with  atom.expr = scale*var + shift, scale > 0.
-        limit = -shift / scale
-        if atom.op == "<=":
-            self._simplex.assert_upper(var, DeltaRat(limit), tag)
-        elif atom.op == "<":
-            self._simplex.assert_upper(var, DeltaRat(limit, Fraction(-1)), tag)
-        else:  # "="
-            self._simplex.assert_upper(var, DeltaRat(limit), tag)
-            self._simplex.assert_lower(var, DeltaRat(limit), tag)
+    def _plan_atom(
+        self, var: int, atom: F.FAtom
+    ) -> Tuple[
+        str,
+        Optional[DeltaRat],
+        Optional[DeltaRat],
+        Optional[DeltaRat],
+        Optional[DeltaRat],
+    ]:
+        """Precompute the simplex bounds the atom induces, both polarities.
 
-    def _assert_negated_atom(self, atom: F.FAtom, tag: int) -> None:
+        The plan is ``(target, pos_upper, pos_lower, neg_upper,
+        neg_lower)``: the upper/lower bounds to assert on ``target`` when
+        the atom is true (``pos_*``) or false (``neg_*``); strict bounds
+        carry a ∓δ.  A negated equality asserts nothing — it is handled
+        by the equality split clause.
+        """
+        target, sign, limit = self._bound_target(atom.expr)
+        weak = DeltaRat(limit)
         if atom.op == "=":
-            # Handled by the split clause; nothing to assert.
-            return
-        var, scale, shift = self._bound_target(atom.expr)
-        limit = -shift / scale
-        if atom.op == "<=":
-            # ¬(e <= 0) is e > 0.
-            self._simplex.assert_lower(var, DeltaRat(limit, Fraction(1)), tag)
-        else:
-            # ¬(e < 0) is e >= 0.
-            self._simplex.assert_lower(var, DeltaRat(limit), tag)
+            plan = (target, weak, weak, None, None)
+        elif atom.op == "<=":
+            if sign > 0:  # true: target <= limit; false: target > limit
+                plan = (target, weak, None, None, DeltaRat(limit, Fraction(1)))
+            else:  # true: target >= limit; false: target < limit
+                plan = (target, None, weak, DeltaRat(limit, Fraction(-1)), None)
+        else:  # "<"
+            if sign > 0:  # true: target < limit; false: target >= limit
+                plan = (target, DeltaRat(limit, Fraction(-1)), None, None, weak)
+            else:  # true: target > limit; false: target <= limit
+                plan = (target, None, DeltaRat(limit, Fraction(1)), weak, None)
+        self._atom_plan[var] = plan
+        return plan
 
 
 def check_formulas(*assertions: F.Formula, max_rounds: int = 100_000) -> SatResult:

@@ -30,9 +30,11 @@ from repro.core import preconditions
 from repro.core.simplify import simplify
 from repro.lang import ast
 from repro.solver import formula as F
+from repro.solver import intern
 from repro.solver.context import ContextStats, Model, QueryCache, SolverContext
 from repro.solver.encode import EncodeError, Encoder
 from repro.solver.interface import ValidityChecker
+from repro.solver.profile import SolverProfile
 from repro.target.transform import TargetProgram
 from repro.verify import lemmas as lemma_mod
 from repro.verify.vcgen import Obligation, VCGenerator
@@ -67,6 +69,10 @@ class VerificationConfig:
     collect_models: bool = True
     incremental: bool = True
     jobs: int = 1
+    #: Attach the inner-loop :class:`SolverProfile` counters (pivots,
+    #: propagations, conflicts, restarts, interned-node hits…) to the
+    #: outcome.  Collection is always on; this flag controls reporting.
+    profile: bool = False
 
 
 @dataclass
@@ -110,6 +116,9 @@ class VerificationOutcome:
     context_pushes: int = 0
     context_pops: int = 0
     jobs: int = 1
+    #: Inner-loop counters (see :class:`SolverProfile`), attached when the
+    #: configuration asked for profiling.
+    profile: Optional[Dict[str, int]] = None
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
@@ -119,7 +128,7 @@ class VerificationOutcome:
         )
 
     def solver_stats(self) -> Dict[str, int]:
-        return {
+        stats = {
             "queries": self.solver_queries,
             "cache_hits": self.cache_hits,
             "solve_calls": self.solve_calls,
@@ -127,6 +136,9 @@ class VerificationOutcome:
             "pops": self.context_pops,
             "jobs": self.jobs,
         }
+        if self.profile is not None:
+            stats["profile"] = dict(self.profile)
+        return stats
 
 
 # ---------------------------------------------------------------------------
@@ -217,6 +229,10 @@ class ObligationChecker:
         self.jobs = max(1, jobs)
         self.validity = ValidityChecker(cache=self.cache)
         self.stats = ContextStats()
+        #: Inner-loop counters merged from every solver context this
+        #: checker ran (the one-shot path accumulates directly into
+        #: ``self.validity.profile``).
+        self.profile = SolverProfile()
 
     # -- premise assembly ------------------------------------------------------
 
@@ -296,7 +312,7 @@ class ObligationChecker:
         groups = _prefix_groups(obligations)
         results: List[Optional[ObligationFailure]] = [None] * len(obligations)
 
-        def discharge(group: "_Group") -> ContextStats:
+        def discharge(group: "_Group") -> Tuple[ContextStats, SolverProfile]:
             context = SolverContext(cache=self.cache)
             for premise in self.assumptions:
                 context.assert_expr(premise)
@@ -306,15 +322,16 @@ class ObligationChecker:
                 self._discharge_batched(context, group.members, results, on_failure)
             else:
                 self._discharge_each(context, group.members, results, skip, on_failure)
-            return context.stats
+            return context.stats, context.profile
 
         if self.jobs > 1 and len(groups) > 1:
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                stats = list(pool.map(discharge, groups))
+                accounts = list(pool.map(discharge, groups))
         else:
-            stats = [discharge(group) for group in groups]
-        for group_stats in stats:
+            accounts = [discharge(group) for group in groups]
+        for group_stats, group_profile in accounts:
             self.stats.merge(group_stats)
+            self.profile.merge(group_profile)
         return [failure for failure in results if failure is not None]
 
     def _discharge_each(self, context, members, results, skip, on_failure) -> None:
@@ -428,6 +445,13 @@ class ObligationChecker:
         stats.merge(self.stats)
         return stats
 
+    def profile_totals(self) -> SolverProfile:
+        """Inner-loop counters over the whole discharge (all strategies)."""
+        totals = SolverProfile()
+        totals.merge(self.validity.profile)
+        totals.merge(self.profile)
+        return totals
+
 
 @dataclass
 class _Group:
@@ -502,6 +526,7 @@ def verify_target(
     """
     config = config or VerificationConfig()
     start = time.perf_counter()
+    intern_hits_before, intern_misses_before = intern.counters()
 
     body = bind_command(target.body, config.bindings)
     psi = _bind_psi(target.function.precondition, config.bindings)
@@ -527,6 +552,14 @@ def verify_target(
     failures = checker.check_all(generator.obligations)
     stats = checker.solver_stats()
 
+    profile_dict: Optional[Dict[str, int]] = None
+    if config.profile:
+        profile = checker.profile_totals()
+        intern_hits, intern_misses = intern.counters()
+        profile.intern_hits = intern_hits - intern_hits_before
+        profile.intern_misses = intern_misses - intern_misses_before
+        profile_dict = profile.to_dict()
+
     return VerificationOutcome(
         verified=not failures,
         obligations_total=len(generator.obligations),
@@ -538,6 +571,7 @@ def verify_target(
         context_pushes=stats.pushes,
         context_pops=stats.pops,
         jobs=checker.jobs,
+        profile=profile_dict,
     )
 
 

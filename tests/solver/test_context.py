@@ -171,3 +171,74 @@ class TestQueryCacheNormalization:
         valid, _ = ctx.check_entailment(parse_expr("x <= 1"))
         assert valid
         assert ctx.stats.cache_hits == 1
+
+
+class TestQueryCacheLRU:
+    """The cache is a bounded LRU: eviction order, recency refresh, stats."""
+
+    @staticmethod
+    def _entry(valid=True):
+        from repro.solver.context import CacheEntry
+
+        return CacheEntry(valid=valid, status="unsat" if valid else "sat")
+
+    def test_eviction_at_capacity(self):
+        cache = QueryCache(max_entries=3)
+        for key in ("a", "b", "c", "d"):
+            cache.store(key, self._entry())
+        assert len(cache) == 3
+        assert cache.lookup("a") is None  # evicted: oldest
+        assert cache.lookup("d") is not None
+        assert cache.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = QueryCache(max_entries=2)
+        cache.store("a", self._entry())
+        cache.store("b", self._entry())
+        assert cache.lookup("a") is not None  # refresh a
+        cache.store("c", self._entry())       # evicts b, not a
+        assert cache.lookup("a") is not None
+        assert cache.lookup("b") is None
+
+    def test_store_refreshes_recency(self):
+        cache = QueryCache(max_entries=2)
+        cache.store("a", self._entry())
+        cache.store("b", self._entry())
+        cache.store("a", self._entry(valid=False))  # overwrite refreshes
+        cache.store("c", self._entry())             # evicts b
+        entry = cache.lookup("a")
+        assert entry is not None and entry.valid is False
+        assert cache.lookup("b") is None
+
+    def test_stats_dict(self):
+        cache = QueryCache(max_entries=2)
+        cache.store("a", self._entry())
+        cache.lookup("a")
+        cache.lookup("missing")
+        cache.store("b", self._entry())
+        cache.store("c", self._entry())
+        stats = cache.stats()
+        assert stats == {
+            "entries": 2,
+            "max_entries": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }
+
+    def test_default_capacity(self):
+        assert QueryCache().max_entries == 4096
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+
+    def test_clear_resets_counters(self):
+        cache = QueryCache(max_entries=1)
+        cache.store("a", self._entry())
+        cache.store("b", self._entry())
+        cache.lookup("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["evictions"] == 0

@@ -1,0 +1,118 @@
+"""Tests for term-layer hash-consing and the cached traversal results."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.solver import intern
+from repro.solver import formula as F
+from repro.solver.linear import LinExpr
+
+X = LinExpr.variable("x")
+Y = LinExpr.variable("y")
+
+
+class TestLinExprInterning:
+    def test_structurally_equal_is_identical(self):
+        a = LinExpr({"x": Fraction(2), "y": Fraction(-1)}, 3)
+        b = LinExpr({"y": Fraction(-1), "x": Fraction(2)}, 3)
+        assert a is b
+
+    def test_arithmetic_routes_through_the_table(self):
+        assert (X + Y) - X is Y
+        assert (X * 4) / 2 is X * 2
+        assert X + 0 is X
+
+    def test_zero_coefficients_normalize_to_same_node(self):
+        assert LinExpr({"x": Fraction(0), "y": Fraction(1)}) is LinExpr({"y": Fraction(1)})
+
+    def test_normalized_is_cached(self):
+        expr = X * 4 + Y * 2
+        assert expr.normalized() is expr.normalized()
+
+    def test_variables_tuple_is_cached(self):
+        expr = X + Y
+        assert expr.variables() is expr.variables()
+
+
+class TestFormulaInterning:
+    def test_atoms_are_identical(self):
+        a = F.mk_atom("<=", X, Y)
+        b = F.mk_atom("<=", X, Y)
+        assert a is b
+
+    def test_equivalent_comparisons_coincide(self):
+        assert F.mk_atom(">", Y, X) is F.mk_atom("<", X, Y)
+        assert F.mk_atom("==", X, Y) is F.mk_atom("==", Y, X)
+
+    def test_connectives_are_identical(self):
+        a, b = F.BVar("a"), F.BVar("b")
+        assert F.mk_and(a, b) is F.mk_and(a, b)
+        assert F.mk_or(a, b) is F.mk_or(a, b)
+        assert F.mk_not(a) is F.mk_not(a)
+
+    def test_singletons(self):
+        assert F.FTrue() is F.TRUE_F
+        assert F.FFalse() is F.FALSE_F
+
+    def test_hash_is_stable_and_precomputed(self):
+        node = F.mk_and(F.BVar("a"), F.mk_atom("<", X, Y))
+        assert hash(node) == hash(node)
+        assert node._hash == hash(node)
+
+    def test_interning_counters_advance(self):
+        before_hits, _ = intern.counters()
+        F.mk_atom("<=", X, Y)  # already built by earlier tests
+        F.mk_atom("<=", X, Y)
+        after_hits, _ = intern.counters()
+        assert after_hits > before_hits
+
+    def test_bad_atom_op_still_rejected(self):
+        with pytest.raises(ValueError):
+            F.FAtom("<<", X)
+
+
+class TestCachedTraversals:
+    """Regression tests: repeated calls return the *same object*."""
+
+    def _formula(self):
+        a = F.mk_atom("<=", X, Y)
+        b = F.mk_atom("<", Y, LinExpr.constant(1))
+        return F.mk_and(F.mk_or(a, F.BVar("p")), F.mk_not(b), F.BVar("q"))
+
+    def test_atoms_of_returns_same_object(self):
+        node = self._formula()
+        assert F.atoms_of(node) is F.atoms_of(node)
+
+    def test_bool_vars_of_returns_same_object(self):
+        node = self._formula()
+        assert F.bool_vars_of(node) is F.bool_vars_of(node)
+
+    def test_arith_vars_of_returns_same_object(self):
+        node = self._formula()
+        assert F.arith_vars_of(node) is F.arith_vars_of(node)
+
+    def test_traversal_contents(self):
+        node = self._formula()
+        atoms = F.atoms_of(node)
+        assert F.mk_atom("<=", X, Y) in atoms
+        assert len(atoms) == 2
+        assert {v.name for v in F.bool_vars_of(node)} == {"p", "q"}
+        assert F.arith_vars_of(node) == frozenset({"x", "y"})
+
+    def test_shared_subterms_share_caches(self):
+        a = F.mk_atom("<=", X, Y)
+        left = F.mk_and(a, F.BVar("p"))
+        right = F.mk_or(a, F.BVar("q"))
+        assert F.atoms_of(left) & F.atoms_of(right) == frozenset({a})
+        # The leaf atom's own cache is the same object in both parents.
+        assert F.atoms_of(a) is frozenset((a,)) or F.atoms_of(a) == frozenset((a,))
+
+    def test_evaluate_still_works(self):
+        node = F.mk_and(F.mk_atom("<=", X, Y), F.BVar("p"))
+        assert F.evaluate(
+            node, {"x": Fraction(0), "y": Fraction(1)}, {"p": True}
+        )
+        assert not F.evaluate(
+            node, {"x": Fraction(2), "y": Fraction(1)}, {"p": True}
+        )
