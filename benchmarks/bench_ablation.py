@@ -18,7 +18,6 @@ from repro.algorithms import get
 from repro.baselines import check_lightdp
 from repro.core.checker import check_function
 from repro.core.errors import ShadowDPTypeError
-from repro.lang import ast
 from repro.lang.pretty import pretty_command
 from repro.target.transform import to_target
 from repro.verify.verifier import VerificationConfig, verify_target

@@ -6,7 +6,6 @@ Houdini invariant inference that makes Report Noisy Max verify without
 any manual invariants.
 """
 
-import pytest
 
 from repro.algorithms import get
 from repro.automation.inference import infer_annotations

@@ -8,10 +8,9 @@ run in EXPERIMENTS.md).
 
 import pytest
 
-from benchmarks.table1 import TABLE1_ORDER, generate_table1, measure_row, render_table1
+from benchmarks.table1 import TABLE1_ORDER, generate_table1, render_table1
 from repro.algorithms import get
 from repro.core.checker import check_function
-from repro.target.transform import to_target
 from repro.verify.verifier import VerificationConfig, verify_target
 
 ROWS = [(name, extra, f"{name}{'_n1' if extra else ''}") for name, extra in TABLE1_ORDER]

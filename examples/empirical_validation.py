@@ -9,7 +9,7 @@ Table 1's "verified" column.
 Run:  python examples/empirical_validation.py
 """
 
-from repro.algorithms import all_specs, get
+from repro.algorithms import all_specs
 from repro.empirical import estimate_epsilon_lower_bound
 
 TRIALS = 12_000

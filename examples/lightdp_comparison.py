@@ -8,7 +8,7 @@ the rest of the case studies pass unchanged.
 Run:  python examples/lightdp_comparison.py
 """
 
-from repro.algorithms import all_specs, get
+from repro.algorithms import all_specs
 from repro.baselines import LIGHTDP_SUPPORTED, check_lightdp
 from repro.core.errors import ShadowDPTypeError
 

@@ -1,0 +1,134 @@
+"""Two further Table-1-style case studies: the scalar Laplace mechanism
+and Above Threshold (one-shot Sparse Vector).
+
+Both are aligned-only (LightDP-fragment) algorithms exercising the
+CFG-based IR end to end through the registry sweep:
+
+* **LaplaceMech** — the textbook mechanism on one sensitivity-1 query:
+  a loop-free program whose CFG is a single block, pinning the trivial
+  end of the lowering passes.  The scalar parameter ``x`` carries the
+  star distance with its adjacency (``-1 ≤ x̂° ≤ 1``) stated as a
+  *non-quantified* precondition — the other registry programs all
+  quantify over query lists, so this covers the scalar-Ψ path.
+* **AboveThreshold** — SVT specialised to the first above-threshold
+  query: loop with a branch whose arm rebinds the loop's exit flag,
+  exercising branch-join store merging inside a loop sub-CFG.  Its
+  budget invariant is the disjunctive (case-split) form
+  ``found = 0 ∧ v_eps ≤ ε/2 ∨ found = 1 ∧ v_eps ≤ ε``, which stays in
+  linear arithmetic where SVT's counter-product form needs monomial
+  lemmas.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.algorithms.spec import AlgorithmSpec
+from repro.semantics.distributions import laplace_sample
+
+LAPLACE_MECH_SOURCE = """
+function LaplaceMech(eps: num<0,0>, x: num<*,*>)
+returns out: num<0,*>
+precondition -1 <= x^o && x^o <= 1 && x^s == x^o;
+{
+    eta := Lap(1 / eps), aligned, -x^o;
+    out := x + eta;
+    return out;
+}
+"""
+
+ABOVE_THRESHOLD_SOURCE = """
+function AboveThreshold(eps: num<0,0>, size: num<0,0>, T: num<0,0>, q: list num<*,*>)
+returns out: num<0,*>
+precondition forall k :: -1 <= q^o[k] && q^o[k] <= 1 && q^s[k] == q^o[k];
+define Omega = q[i] + eta2 >= Tt;
+{
+    eta1 := Lap(2 / eps), aligned, 1;
+    Tt := T + eta1;
+    out := size; found := 0; i := 0;
+    while (found == 0 && i < size)
+    invariant found == 0 && v_eps <= eps / 2 || found == 1 && v_eps <= eps;
+    {
+        eta2 := Lap(4 / eps), aligned, Omega ? 2 : 0;
+        if (Omega) {
+            out := i;
+            found := 1;
+        }
+        i := i + 1;
+    }
+    return out;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations
+# ---------------------------------------------------------------------------
+
+
+def laplace_mech_reference(rng: random.Random, eps: float, x: float) -> float:
+    return x + laplace_sample(rng, 1.0 / eps)
+
+
+def above_threshold_reference(
+    rng: random.Random, eps: float, size: float, T: float, q
+) -> float:
+    noisy_t = T + laplace_sample(rng, 2.0 / eps)
+    for i in range(int(size)):
+        if q[i] + laplace_sample(rng, 4.0 / eps) >= noisy_t:
+            return float(i)
+    return float(size)
+
+
+# ---------------------------------------------------------------------------
+# Inputs and adjacency witnesses
+# ---------------------------------------------------------------------------
+
+
+def _laplace_inputs() -> Dict:
+    return {"eps": 1.0, "x": 0.7}
+
+
+def _laplace_offsets(inputs: Dict, rng: random.Random) -> Dict:
+    offset = rng.uniform(-1.0, 1.0)
+    return {"x^o": offset, "x^s": offset}
+
+
+def _threshold_inputs() -> Dict:
+    q = [0.5, 2.0, -1.0, 3.0, 1.5, 0.0]
+    return {"eps": 1.0, "size": float(len(q)), "T": 1.0, "q": tuple(q)}
+
+
+def _threshold_offsets(inputs: Dict, rng: random.Random) -> Dict:
+    n = len(inputs["q"])
+    offsets = tuple(rng.uniform(-1.0, 1.0) for _ in range(n))
+    return {"q^o": offsets, "q^s": offsets}
+
+
+LAPLACE_MECH_SPEC = AlgorithmSpec(
+    name="laplace_mech",
+    paper_ref="Section 2.1 (the Laplace mechanism, sensitivity-1 query)",
+    source=LAPLACE_MECH_SOURCE,
+    assumptions=("eps > 0",),
+    reference=laplace_mech_reference,
+    example_inputs=_laplace_inputs,
+    adjacent_offsets=_laplace_offsets,
+    notes="Loop-free: its CFG is a single basic block.",
+)
+
+ABOVE_THRESHOLD_SPEC = AlgorithmSpec(
+    name="above_threshold",
+    paper_ref="Section 6.2 (Sparse Vector with N = 1, first hit only)",
+    source=ABOVE_THRESHOLD_SOURCE,
+    assumptions=("eps > 0", "size >= 0"),
+    fixed_bindings={"size": 4},
+    reference=above_threshold_reference,
+    example_inputs=_threshold_inputs,
+    adjacent_offsets=_threshold_offsets,
+    notes=(
+        "Releases the index of the first above-threshold query; the "
+        "disjunctive budget invariant stays linear, so the invariant "
+        "regime needs no monomial lemmas."
+    ),
+)

@@ -20,7 +20,7 @@ is False for all of them.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import List
 
 from repro.algorithms.spec import AlgorithmSpec
 from repro.algorithms.sparse_vector import adjacent_offsets, example_inputs

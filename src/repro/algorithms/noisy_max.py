@@ -8,7 +8,7 @@ fresh sample by 2 exactly when a new maximum is found.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict
 
 from repro.algorithms.spec import AlgorithmSpec
 from repro.semantics.distributions import laplace_sample

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.algorithms.basic import ABOVE_THRESHOLD_SPEC, LAPLACE_MECH_SPEC
 from repro.algorithms.buggy import BAD_SVT1_SPEC, BAD_SVT2_SPEC, BAD_SVT3_SPEC
 from repro.algorithms.noisy_max import SPEC as NOISY_MAX_SPEC
 from repro.algorithms.sparse_vector import GAP_SVT_SPEC, NUM_SVT_SPEC, SVT_SPEC
@@ -20,6 +21,8 @@ _SPECS: Dict[str, AlgorithmSpec] = {
         PARTIAL_SUM_SPEC,
         PREFIX_SUM_SPEC,
         SMART_SUM_SPEC,
+        LAPLACE_MECH_SPEC,
+        ABOVE_THRESHOLD_SPEC,
         BAD_SVT1_SPEC,
         BAD_SVT2_SPEC,
         BAD_SVT3_SPEC,

@@ -15,7 +15,6 @@ sum families go through unchanged.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.checker import CheckedProgram, TypeChecker
 from repro.lang import ast

@@ -4,6 +4,10 @@ Commands
 --------
 ``check FILE``
     Type check an annotated ShadowDP source file.
+``ir FILE``
+    Type check and dump the checked body's basic-block CFG (the
+    ``lower_ir`` stage artifact): blocks, edges, loop headers with
+    their invariant annotations, and graph statistics.
 ``transform FILE``
     Type check and print the transformed target program.
 ``verify FILE [--mode unroll|invariant] [--bind name=value ...]``
@@ -60,15 +64,32 @@ def _parse_bindings(pairs):
     return bindings
 
 
+#: Single source of truth for the verification flags: argparse reads the
+#: defaults from here and ``_config_from_args`` falls back to the same
+#: values, so the two can never drift.
+_VERIFICATION_FLAG_DEFAULTS = {
+    "mode": "unroll",
+    "unroll": 32,
+    "jobs": 1,
+    "no_incremental": False,
+    "solver_stats": False,
+    "profile": False,
+}
+
+
+def _flag_default(args, name: str):
+    return getattr(args, name, _VERIFICATION_FLAG_DEFAULTS[name])
+
+
 def _config_from_args(args) -> VerificationConfig:
     return VerificationConfig(
-        mode=getattr(args, "mode", "unroll"),
+        mode=_flag_default(args, "mode"),
         bindings=_parse_bindings(getattr(args, "bind", None)),
         assumptions=tuple(parse_expr(a) for a in (getattr(args, "assume", None) or ())),
-        unroll_limit=getattr(args, "unroll", 32),
-        incremental=not getattr(args, "no_incremental", False),
-        jobs=getattr(args, "jobs", 1),
-        profile=getattr(args, "profile", False),
+        unroll_limit=_flag_default(args, "unroll"),
+        incremental=not _flag_default(args, "no_incremental"),
+        jobs=_flag_default(args, "jobs"),
+        profile=_flag_default(args, "profile"),
     )
 
 
@@ -99,6 +120,20 @@ def cmd_check(args) -> int:
     checked = run.checked
     mode = "aligned-only (LightDP fragment)" if checked.aligned_only else "shadow execution"
     print(f"{run.name}: type checks [{mode}; {checked.solver_queries} solver queries]")
+    return 0
+
+
+def cmd_ir(args) -> int:
+    from repro.ir import cfg as ir_cfg
+
+    run = Pipeline().run(_read_source(args.file), stop_after="lower_ir")
+    ir = run.ir
+    stats = ir.stats()
+    print(
+        f"{run.name}: {stats['blocks']} blocks, {stats['edges']} edges, "
+        f"{stats['loops']} loops"
+    )
+    print(ir_cfg.dump(ir.cfg))
     return 0
 
 
@@ -190,14 +225,17 @@ def cmd_table1(args) -> int:
 
 
 def _add_verification_flags(parser) -> None:
-    parser.add_argument("--mode", choices=("unroll", "invariant"), default="unroll")
+    defaults = _VERIFICATION_FLAG_DEFAULTS
+    parser.add_argument(
+        "--mode", choices=("unroll", "invariant"), default=defaults["mode"]
+    )
     parser.add_argument("--bind", action="append", metavar="NAME=VALUE")
     parser.add_argument("--assume", action="append", metavar="EXPR")
-    parser.add_argument("--unroll", type=int, default=32)
+    parser.add_argument("--unroll", type=int, default=defaults["unroll"])
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=defaults["jobs"],
         metavar="N",
         help="discharge independent obligation groups on N worker threads "
         "(structural concurrency; GIL-bound, not a wall-clock multiplier)",
@@ -205,16 +243,19 @@ def _add_verification_flags(parser) -> None:
     parser.add_argument(
         "--no-incremental",
         action="store_true",
+        default=defaults["no_incremental"],
         help="disable push/pop solver-context reuse (one-shot solver per query)",
     )
     parser.add_argument(
         "--solver-stats",
         action="store_true",
+        default=defaults["solver_stats"],
         help="print query/cache-hit/solve-call counters after the verdict",
     )
     parser.add_argument(
         "--profile",
         action="store_true",
+        default=defaults["profile"],
         help="collect and print the inner-loop solver profile (pivots, "
         "propagations, conflicts, restarts, interned-node hits, ...)",
     )
@@ -227,6 +268,10 @@ def main(argv=None) -> int:
     p_check = sub.add_parser("check", help="type check a ShadowDP file")
     p_check.add_argument("file")
     p_check.set_defaults(func=cmd_check)
+
+    p_ir = sub.add_parser("ir", help="dump the checked body's basic-block CFG")
+    p_ir.add_argument("file")
+    p_ir.set_defaults(func=cmd_ir)
 
     p_tr = sub.add_parser("transform", help="print the transformed program")
     p_tr.add_argument("file")

@@ -1,8 +1,13 @@
 """Command typing and transformation (paper Fig. 4, bottom half).
 
-The checker walks a function body with a flow-sensitive environment and a
-program counter ``pc`` and produces the instrumented probabilistic
-program ``c′`` of Section 5: the original commands plus
+The checker runs a forward dataflow pass over the program's CFG
+(:class:`~repro.ir.CFGWalker`): the flow-sensitive typing environment
+and the program counter ``pc`` are the block-entry facts, branch arms
+are analysed independently and *joined* at the CFG's merge points
+(rule T-If's environment join plus the ⇛ transition commands), and each
+loop's fixpoint iterates that loop's body sub-CFG until its environment
+stabilises.  Alongside the facts it emits the instrumented
+probabilistic program ``c′`` of Section 5: the original commands plus
 
 * ``assert`` statements pinning the aligned execution to the original
   control flow (rules T-If / T-While),
@@ -21,7 +26,7 @@ preserves across branches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core import preconditions
@@ -31,6 +36,10 @@ from repro.core.expr_rules import ExprTyper
 from repro.core.instrumentation import PC_HIGH, PC_LOW, transition_commands
 from repro.core.shadow import shadow_command, versioned_expr
 from repro.core.simplify import is_zero, simplify, simplify_under
+from repro.ir import CFGWalker, ast_to_cfg, statement_kind
+from repro.ir.build import region_to_ast
+from repro.ir.cfg import CFG, Block, Branch, LoopHeader
+from repro.ir.passes import selector_conditions
 from repro.lang import ast
 from repro.lang.pretty import pretty_expr
 from repro.solver.interface import ValidityChecker
@@ -59,23 +68,40 @@ class CheckedProgram:
         return self.function.name
 
 
-def uses_shadow_selector(cmd: ast.Command) -> bool:
-    """True when any sampling annotation can pick the shadow execution."""
-    for node in ast.command_iter(cmd):
-        if isinstance(node, ast.Sample) and ast.selector_uses_shadow(node.selector):
+def uses_shadow_selector(program) -> bool:
+    """True when any sampling annotation can pick the shadow execution.
+
+    Accepts a :class:`~repro.ir.cfg.CFG` or a raw command.
+    """
+    cfg = program if isinstance(program, CFG) else ast_to_cfg(program)
+    for stmt in cfg.walk_statements():
+        if statement_kind(stmt) == "sample" and ast.selector_uses_shadow(stmt.selector):
             return True
     return False
 
 
-class TypeChecker:
-    """Checks one function (Section 4) and emits its transformed body."""
+#: The walker state: instrumented commands so far, the typing
+#: environment at this point, and the program counter.
+_State = Tuple[Tuple[ast.Command, ...], TypeEnv, str]
+
+
+class TypeChecker(CFGWalker):
+    """Checks one function (Section 4) and emits its transformed body.
+
+    A forward pass over the function's CFG: ``visit_<kind>`` methods are
+    the per-statement transfer functions (they return the instrumented
+    statement plus the updated environment), ``on_branch`` implements
+    rule T-If at the CFG join, and ``on_loop`` implements T-While's
+    fixpoint over the loop's body sub-CFG.
+    """
 
     def __init__(self, function: ast.FunctionDef, lightdp_mode: bool = False) -> None:
         self.function = function
         self.psi = function.precondition
         self.validity = ValidityChecker()
         self.lightdp_mode = lightdp_mode
-        self.aligned_only = not uses_shadow_selector(function.body)
+        self.cfg = ast_to_cfg(function.body)
+        self.aligned_only = not uses_shadow_selector(self.cfg)
         # During loop-fixpoint iterations the environment is not yet
         # stable, so annotations referencing hat variables that are only
         # promoted later look ill-typed; validity-style checks are
@@ -93,7 +119,7 @@ class TypeChecker:
                 reason="lightdp-shadow",
             )
         env = env_from_function(self.function)
-        body, final_env = self._check(self.function.body, env, PC_LOW)
+        body, final_env = self._check_region(self.cfg, self.cfg.entry, None, env, PC_LOW)
         return CheckedProgram(
             function=self.function,
             body=body,
@@ -119,33 +145,57 @@ class TypeChecker:
             return False
         return self.validity.is_valid(goal, self._premises(goal))
 
-    # -- command dispatch -------------------------------------------------------------
+    # -- the dataflow pass ---------------------------------------------------------
 
-    def _check(self, cmd: ast.Command, env: TypeEnv, pc: str) -> Tuple[ast.Command, TypeEnv]:
-        if isinstance(cmd, ast.Skip):
-            return ast.Skip(), env
-        if isinstance(cmd, ast.Seq):
-            parts: List[ast.Command] = []
-            for part in cmd.commands:
-                checked, env = self._check(part, env, pc)
-                parts.append(checked)
-            return ast.seq(*parts), env
-        if isinstance(cmd, ast.Assign):
-            return self._check_assign(cmd, env, pc)
-        if isinstance(cmd, ast.Sample):
-            return self._check_sample(cmd, env, pc)
-        if isinstance(cmd, ast.If):
-            return self._check_if(cmd, env, pc)
-        if isinstance(cmd, ast.While):
-            return self._check_while(cmd, env, pc)
-        if isinstance(cmd, ast.Return):
-            return self._check_return(cmd, env, pc)
-        if isinstance(cmd, (ast.Assert, ast.Assume, ast.Havoc)):
-            raise ShadowDPTypeError(
-                f"{type(cmd).__name__} is a target-language command",
-                reason="target-only-command",
-            )
-        raise ShadowDPTypeError(f"unknown command {cmd!r}")
+    def _check_region(
+        self, cfg: CFG, start: int, stop: Optional[int], env: TypeEnv, pc: str
+    ) -> Tuple[ast.Command, TypeEnv]:
+        """Run the pass over one region; the instrumented command plus
+        the environment at the region's end."""
+        cmds, out_env, _ = self.run_region(cfg, start, stop, ((), env, pc))
+        return ast.seq(*cmds), out_env
+
+    def _emit(self, state: _State, checked: ast.Command, env: TypeEnv) -> _State:
+        cmds, _, pc = state
+        return cmds + (checked,), env, pc
+
+    # -- statement transfer functions (the T-rules) ----------------------------------
+
+    def visit_assign(self, stmt: ast.Assign, state: _State) -> _State:
+        _, env, pc = state
+        checked, env = self._check_assign(stmt, env, pc)
+        return self._emit(state, checked, env)
+
+    def visit_sample(self, stmt: ast.Sample, state: _State) -> _State:
+        _, env, pc = state
+        checked, env = self._check_sample(stmt, env, pc)
+        return self._emit(state, checked, env)
+
+    def visit_return_(self, stmt: ast.Return, state: _State) -> _State:
+        _, env, pc = state
+        checked, env = self._check_return(stmt, env, pc)
+        return self._emit(state, checked, env)
+
+    def visit_skip(self, stmt: ast.Skip, state: _State) -> _State:
+        return state
+
+    def visit_assert_(self, stmt: ast.Assert, state: _State) -> _State:
+        return self._reject_target_only(stmt)
+
+    def visit_assume(self, stmt: ast.Assume, state: _State) -> _State:
+        return self._reject_target_only(stmt)
+
+    def visit_havoc(self, stmt: ast.Havoc, state: _State) -> _State:
+        return self._reject_target_only(stmt)
+
+    def _reject_target_only(self, stmt: ast.Command) -> _State:
+        raise ShadowDPTypeError(
+            f"{type(stmt).__name__} is a target-language command",
+            reason="target-only-command",
+        )
+
+    def generic_visit(self, stmt: ast.Command, *args):
+        raise ShadowDPTypeError(f"unknown command {stmt!r}")
 
     # -- (T-Asgn) ------------------------------------------------------------------------
 
@@ -421,7 +471,7 @@ class TypeChecker:
                     reason="list-shadow-mismatch",
                 )
 
-    # -- (T-If) ---------------------------------------------------------------------------------
+    # -- (T-If): join at the CFG merge point -----------------------------------------------------
 
     def _update_pc(self, pc: str, env: TypeEnv, cond: ast.Expr) -> str:
         """``updPC``: ⊥ survives only if the shadow run provably takes the
@@ -439,36 +489,44 @@ class TypeChecker:
             return PC_LOW
         return PC_HIGH
 
-    def _check_if(self, cmd: ast.If, env: TypeEnv, pc: str) -> Tuple[ast.Command, TypeEnv]:
-        pc_inner = self._update_pc(pc, env, cmd.cond)
-        aligned_cond = versioned_expr(cmd.cond, env, ast.ALIGNED)
+    def on_branch(self, cfg: CFG, block: Block, term: Branch, join: int, state: _State) -> _State:
+        cmds, env, pc = state
+        pc_inner = self._update_pc(pc, env, term.cond)
+        aligned_cond = versioned_expr(term.cond, env, ast.ALIGNED)
 
-        env_then = env.map_distances(lambda d: simplify_under(d, cmd.cond, True))
-        env_else = env.map_distances(lambda d: simplify_under(d, cmd.cond, False))
-        then_checked, env1 = self._check(cmd.then, env_then, pc_inner)
-        else_checked, env2 = self._check(cmd.orelse, env_else, pc_inner)
+        env_then = env.map_distances(lambda d: simplify_under(d, term.cond, True))
+        env_else = env.map_distances(lambda d: simplify_under(d, term.cond, False))
+        then_checked, env1 = self._check_region(cfg, term.then, join, env_then, pc_inner)
+        if term.orelse == join:
+            else_checked, env2 = ast.Skip(), env_else
+        else:
+            else_checked, env2 = self._check_region(cfg, term.orelse, join, env_else, pc_inner)
 
         joined = env1.join(env2)
         fix_then = transition_commands(env1, joined, pc_inner)
         fix_else = transition_commands(env2, joined, pc_inner)
 
-        assert_then = self._branch_assert(aligned_cond, cmd.cond, True)
-        assert_else = self._branch_assert(ast.Not(aligned_cond), cmd.cond, False)
+        assert_then = self._branch_assert(aligned_cond, term.cond, True)
+        assert_else = self._branch_assert(ast.Not(aligned_cond), term.cond, False)
 
         if pc == PC_HIGH or pc_inner == PC_LOW or self.aligned_only:
             shadow_part: ast.Command = ast.Skip()
         else:
-            shadow_part = shadow_command(ast.If(cmd.cond, cmd.then, cmd.orelse), joined)
+            then_src = region_to_ast(cfg, term.then, join)
+            else_src = (
+                ast.Skip() if term.orelse == join else region_to_ast(cfg, term.orelse, join)
+            )
+            shadow_part = shadow_command(ast.If(term.cond, then_src, else_src), joined)
 
         result = ast.seq(
             ast.If(
-                cmd.cond,
+                term.cond,
                 ast.seq(assert_then, then_checked, fix_then),
                 ast.seq(assert_else, else_checked, fix_else),
             ),
             shadow_part,
         )
-        return result, joined
+        return cmds + (result,), joined, pc
 
     @staticmethod
     def _branch_assert(aligned_cond: ast.Expr, cond: ast.Expr, truth: bool) -> ast.Command:
@@ -477,10 +535,12 @@ class TypeChecker:
             return ast.Skip()
         return ast.Assert(expr)
 
-    # -- (T-While) ----------------------------------------------------------------------------------
+    # -- (T-While): fixpoint over the loop's body sub-CFG ------------------------------------------------
 
-    def _check_while(self, cmd: ast.While, env: TypeEnv, pc: str) -> Tuple[ast.Command, TypeEnv]:
-        pc_inner = self._update_pc(pc, env, cmd.cond)
+    def on_loop(self, cfg: CFG, block: Block, term: LoopHeader, state: _State) -> _State:
+        cmds, env, pc = state
+        pc_inner = self._update_pc(pc, env, term.cond)
+        body_cfg = term.body
 
         # Variables whose hat variables appear in the loop's sampling
         # annotations or invariants are promoted to * up front (with the
@@ -490,7 +550,7 @@ class TypeChecker:
         # exist yet and spuriously promotes downstream variables — and
         # the join is monotone, so the damage would be permanent.
         env_entry = env
-        env = self._pre_promote_annotation_hats(cmd, env)
+        env = self._pre_promote_annotation_hats(term, env)
 
         # Fixpoint construction of Section 4.3.1: iterate the body until
         # the joined environment stabilises (lattice height 2 ⇒ fast).
@@ -499,8 +559,8 @@ class TypeChecker:
         self.lenient = True
         try:
             for _ in range(_MAX_FIXPOINT_ITERATIONS):
-                body_in = loop_env.map_distances(lambda d: simplify_under(d, cmd.cond, True))
-                _, body_env = self._check(cmd.body, body_in, pc_inner)
+                body_in = loop_env.map_distances(lambda d: simplify_under(d, term.cond, True))
+                _, body_env = self._check_region(body_cfg, body_cfg.entry, None, body_in, pc_inner)
                 joined = body_env.join(env)
                 if joined == loop_env:
                     break
@@ -513,40 +573,36 @@ class TypeChecker:
             self.lenient = was_lenient
         # Strict pass over the stabilised environment: this is the run
         # whose solver checks count and whose output is emitted.
-        body_in = loop_env.map_distances(lambda d: simplify_under(d, cmd.cond, True))
-        body_checked, body_env = self._check(cmd.body, body_in, pc_inner)
+        body_in = loop_env.map_distances(lambda d: simplify_under(d, term.cond, True))
+        body_checked, body_env = self._check_region(body_cfg, body_cfg.entry, None, body_in, pc_inner)
 
         entry_fix = transition_commands(env_entry, loop_env, pc_inner)
         body_fix = transition_commands(body_env, loop_env, pc_inner)
-        guard_assert = ast.Assert(versioned_expr(cmd.cond, loop_env, ast.ALIGNED))
+        guard_assert = ast.Assert(versioned_expr(term.cond, loop_env, ast.ALIGNED))
 
         if pc == PC_HIGH or pc_inner == PC_LOW or self.aligned_only:
             shadow_part: ast.Command = ast.Skip()
         else:
-            shadow_part = shadow_command(ast.While(cmd.cond, cmd.body), loop_env)
+            from repro.ir.build import cfg_to_ast
+
+            shadow_part = shadow_command(ast.While(term.cond, cfg_to_ast(body_cfg)), loop_env)
 
         result = ast.seq(
             entry_fix,
-            ast.While(cmd.cond, ast.seq(guard_assert, body_checked, body_fix), cmd.invariants),
+            ast.While(term.cond, ast.seq(guard_assert, body_checked, body_fix), term.invariants),
             shadow_part,
         )
-        return result, loop_env
+        return cmds + (result,), loop_env, pc
 
-    def _pre_promote_annotation_hats(self, cmd: ast.While, env: TypeEnv) -> TypeEnv:
+    def _pre_promote_annotation_hats(self, term: LoopHeader, env: TypeEnv) -> TypeEnv:
         """Promote scalars whose hats are referenced by the loop's
         sampling annotations or invariants before the fixpoint starts."""
         referenced: set = set()
-        exprs: List[ast.Expr] = list(cmd.invariants)
-        for node in ast.command_iter(cmd.body):
-            if isinstance(node, ast.Sample):
-                exprs.append(node.align)
-                selector = node.selector
-                stack = [selector]
-                while stack:
-                    sel = stack.pop()
-                    if isinstance(sel, ast.SelectCond):
-                        exprs.append(sel.cond)
-                        stack.extend([sel.then, sel.orelse])
+        exprs: List[ast.Expr] = list(term.invariants)
+        for stmt in term.body.walk_statements():
+            if statement_kind(stmt) == "sample":
+                exprs.append(stmt.align)
+                exprs.extend(selector_conditions(stmt.selector))
         for expr in exprs:
             for hat in ast.hat_vars(expr):
                 referenced.add((hat.base, hat.version))

@@ -14,7 +14,7 @@ the Σ-type desugaring of Section 3.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional
 
 from repro.core.errors import ShadowDPTypeError
 from repro.core.simplify import simplify

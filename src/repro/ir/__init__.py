@@ -1,0 +1,61 @@
+"""Unified CFG-based program IR.
+
+One control-flow-graph representation shared by every front/middle-end
+layer of the pipeline: the shadow type checker walks it as a forward
+dataflow problem, target lowering and dead-store elimination are rewrite
+passes over it, and the symbolic executor runs it block by block with
+explicit store merging at join nodes.  The per-layer ``isinstance``
+ladders over the raw AST that each of those files used to carry live
+here exactly once (:mod:`repro.ir.passes`).
+
+Layout
+------
+:mod:`repro.ir.cfg`
+    Basic blocks, terminators (:class:`Jump` / :class:`Branch` /
+    :class:`LoopHeader` / :class:`Exit`), and the :class:`CFG` container
+    with edge queries, reverse-post-order traversal, join-point
+    computation and graph statistics.  Loops are hierarchical: a loop
+    header block carries its invariant annotations and owns the body as
+    a sub-CFG, which is what lets the verifier treat each loop as its
+    own unit in both unroll and invariant modes.
+:mod:`repro.ir.build`
+    The AST → CFG lowering and its verified inverse ``cfg_to_ast`` (the
+    round-trip is pinned by property tests over every registry program).
+:mod:`repro.ir.passes`
+    The single generic statement/expression visitor
+    (:class:`StatementVisitor`, :func:`map_expr`), the structured
+    interpreter :class:`CFGWalker` that consumers subclass, CFG rewrite
+    helpers (:func:`map_statements`) and the :class:`PassManager`.
+"""
+
+from repro.ir.cfg import CFG, Block, Branch, Exit, Jump, LoopHeader
+from repro.ir.build import ast_to_cfg, cfg_to_ast
+from repro.ir.passes import (
+    CFGWalker,
+    PassManager,
+    ProgramIR,
+    StatementVisitor,
+    map_expr,
+    map_statements,
+    statement_kind,
+    statement_reads,
+)
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Branch",
+    "CFGWalker",
+    "Exit",
+    "Jump",
+    "LoopHeader",
+    "PassManager",
+    "ProgramIR",
+    "StatementVisitor",
+    "ast_to_cfg",
+    "cfg_to_ast",
+    "map_expr",
+    "map_statements",
+    "statement_kind",
+    "statement_reads",
+]

@@ -1,0 +1,126 @@
+"""AST ↔ CFG conversion.
+
+``ast_to_cfg`` lowers a structured :class:`~repro.lang.ast.Command` into
+basic blocks: straight-line commands accumulate into the current block,
+an ``if`` ends it with a :class:`~repro.ir.cfg.Branch` whose arms
+reconverge at a fresh join block, and a ``while`` becomes a dedicated
+:class:`~repro.ir.cfg.LoopHeader` block owning its body as a sub-CFG.
+
+``cfg_to_ast`` is the verified inverse: it re-derives the structured
+program from the graph alone (joins via :meth:`CFG.join_of`, loops from
+their headers).  The round-trip ``cfg_to_ast(ast_to_cfg(c))`` equals
+``c`` up to the :func:`repro.lang.ast.seq` normal form — nested ``Seq``
+flattening and ``skip`` elision — which the pretty-printer already
+quotients away; property tests pin this over every registry program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.cfg import CFG, Block, Branch, Exit, IRError, Jump, LoopHeader
+from repro.lang import ast
+
+# ---------------------------------------------------------------------------
+# AST → CFG
+# ---------------------------------------------------------------------------
+
+
+def ast_to_cfg(cmd: ast.Command) -> CFG:
+    """Lower a structured command into a basic-block CFG."""
+    cfg = CFG()
+    current = cfg.new_block()
+    cfg.entry = current.id
+    current = _lower(cfg, current, cmd)
+    current.term = Exit()
+    return cfg
+
+
+def _lower(cfg: CFG, current: Block, cmd: ast.Command) -> Block:
+    """Append ``cmd`` after ``current``; return the block control ends in."""
+    if isinstance(cmd, ast.Skip):
+        return current
+    if isinstance(cmd, ast.Seq):
+        for part in cmd.commands:
+            current = _lower(cfg, current, part)
+        return current
+    if isinstance(cmd, ast.If):
+        return _lower_if(cfg, current, cmd)
+    if isinstance(cmd, ast.While):
+        return _lower_while(cfg, current, cmd)
+    current.append(cmd)
+    return current
+
+
+def _lower_if(cfg: CFG, current: Block, cmd: ast.If) -> Block:
+    then_entry = cfg.new_block()
+    then_exit = _lower(cfg, then_entry, cmd.then)
+    empty_else = isinstance(cmd.orelse, ast.Skip) or (
+        isinstance(cmd.orelse, ast.Seq) and not cmd.orelse.commands
+    )
+    if empty_else:
+        join = cfg.new_block()
+        current.term = Branch(cmd.cond, then_entry.id, join.id)
+    else:
+        else_entry = cfg.new_block()
+        else_exit = _lower(cfg, else_entry, cmd.orelse)
+        join = cfg.new_block()
+        current.term = Branch(cmd.cond, then_entry.id, else_entry.id)
+        else_exit.term = Jump(join.id)
+    then_exit.term = Jump(join.id)
+    return join
+
+
+def _lower_while(cfg: CFG, current: Block, cmd: ast.While) -> Block:
+    header = cfg.new_block()
+    current.term = Jump(header.id)
+    after = cfg.new_block()
+    header.term = LoopHeader(
+        cond=cmd.cond,
+        body=ast_to_cfg(cmd.body),
+        after=after.id,
+        invariants=tuple(cmd.invariants),
+    )
+    return after
+
+
+# ---------------------------------------------------------------------------
+# CFG → AST
+# ---------------------------------------------------------------------------
+
+
+def cfg_to_ast(cfg: CFG) -> ast.Command:
+    """Reconstruct the structured command a CFG denotes."""
+    return region_to_ast(cfg, cfg.entry, None)
+
+
+def region_to_ast(cfg: CFG, start: int, stop: Optional[int]) -> ast.Command:
+    """The structured command for the region ``[start, stop)``.
+
+    ``stop`` is an exclusive region boundary (a join block or loop exit
+    owned by an enclosing construct); ``None`` means run to the exit.
+    """
+    parts: List[ast.Command] = []
+    bid: Optional[int] = start
+    while bid is not None and bid != stop:
+        block = cfg.block(bid)
+        parts.extend(block.stmts)
+        term = block.term
+        if isinstance(term, Jump):
+            bid = term.target
+        elif isinstance(term, Branch):
+            join = cfg.join_of(block.id)
+            then_cmd = region_to_ast(cfg, term.then, join)
+            else_cmd = (
+                ast.Skip() if term.orelse == join else region_to_ast(cfg, term.orelse, join)
+            )
+            parts.append(ast.If(term.cond, then_cmd, else_cmd))
+            bid = join
+        elif isinstance(term, LoopHeader):
+            parts.append(ast.While(term.cond, cfg_to_ast(term.body), term.invariants))
+            bid = term.after
+        elif isinstance(term, Exit):
+            bid = None
+        else:
+            raise IRError(f"unknown terminator {term!r}")
+    return ast.seq(*parts)

@@ -1,0 +1,322 @@
+"""Basic-block control-flow graph for ShadowDP programs.
+
+A :class:`CFG` is a set of :class:`Block`\\ s, each holding a list of
+*simple* statements (assignments, sampling, havoc, assert/assume,
+return — the straight-line subset of :mod:`repro.lang.ast`) and exactly
+one terminator:
+
+* :class:`Jump` — unconditional edge to another block;
+* :class:`Branch` — two-way conditional; structured lowering guarantees
+  both arms reconverge at a unique *join block* (:meth:`CFG.join_of`);
+* :class:`LoopHeader` — a loop: the guard, the programmer-supplied
+  invariant annotations, the loop *body as its own sub-CFG*, and the
+  block control falls to when the guard fails.  Keeping bodies
+  hierarchical gives every consumer a per-loop sub-CFG for free — the
+  checker's fixpoint iterates it, the symbolic executor unrolls it or
+  havocs over it — while the graph at any one level stays acyclic;
+* :class:`Exit` — function exit.
+
+``Return`` is deliberately a plain statement, not a terminator: in the
+paper's language ``return e`` is by convention the last command and has
+no early-exit semantics (the symbolic executor falls through it), so
+giving it an edge would misrepresent the source semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.lang import ast
+
+#: Statement node types a basic block may hold.
+SIMPLE_STATEMENTS = (
+    ast.Assign,
+    ast.Sample,
+    ast.Havoc,
+    ast.Assert,
+    ast.Assume,
+    ast.Return,
+)
+
+
+class IRError(ValueError):
+    """Raised for malformed CFGs (unknown blocks, non-simple statements)."""
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional transfer to ``target``."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Two-way conditional: ``cond ? then : orelse``.
+
+    Structured lowering guarantees both arms reach a common join block;
+    an empty arm points directly at the join.
+    """
+
+    cond: ast.Expr
+    then: int
+    orelse: int
+
+
+@dataclass(frozen=True)
+class LoopHeader:
+    """A loop header: guard, invariant annotations, body sub-CFG, exit.
+
+    The back edge is implicit — the body sub-CFG's exit re-enters this
+    header.  ``after`` is the unique loop-exit block at this level.
+    """
+
+    cond: ast.Expr
+    body: "CFG"
+    after: int
+    invariants: Tuple[ast.Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Function exit; the owning block is the CFG's exit block."""
+
+
+Terminator = Union[Jump, Branch, LoopHeader, Exit]
+
+
+# ---------------------------------------------------------------------------
+# Blocks and the graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus a terminator."""
+
+    id: int
+    stmts: List[ast.Command] = field(default_factory=list)
+    term: Terminator = Exit()
+
+    def append(self, stmt: ast.Command) -> None:
+        if not isinstance(stmt, SIMPLE_STATEMENTS):
+            raise IRError(f"not a simple statement: {stmt!r}")
+        self.stmts.append(stmt)
+
+
+class CFG:
+    """A function-level (or loop-body) control-flow graph."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry: int = 0
+        self._next_id: int = 0
+        self._joins: Dict[int, int] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def new_block(self) -> Block:
+        block = Block(self._next_id)
+        self.blocks[block.id] = block
+        self._next_id += 1
+        return block
+
+    def copy(self) -> "CFG":
+        """A copy whose statement lists are fresh (safe to mutate).
+
+        Terminators — including loop-body sub-CFGs — are immutable and
+        shared; this is what single-block insertions (``init-cost``,
+        ``budget-assert``) need without rebuilding the whole hierarchy.
+        """
+        out = CFG()
+        out.entry = self.entry
+        out._next_id = self._next_id
+        for bid, block in self.blocks.items():
+            out.blocks[bid] = Block(bid, list(block.stmts), block.term)
+        return out
+
+    # -- queries -------------------------------------------------------------
+
+    def block(self, bid: int) -> Block:
+        try:
+            return self.blocks[bid]
+        except KeyError:
+            raise IRError(f"no block {bid} in CFG") from None
+
+    def exit_id(self) -> int:
+        for block in self.blocks.values():
+            if isinstance(block.term, Exit):
+                return block.id
+        raise IRError("CFG has no exit block")
+
+    def successors(self, bid: int) -> Tuple[int, ...]:
+        """Same-level successor block ids (loop bodies are nested)."""
+        term = self.block(bid).term
+        if isinstance(term, Jump):
+            return (term.target,)
+        if isinstance(term, Branch):
+            return (term.then, term.orelse)
+        if isinstance(term, LoopHeader):
+            return (term.after,)
+        return ()
+
+    def predecessors(self, bid: int) -> Tuple[int, ...]:
+        return tuple(
+            other for other in sorted(self.blocks) if bid in self.successors(other)
+        )
+
+    def rpo(self) -> List[int]:
+        """Reverse post-order of this level's DAG, from the entry."""
+        seen: set = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            if bid in seen:
+                return
+            seen.add(bid)
+            for succ in self.successors(bid):
+                visit(succ)
+            order.append(bid)
+
+        visit(self.entry)
+        return list(reversed(order))
+
+    def reachable_from(self, bid: int) -> frozenset:
+        """All same-level blocks reachable from ``bid`` (inclusive)."""
+        seen: set = set()
+        stack = [bid]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.successors(current))
+        return frozenset(seen)
+
+    def join_of(self, branch_block: int) -> int:
+        """The join block where a :class:`Branch`'s arms reconverge.
+
+        Within one level the graph is a structured DAG, so a
+        breadth-first walk from the else-arm meets the then-arm's
+        reachable set first at exactly the join: every block of a nested
+        region is reachable from only its own arm.  The graph is fixed
+        after construction, so the answer is memoized per branch — the
+        walkers re-enter branches once per loop unrolling / fixpoint
+        iteration.
+        """
+        cached = self._joins.get(branch_block)
+        if cached is not None:
+            return cached
+        term = self.block(branch_block).term
+        if not isinstance(term, Branch):
+            raise IRError(f"block {branch_block} is not a branch")
+        then_side = self.reachable_from(term.then)
+        frontier = [term.orelse]
+        seen: set = set()
+        while frontier:
+            current = frontier.pop(0)
+            if current in then_side:
+                self._joins[branch_block] = current
+                return current
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.successors(current))
+        raise IRError(f"branch at block {branch_block} has no join point")
+
+    # -- whole-program iteration ---------------------------------------------
+
+    def walk_blocks(self) -> Iterator[Tuple["CFG", Block]]:
+        """Every block, recursing into loop-body sub-CFGs, in block order."""
+        for bid in sorted(self.blocks):
+            block = self.blocks[bid]
+            yield self, block
+            if isinstance(block.term, LoopHeader):
+                yield from block.term.body.walk_blocks()
+
+    def walk_statements(self) -> Iterator[ast.Command]:
+        """Every simple statement in the program, loop bodies included."""
+        for _, block in self.walk_blocks():
+            yield from block.stmts
+
+    def loop_headers(self) -> Iterator[Tuple[Block, LoopHeader]]:
+        """Every loop header in the program, outermost first."""
+        for _, block in self.walk_blocks():
+            if isinstance(block.term, LoopHeader):
+                yield block, block.term
+
+    def assigned_names(self) -> frozenset:
+        """Names written anywhere: assigned, sampled, or havocked.
+
+        Matches :func:`repro.lang.ast.assigned_vars` on the program this
+        CFG was built from.
+        """
+        names: set = set()
+        for stmt in self.walk_statements():
+            if isinstance(stmt, (ast.Assign, ast.Sample, ast.Havoc)):
+                names.add(stmt.name)
+        return frozenset(names)
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Block/edge/loop counts over the whole hierarchy.
+
+        A loop header contributes three structural edges — into the
+        body, the implicit back edge, and the loop exit — on top of its
+        body sub-CFG's own counts.
+        """
+        blocks = edges = loops = 0
+        for cfg, block in self.walk_blocks():
+            blocks += 1
+            term = block.term
+            if isinstance(term, Jump):
+                edges += 1
+            elif isinstance(term, Branch):
+                edges += 2
+            elif isinstance(term, LoopHeader):
+                loops += 1
+                edges += 3
+        return {"blocks": blocks, "edges": edges, "loops": loops}
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return f"CFG(blocks={stats['blocks']}, edges={stats['edges']}, loops={stats['loops']})"
+
+
+def dump(cfg: CFG, indent: str = "") -> str:
+    """A human-readable listing of the CFG (``repro ir FILE``)."""
+    from repro.lang.pretty import pretty_command, pretty_expr
+
+    lines: List[str] = []
+    for bid in sorted(cfg.blocks):
+        block = cfg.blocks[bid]
+        entry = " (entry)" if bid == cfg.entry else ""
+        lines.append(f"{indent}bb{bid}{entry}:")
+        for stmt in block.stmts:
+            for text in pretty_command(stmt).splitlines():
+                lines.append(f"{indent}    {text}")
+        term = block.term
+        if isinstance(term, Jump):
+            lines.append(f"{indent}    goto bb{term.target}")
+        elif isinstance(term, Branch):
+            lines.append(
+                f"{indent}    branch {pretty_expr(term.cond)} "
+                f"? bb{term.then} : bb{term.orelse}"
+            )
+        elif isinstance(term, LoopHeader):
+            header = f"{indent}    loop {pretty_expr(term.cond)} -> bb{term.after} when false"
+            lines.append(header)
+            for inv in term.invariants:
+                lines.append(f"{indent}        invariant {pretty_expr(inv)}")
+            lines.append(f"{indent}        body:")
+            lines.append(dump(term.body, indent + "        "))
+        else:
+            lines.append(f"{indent}    exit")
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""The generic visitors, structured interpreter and pass manager.
+
+Everything that used to be a per-layer ``isinstance`` ladder over
+command nodes lives here exactly once:
+
+* :func:`statement_kind` / :class:`StatementVisitor` — single dispatch
+  point for simple statements.  Consumers subclass the visitor and
+  implement ``visit_assign`` / ``visit_sample`` / … ; unknown kinds fall
+  through to ``generic_visit``.
+* :func:`map_expr` — a generic bottom-up expression rebuilder (the one
+  expression traversal the symbolic executor, lowering and liveness all
+  share).
+* :class:`CFGWalker` — the structured interpreter over a
+  :class:`~repro.ir.cfg.CFG`: linear statements dispatch through the
+  visitor, and control flow calls the ``on_branch`` / ``on_loop`` hooks
+  with the join block / loop header, so consumers write *semantics*
+  (what a branch join or a loop means for their state) and never
+  traversal.
+* :func:`map_statements` — CFG rewrite: statement → statement(s),
+  recursing into loop bodies; the shape of every lowering/cleanup pass.
+* :class:`PassManager` / :class:`ProgramIR` — named passes over a
+  program's CFG with the pass trail recorded for stage accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.cfg import CFG, Block, Branch, Exit, IRError, Jump, LoopHeader
+from repro.lang import ast
+
+# ---------------------------------------------------------------------------
+# Statement dispatch
+# ---------------------------------------------------------------------------
+
+#: The canonical statement-kind names, used to resolve visitor methods.
+STATEMENT_KINDS: Dict[type, str] = {
+    ast.Skip: "skip",
+    ast.Assign: "assign",
+    ast.Sample: "sample",
+    ast.Havoc: "havoc",
+    ast.Assert: "assert_",
+    ast.Assume: "assume",
+    ast.Return: "return_",
+    ast.Seq: "seq",
+    ast.If: "if_",
+    ast.While: "while_",
+}
+
+
+def statement_kind(stmt: ast.Command) -> str:
+    """The kind name of a command node (raises for non-commands)."""
+    try:
+        return STATEMENT_KINDS[type(stmt)]
+    except KeyError:
+        raise IRError(f"unknown command node {stmt!r}") from None
+
+
+class StatementVisitor:
+    """Kind-table dispatch for statements: ``visit_<kind>(stmt, *args)``.
+
+    The one generic statement visitor of the IR; subclasses override
+    only the kinds they care about.
+    """
+
+    def visit(self, stmt: ast.Command, *args):
+        method = getattr(self, f"visit_{statement_kind(stmt)}", None)
+        if method is None:
+            return self.generic_visit(stmt, *args)
+        return method(stmt, *args)
+
+    def generic_visit(self, stmt: ast.Command, *args):
+        raise IRError(f"{type(self).__name__} cannot handle {type(stmt).__name__}")
+
+
+def selector_conditions(selector: ast.Selector) -> List[ast.Expr]:
+    """Every branch condition inside a sampling-annotation selector."""
+    out: List[ast.Expr] = []
+    stack = [selector]
+    while stack:
+        sel = stack.pop()
+        if isinstance(sel, ast.SelectCond):
+            out.append(sel.cond)
+            stack.extend([sel.then, sel.orelse])
+    return out
+
+
+def statement_reads(stmt: ast.Command) -> Tuple[ast.Expr, ...]:
+    """The expressions a simple statement evaluates.
+
+    This is the read-set at statement granularity — what liveness and
+    demand analyses consume.  ``havoc`` reads nothing; a sampling
+    command reads its scale, alignment and selector conditions.
+    """
+    if isinstance(stmt, ast.Assign):
+        return (stmt.expr,)
+    if isinstance(stmt, (ast.Assert, ast.Assume, ast.Return)):
+        return (stmt.expr,)
+    if isinstance(stmt, ast.Sample):
+        return (stmt.scale, stmt.align, *selector_conditions(stmt.selector))
+    if isinstance(stmt, (ast.Havoc, ast.Skip)):
+        return ()
+    raise IRError(f"not a simple statement: {stmt!r}")
+
+
+# ---------------------------------------------------------------------------
+# Generic expression rebuilding
+# ---------------------------------------------------------------------------
+
+
+def map_expr(expr: ast.Expr, fn: Callable[[ast.Expr], Optional[ast.Expr]]) -> ast.Expr:
+    """Rebuild ``expr`` bottom-up, letting ``fn`` replace whole nodes.
+
+    ``fn`` is consulted first at every node: a non-``None`` result is
+    taken verbatim (no further descent); ``None`` means "recurse".  The
+    rebuild is fully generic over the frozen-dataclass AST, so new
+    expression nodes need no new traversal code anywhere.
+    """
+    replaced = fn(expr)
+    if replaced is not None:
+        return replaced
+    values = []
+    changed = False
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, ast.Expr):
+            new = map_expr(value, fn)
+            changed = changed or new is not value
+            values.append(new)
+        else:
+            values.append(value)
+    if not changed:
+        return expr
+    return type(expr)(*values)
+
+
+# ---------------------------------------------------------------------------
+# The structured CFG interpreter
+# ---------------------------------------------------------------------------
+
+
+class CFGWalker(StatementVisitor):
+    """Drive an analysis or transformation over a CFG, structurally.
+
+    ``run_region`` threads an opaque ``state`` through one level of the
+    graph: statements dispatch through :class:`StatementVisitor` (each
+    ``visit_<kind>(stmt, state)`` returns the next state), a branch
+    calls ``on_branch(cfg, block, term, join, state)`` and resumes at
+    the join, a loop calls ``on_loop(cfg, block, term, state)`` and
+    resumes at the loop exit.  Subclasses implement the hooks — usually
+    by calling :meth:`run_region` on the arms or the loop's body
+    sub-CFG — and never write traversal order themselves.
+    """
+
+    def run(self, cfg: CFG, state):
+        return self.run_region(cfg, cfg.entry, None, state)
+
+    def run_region(self, cfg: CFG, start: int, stop: Optional[int], state):
+        bid: Optional[int] = start
+        while bid is not None and bid != stop:
+            block = cfg.block(bid)
+            for stmt in block.stmts:
+                state = self.visit(stmt, state)
+            term = block.term
+            if isinstance(term, Jump):
+                bid = term.target
+            elif isinstance(term, Branch):
+                join = cfg.join_of(block.id)
+                state = self.on_branch(cfg, block, term, join, state)
+                bid = join
+            elif isinstance(term, LoopHeader):
+                state = self.on_loop(cfg, block, term, state)
+                bid = term.after
+            elif isinstance(term, Exit):
+                bid = None
+            else:
+                raise IRError(f"unknown terminator {term!r}")
+        return state
+
+    # -- control-flow hooks --------------------------------------------------
+
+    def on_branch(self, cfg: CFG, block: Block, term: Branch, join: int, state):
+        raise IRError(f"{type(self).__name__} does not handle branches")
+
+    def on_loop(self, cfg: CFG, block: Block, term: LoopHeader, state):
+        raise IRError(f"{type(self).__name__} does not handle loops")
+
+
+# ---------------------------------------------------------------------------
+# CFG rewriting
+# ---------------------------------------------------------------------------
+
+#: A statement rewriter: one statement in, a replacement out — either a
+#: single statement, a sequence of statements, or ``None`` to drop it.
+StatementRewrite = Callable[[ast.Command], Union[ast.Command, Sequence[ast.Command], None]]
+
+
+def map_statements(cfg: CFG, fn: StatementRewrite) -> CFG:
+    """A new CFG with ``fn`` applied to every statement, loops included.
+
+    Block ids, terminators and the region structure are preserved, so
+    passes compose and the result still round-trips through
+    :func:`repro.ir.build.cfg_to_ast`.
+    """
+    out = CFG()
+    out.entry = cfg.entry
+    out._next_id = cfg._next_id
+    for bid, block in cfg.blocks.items():
+        stmts: List[ast.Command] = []
+        for stmt in block.stmts:
+            replaced = fn(stmt)
+            if replaced is None:
+                continue
+            if isinstance(replaced, ast.Command):
+                stmts.append(replaced)
+            else:
+                stmts.extend(replaced)
+        term = block.term
+        if isinstance(term, LoopHeader):
+            term = LoopHeader(
+                cond=term.cond,
+                body=map_statements(term.body, fn),
+                after=term.after,
+                invariants=term.invariants,
+            )
+        out.blocks[bid] = Block(bid, stmts, term)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Program IR and the pass manager
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramIR:
+    """One program's CFG plus provenance: which passes produced it."""
+
+    function: ast.FunctionDef
+    cfg: CFG
+    passes: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    def with_cfg(self, cfg: CFG, pass_name: str) -> "ProgramIR":
+        return ProgramIR(self.function, cfg, self.passes + (pass_name,))
+
+    def stats(self) -> Dict[str, object]:
+        """CFG statistics plus the pass trail, for stage accounting."""
+        stats: Dict[str, object] = dict(self.cfg.stats())
+        stats["passes"] = list(self.passes)
+        return stats
+
+
+class PassManager:
+    """Run a fixed sequence of named CFG passes over a :class:`ProgramIR`."""
+
+    def __init__(self, passes: Iterable[Tuple[str, Callable[[CFG], CFG]]] = ()) -> None:
+        self.passes: List[Tuple[str, Callable[[CFG], CFG]]] = list(passes)
+
+    def add(self, name: str, fn: Callable[[CFG], CFG]) -> "PassManager":
+        self.passes.append((name, fn))
+        return self
+
+    def run(self, ir: ProgramIR) -> ProgramIR:
+        for name, fn in self.passes:
+            ir = ir.with_cfg(fn(ir.cfg), name)
+        return ir

@@ -36,7 +36,7 @@ the definition.  The case studies use them to name the branch condition
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.lang import ast
 from repro.lang.lexer import Lexer, Token

@@ -1,16 +1,22 @@
 """The staged verification pipeline.
 
-The ShadowDP pipeline is a fixed sequence of five named stages::
+The ShadowDP pipeline is a fixed sequence of six named stages::
 
-    parse ──▶ check ──▶ lower ──▶ optimize ──▶ verify
+    parse ──▶ check ──▶ lower_ir ──▶ lower ──▶ optimize ──▶ verify
 
 * ``parse``    — concrete syntax → :class:`~repro.lang.ast.FunctionDef`
 * ``check``    — the flow-sensitive shadow type system →
   :class:`~repro.core.checker.CheckedProgram` (instrumented body)
+* ``lower_ir`` — the instrumented body lowered onto the shared
+  basic-block CFG → :class:`~repro.ir.ProgramIR`; every later
+  transformation is a pass over this graph
 * ``lower``    — Fig. 5 transformation to the non-probabilistic target
-  language → :class:`~repro.target.transform.TargetProgram`
-* ``optimize`` — dead hat-store elimination → ``TargetProgram``
-* ``verify``   — obligation generation + SMT discharge →
+  language (CFG rewrite passes) →
+  :class:`~repro.target.transform.TargetProgram`
+* ``optimize`` — dead hat-store elimination (CFG liveness pass) →
+  ``TargetProgram``
+* ``verify``   — obligation generation (block-by-block symbolic
+  execution) + SMT discharge →
   :class:`~repro.verify.verifier.VerificationOutcome`
 
 :class:`Pipeline` runs the stages individually or end-to-end, records a
@@ -31,9 +37,10 @@ import dataclasses
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.checker import CheckedProgram, check_function
+from repro.ir import ProgramIR, ast_to_cfg
 from repro.lang import ast
 from repro.lang.parser import parse_function
 from repro.lang.pretty import pretty_function
@@ -46,7 +53,7 @@ from repro.verify.verifier import (
 )
 
 #: The stage names, in execution order.
-STAGES: Tuple[str, ...] = ("parse", "check", "lower", "optimize", "verify")
+STAGES: Tuple[str, ...] = ("parse", "check", "lower_ir", "lower", "optimize", "verify")
 
 #: A pipeline input: concrete syntax, or an already-parsed function.
 Program = Union[str, ast.FunctionDef]
@@ -76,6 +83,7 @@ class StageResult:
     cached: bool = False
     solver_cache_hits: int = 0
     solver_stats: Optional[Dict[str, int]] = None
+    ir_stats: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -87,7 +95,19 @@ class StageResult:
         }
         if self.solver_stats is not None:
             data["solver_stats"] = dict(self.solver_stats)
+        if self.ir_stats is not None:
+            data["ir"] = dict(self.ir_stats)
         return data
+
+
+def _ir_stats_of(artifact: Any) -> Optional[Dict[str, Any]]:
+    """CFG statistics for artifacts that are (or carry) a ProgramIR."""
+    if isinstance(artifact, ProgramIR):
+        return artifact.stats()
+    ir = getattr(artifact, "ir", None)
+    if isinstance(ir, ProgramIR):
+        return ir.stats()
+    return None
 
 
 @dataclass
@@ -111,6 +131,11 @@ class PipelineRun:
     @property
     def checked(self) -> Optional[CheckedProgram]:
         return self.artifact("check")
+
+    @property
+    def ir(self) -> Optional[ProgramIR]:
+        """The checked body's CFG-based IR (the ``lower_ir`` artifact)."""
+        return self.artifact("lower_ir")
 
     @property
     def target(self) -> Optional[TargetProgram]:
@@ -217,8 +242,8 @@ class Pipeline:
     memoize:
         When True (default) stage artifacts are cached keyed on the
         source hash, so re-running any prefix of the pipeline on an
-        unchanged program is free.  ``parse``/``check``/``lower``/
-        ``optimize`` are config-independent; ``verify`` additionally
+        unchanged program is free.  ``parse``/``check``/``lower_ir``/
+        ``lower``/``optimize`` are config-independent; ``verify`` additionally
         keys on the config fingerprint, so sweeping bindings over one
         program re-verifies but never re-checks.
 
@@ -257,7 +282,10 @@ class Pipeline:
             hit = self._cache[cache_key]
             # A hit issues no solver queries and takes no time: both are
             # the marginal cost of *this* run, not of the cached artifact.
-            return StageResult(stage, hit.artifact, 0.0, 0, cached=True)
+            # CFG shape, by contrast, is a property of the artifact.
+            return StageResult(
+                stage, hit.artifact, 0.0, 0, cached=True, ir_stats=hit.ir_stats
+            )
         self.cache_misses[stage] += 1
         start = time.perf_counter()
         produced = produce()
@@ -270,6 +298,7 @@ class Pipeline:
             queries,
             solver_cache_hits=(stats or {}).get("cache_hits", 0),
             solver_stats=stats,
+            ir_stats=_ir_stats_of(artifact),
         )
         if self.memoize:
             self._cache[cache_key] = result
@@ -291,8 +320,18 @@ class Pipeline:
 
         return self._memo("check", key, "", produce)
 
-    def _lower(self, key: str, checked: CheckedProgram) -> StageResult:
-        return self._memo("lower", key, "", lambda: (to_target(checked, optimize=False), 0))
+    def _lower_ir(self, key: str, checked: CheckedProgram) -> StageResult:
+        return self._memo(
+            "lower_ir",
+            key,
+            "",
+            lambda: (ProgramIR(checked.function, ast_to_cfg(checked.body)), 0),
+        )
+
+    def _lower(self, key: str, checked: CheckedProgram, ir: ProgramIR) -> StageResult:
+        return self._memo(
+            "lower", key, "", lambda: (to_target(checked, optimize=False, ir=ir), 0)
+        )
 
     def _optimize(self, key: str, target: TargetProgram) -> StageResult:
         return self._memo("optimize", key, "", lambda: (target.optimized(), 0))
@@ -358,7 +397,13 @@ class Pipeline:
         if stop_after == "check":
             return run
 
-        run.stages["lower"] = self._lower(key, run.stages["check"].artifact)
+        run.stages["lower_ir"] = self._lower_ir(key, run.stages["check"].artifact)
+        if stop_after == "lower_ir":
+            return run
+
+        run.stages["lower"] = self._lower(
+            key, run.stages["check"].artifact, run.stages["lower_ir"].artifact
+        )
         if stop_after == "lower":
             return run
 

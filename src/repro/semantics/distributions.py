@@ -9,7 +9,6 @@ uniform source works, which keeps tests reproducible without numpy.
 from __future__ import annotations
 
 import math
-import random
 from typing import Protocol
 
 

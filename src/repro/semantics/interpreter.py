@@ -11,7 +11,7 @@ and target-program executions where ``havoc`` consumes the same stream.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.lang import ast

@@ -23,8 +23,7 @@ alignments are real alignments, not just solver-accepted formulas.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.checker import CheckedProgram

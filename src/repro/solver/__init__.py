@@ -112,4 +112,5 @@ __all__ = [
     "ValidityChecker",
     "is_valid",
     "find_model",
+    "SolverProfile",
 ]

@@ -6,20 +6,30 @@ of them track distances nothing ever reads — e.g. Report Noisy Max's
 Removing them keeps the target programs in the exact shape of the
 paper's figures and shrinks the verifier's symbolic stores.
 
+The pass runs over the program's CFG (:func:`dead_store_pass`): one
+sweep over the blocks collects every hat *demanded* by a
+non-store read — branch and loop-header conditions, loop invariants,
+and the read-sets of assert/assume/return/normal-assignment/sampling
+statements (:func:`repro.ir.statement_reads`) — then a demand fixpoint
+adds the hats feeding live stores, and a rewrite pass
+(:func:`repro.ir.map_statements`) drops the rest.
+
 Only *hat* stores (assignments to names like ``x^o`` / ``x^s``) are
-candidates; normal program variables are never touched.  Liveness is a
-flow-insensitive demand fixpoint, which is sound here because removal
-requires a hat to be read *nowhere at all* (or only by stores that are
-themselves dead): a hat demanded anywhere — by an assert, a branch or
-loop condition, a loop invariant, a return expression, a normal
-assignment, or a surviving hat store — keeps every store to it.
-Trivial identity stores ``x^o := x^o`` are always removed.
+candidates; normal program variables are never touched.  Liveness is
+deliberately a whole-program demand analysis rather than a
+flow-sensitive per-block one: removal requires a hat to be read
+*nowhere at all* (or only by stores that are themselves dead), which is
+what keeps every surviving store's value identical to the unoptimized
+program's on every path.  A hat demanded anywhere keeps every store to
+it; trivial identity stores ``x^o := x^o`` are always removed.
 """
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import List, Set, Tuple, Union
 
+from repro.ir import ast_to_cfg, cfg_to_ast, map_statements, statement_kind, statement_reads
+from repro.ir.cfg import CFG, Branch, LoopHeader
 from repro.lang import ast
 
 
@@ -28,50 +38,38 @@ def _expr_hats(expr: ast.Expr) -> Set[str]:
     return {ast.hat_name(h.base, h.version) for h in ast.hat_vars(expr)}
 
 
-def _is_hat_store(cmd: ast.Command) -> bool:
-    return isinstance(cmd, ast.Assign) and "^" in cmd.name and "[" not in cmd.name
+def _is_hat_store(stmt: ast.Command) -> bool:
+    return statement_kind(stmt) == "assign" and "^" in stmt.name and "[" not in stmt.name
 
 
-def _selector_conditions(selector: ast.Selector) -> List[ast.Expr]:
-    out: List[ast.Expr] = []
-    stack = [selector]
-    while stack:
-        sel = stack.pop()
-        if isinstance(sel, ast.SelectCond):
-            out.append(sel.cond)
-            stack.extend([sel.then, sel.orelse])
-    return out
+def live_hats(program: Union[ast.Command, CFG]) -> Set[str]:
+    """The hat variables some non-dead part of the program demands.
 
-
-def live_hats(cmd: ast.Command) -> Set[str]:
-    """The hat variables some non-dead part of ``cmd`` demands.
-
-    Seeds are all hats read outside hat-store right-hand sides
-    (conditions, invariants, asserts, assumes, returns, normal
-    assignments, sampling annotations); the fixpoint then adds the hats
-    feeding live stores, so liveness propagates transitively — and a
-    store kept alive only by its own right-hand side stays dead.
+    Seeds are all hats read outside hat-store right-hand sides; the
+    fixpoint then adds the hats feeding live stores, so liveness
+    propagates transitively — and a store kept alive only by its own
+    right-hand side stays dead.
     """
+    cfg = program if isinstance(program, CFG) else ast_to_cfg(program)
     demanded: Set[str] = set()
     stores: List[Tuple[str, Set[str]]] = []
-    for node in ast.command_iter(cmd):
-        if isinstance(node, ast.Assign):
-            if _is_hat_store(node):
-                stores.append((node.name, _expr_hats(node.expr)))
-            else:
-                demanded |= _expr_hats(node.expr)
-        elif isinstance(node, (ast.Assert, ast.Assume, ast.Return)):
-            demanded |= _expr_hats(node.expr)
-        elif isinstance(node, ast.If):
-            demanded |= _expr_hats(node.cond)
-        elif isinstance(node, ast.While):
-            demanded |= _expr_hats(node.cond)
-            for invariant in node.invariants:
+    # Whole-program demand, so visit order is irrelevant: one sweep over
+    # every block (loop bodies included) collects the seeds and the
+    # store dependency edges.
+    for _, block in cfg.walk_blocks():
+        term = block.term
+        if isinstance(term, Branch):
+            demanded |= _expr_hats(term.cond)
+        elif isinstance(term, LoopHeader):
+            demanded |= _expr_hats(term.cond)
+            for invariant in term.invariants:
                 demanded |= _expr_hats(invariant)
-        elif isinstance(node, ast.Sample):
-            demanded |= _expr_hats(node.scale) | _expr_hats(node.align)
-            for cond in _selector_conditions(node.selector):
-                demanded |= _expr_hats(cond)
+        for stmt in block.stmts:
+            if _is_hat_store(stmt):
+                stores.append((stmt.name, _expr_hats(stmt.expr)))
+            else:
+                for read in statement_reads(stmt):
+                    demanded |= _expr_hats(read)
 
     live = set(demanded)
     changed = True
@@ -84,23 +82,22 @@ def live_hats(cmd: ast.Command) -> Set[str]:
     return live
 
 
-def _rebuild(cmd: ast.Command, live: Set[str]) -> ast.Command:
-    if _is_hat_store(cmd):
-        if cmd.name not in live:
-            return ast.Skip()
-        base, _, version = cmd.name.rpartition("^")
-        if cmd.expr == ast.Hat(base, version):
-            return ast.Skip()
-        return cmd
-    if isinstance(cmd, ast.Seq):
-        return ast.seq(*[_rebuild(c, live) for c in cmd.commands])
-    if isinstance(cmd, ast.If):
-        return ast.If(cmd.cond, _rebuild(cmd.then, live), _rebuild(cmd.orelse, live))
-    if isinstance(cmd, ast.While):
-        return ast.While(cmd.cond, _rebuild(cmd.body, live), cmd.invariants)
-    return cmd
+def dead_store_pass(cfg: CFG) -> CFG:
+    """The ``dse-hats`` rewrite pass over a target CFG."""
+    live = live_hats(cfg)
+
+    def rewrite(stmt: ast.Command):
+        if _is_hat_store(stmt):
+            if stmt.name not in live:
+                return None
+            base, _, version = stmt.name.rpartition("^")
+            if stmt.expr == ast.Hat(base, version):
+                return None
+        return stmt
+
+    return map_statements(cfg, rewrite)
 
 
 def eliminate_dead_stores(cmd: ast.Command) -> ast.Command:
     """Remove hat stores whose values are never (transitively) read."""
-    return _rebuild(cmd, live_hats(cmd))
+    return cfg_to_ast(dead_store_pass(ast_to_cfg(cmd)))

@@ -1,12 +1,16 @@
-"""The program transformation of paper Figure 5.
+"""The program transformation of paper Figure 5, as CFG passes.
 
 The type checker (:mod:`repro.core.checker`) emits the instrumented
 probabilistic program ``c′``: original commands plus asserts and hat
 updates, with :class:`~repro.lang.ast.Sample` commands still in place.
 This module performs the second stage, producing the *non-probabilistic*
-program whose safety implies ε-differential privacy (Theorem 2):
+program whose safety implies ε-differential privacy (Theorem 2).  It
+runs three named rewrite passes over the program's
+:class:`~repro.ir.ProgramIR` (built by the pipeline's ``lower_ir``
+stage, or on demand):
 
-* every sampling command ``η := Lap r, S, n`` becomes
+* ``lower-samples`` — every sampling command ``η := Lap r, S, n``
+  becomes
 
   .. code-block:: none
 
@@ -19,24 +23,29 @@ program whose safety implies ε-differential privacy (Theorem 2):
   selector that switches to the shadow execution *resets* the budget
   before paying ``|n| / r`` for aligning the fresh sample.
 
-* ``v_eps := 0`` is prepended, and ``assert(v_eps <= bound)`` is placed
-  immediately before the final ``return`` (the paper's default bound is
-  ``eps``; SmartSum declares ``costbound 2 * eps``).
+* ``init-cost`` — ``v_eps := 0`` is prepended to the entry block.
 
-* dead stores to hat variables are eliminated
-  (:mod:`repro.target.optimize`) so the output matches the paper's
-  figures, which omit distance updates nothing ever reads.  Pass
-  ``optimize=False`` to obtain the raw lowering — the staged
-  :class:`repro.pipeline.Pipeline` exposes it as the separate
-  ``optimize`` stage.
+* ``budget-assert`` — ``assert(v_eps <= bound)`` lands immediately
+  before the trailing ``return`` in the exit block (the paper's default
+  bound is ``eps``; SmartSum declares ``costbound 2 * eps``).
+
+Dead stores to hat variables are eliminated by the separate
+:mod:`repro.target.optimize` pass so the output matches the paper's
+figures, which omit distance updates nothing ever reads.  Pass
+``optimize=False`` to obtain the raw lowering — the staged
+:class:`repro.pipeline.Pipeline` exposes it as the ``optimize`` stage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.checker import CheckedProgram
 from repro.core.simplify import simplify
+from repro.ir import ProgramIR, ast_to_cfg, cfg_to_ast, map_statements, statement_kind
+from repro.ir.cfg import CFG, Block
+from repro.ir.passes import PassManager
 from repro.lang import ast
 
 #: The distinguished privacy-cost variable of the target language.
@@ -61,22 +70,40 @@ class TargetProgram:
     aligned_only:
         True when the program was checked in the LightDP (aligned-only)
         fragment — no shadow instrumentation exists in ``body``.
+    ir:
+        The program's CFG plus the trail of passes that produced it
+        (``None`` for hand-built targets; rebuilt on demand).
     """
 
     function: ast.FunctionDef
     body: ast.Command
     cost_bound: ast.Expr
     aligned_only: bool
+    ir: Optional[ProgramIR] = None
 
     @property
     def name(self) -> str:
         return self.function.name
 
+    def program_ir(self) -> ProgramIR:
+        """This program's IR, rebuilding the CFG when not cached."""
+        if self.ir is not None:
+            return self.ir
+        return ProgramIR(self.function, ast_to_cfg(self.body))
+
     def optimized(self) -> "TargetProgram":
         """This program with dead hat stores eliminated."""
-        from repro.target.optimize import eliminate_dead_stores
+        from repro.target.optimize import dead_store_pass
 
-        return replace(self, body=eliminate_dead_stores(self.body))
+        ir = self.program_ir()
+        ir = ir.with_cfg(dead_store_pass(ir.cfg), "dse-hats")
+        return TargetProgram(
+            function=self.function,
+            body=cfg_to_ast(ir.cfg),
+            cost_bound=self.cost_bound,
+            aligned_only=self.aligned_only,
+            ir=ir,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -96,26 +123,46 @@ def sample_cost(sample: ast.Sample) -> ast.Expr:
     return simplify(ast.BinOp("+", selected, per_sample))
 
 
+def _lower_sample_stmt(stmt: ast.Command):
+    if statement_kind(stmt) == "sample":
+        return (ast.Havoc(stmt.name), ast.Assign(COST_VAR, sample_cost(stmt)))
+    return stmt
+
+
+def lower_samples(cfg: CFG) -> CFG:
+    """The ``lower-samples`` pass: ``Sample`` → ``havoc`` + cost update."""
+    return map_statements(cfg, _lower_sample_stmt)
+
+
 def lower_command(cmd: ast.Command) -> ast.Command:
-    """Replace every ``Sample`` with ``havoc`` plus its cost update."""
-    if isinstance(cmd, ast.Sample):
-        return ast.seq(ast.Havoc(cmd.name), ast.Assign(COST_VAR, sample_cost(cmd)))
-    if isinstance(cmd, ast.Seq):
-        return ast.seq(*[lower_command(c) for c in cmd.commands])
-    if isinstance(cmd, ast.If):
-        return ast.If(cmd.cond, lower_command(cmd.then), lower_command(cmd.orelse))
-    if isinstance(cmd, ast.While):
-        return ast.While(cmd.cond, lower_command(cmd.body), cmd.invariants)
-    return cmd
+    """AST-level convenience wrapper around the ``lower-samples`` pass."""
+    return cfg_to_ast(lower_samples(ast_to_cfg(cmd)))
 
 
-def _with_final_assert(body: ast.Command, final: ast.Command) -> ast.Command:
-    """Insert the budget assertion immediately before the trailing return."""
-    if isinstance(body, ast.Seq) and body.commands and isinstance(body.commands[-1], ast.Return):
-        return ast.seq(*body.commands[:-1], final, body.commands[-1])
-    if isinstance(body, ast.Return):
-        return ast.seq(final, body)
-    return ast.seq(body, final)
+# ---------------------------------------------------------------------------
+# Cost-variable bracketing
+# ---------------------------------------------------------------------------
+
+
+def init_cost(cfg: CFG) -> CFG:
+    """The ``init-cost`` pass: prepend ``v_eps := 0`` to the entry block."""
+    out = cfg.copy()
+    out.block(out.entry).stmts.insert(0, ast.Assign(COST_VAR, ast.ZERO))
+    return out
+
+
+def _budget_assert_pass(bound: ast.Expr):
+    def run(cfg: CFG) -> CFG:
+        out = cfg.copy()
+        block: Block = out.block(out.exit_id())
+        final = ast.Assert(ast.BinOp("<=", ast.Var(COST_VAR), bound))
+        if block.stmts and statement_kind(block.stmts[-1]) == "return_":
+            block.stmts.insert(len(block.stmts) - 1, final)
+        else:
+            block.stmts.append(final)
+        return out
+
+    return run
 
 
 # ---------------------------------------------------------------------------
@@ -123,21 +170,33 @@ def _with_final_assert(body: ast.Command, final: ast.Command) -> ast.Command:
 # ---------------------------------------------------------------------------
 
 
-def to_target(checked: CheckedProgram, optimize: bool = True) -> TargetProgram:
-    """Lower a type-checked program to the target language (Fig. 5)."""
+def to_target(
+    checked: CheckedProgram,
+    optimize: bool = True,
+    ir: Optional[ProgramIR] = None,
+) -> TargetProgram:
+    """Lower a type-checked program to the target language (Fig. 5).
+
+    ``ir`` is the checked body's :class:`~repro.ir.ProgramIR` when the
+    caller already built it (the pipeline's ``lower_ir`` stage); it is
+    constructed on demand otherwise.
+    """
     bound = simplify(checked.function.cost_bound)
-    body = ast.seq(
-        ast.Assign(COST_VAR, ast.ZERO),
-        lower_command(checked.body),
+    program_ir = ir if ir is not None else ProgramIR(checked.function, ast_to_cfg(checked.body))
+    manager = PassManager(
+        [
+            ("lower-samples", lower_samples),
+            ("init-cost", init_cost),
+            ("budget-assert", _budget_assert_pass(bound)),
+        ]
     )
-    body = _with_final_assert(
-        body, ast.Assert(ast.BinOp("<=", ast.Var(COST_VAR), bound))
-    )
+    lowered = manager.run(program_ir)
     target = TargetProgram(
         function=checked.function,
-        body=body,
+        body=cfg_to_ast(lowered.cfg),
         cost_bound=bound,
         aligned_only=checked.aligned_only,
+        ir=lowered,
     )
     if optimize:
         target = target.optimized()

@@ -1,34 +1,43 @@
 """Symbolic execution of target programs into proof obligations.
 
-The executor maintains a *store* mapping each variable (including hat
-variables and ``v_eps``) to a symbolic expression over input symbols,
-and a *path condition*.  ``havoc`` introduces fresh symbols (``eta#3``).
-Branches execute both sides and merge stores with ternaries, so the
-number of obligations stays linear in program size.
+The executor runs the program's CFG block by block
+(:class:`~repro.ir.CFGWalker`): it maintains a *store* mapping each
+variable (including hat variables and ``v_eps``) to a symbolic
+expression over input symbols, and a *path condition*.  ``havoc``
+introduces fresh symbols (``eta#3``).  At a branch both arms execute
+from copies of the store and reconverge at the CFG's join block, where
+the stores are merged with ternaries — so the number of obligations
+stays linear in program size.
 
-Loops come in two flavours:
+Loops are per-loop sub-CFGs (:class:`~repro.ir.cfg.LoopHeader`) and
+come in two flavours:
 
-* **unroll** — bodies are expanded up to a budget; a final obligation
-  demands the guard is provably false when the budget runs out, so a
-  successful verification is a *complete* proof for the given concrete
-  loop bounds (not a bounded approximation).
+* **unroll** — the body sub-CFG is executed up to a budget; a final
+  obligation demands the guard is provably false when the budget runs
+  out, so a successful verification is a *complete* proof for the given
+  concrete loop bounds (not a bounded approximation).
 * **invariant** — the classic Hoare treatment: establish invariants on
-  entry, havoc the modified variables, assume invariants ∧ guard, check
-  the body re-establishes the invariants, continue under invariants ∧
-  ¬guard.  Invariants come from program annotations
-  (``while (e) invariant I; {...}``) or from Houdini.
+  entry, havoc the variables the body sub-CFG assigns, assume
+  invariants ∧ guard, check the body re-establishes the invariants,
+  continue under invariants ∧ ¬guard.  Invariants come from program
+  annotations (``while (e) invariant I; {...}``) or from Houdini.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.simplify import simplify
+from repro.ir import CFGWalker, ast_to_cfg, map_expr
+from repro.ir.cfg import CFG, Block, Branch, LoopHeader
 from repro.lang import ast
 from repro.lang.pretty import pretty_expr
 
 Store = Dict[str, ast.Expr]
+
+#: The walker state: the symbolic store and the path condition.
+State = Tuple[Store, Tuple[ast.Expr, ...]]
 
 
 class VCGenError(ValueError):
@@ -54,8 +63,8 @@ class Obligation:
 
 
 @dataclass
-class VCGenerator:
-    """Symbolically executes one command tree."""
+class VCGenerator(CFGWalker):
+    """Symbolically executes one program, block by block."""
 
     unroll_limit: int = 64
     use_invariants: bool = False
@@ -65,12 +74,13 @@ class VCGenerator:
 
     # -- public API ------------------------------------------------------------
 
-    def run(self, cmd: ast.Command, store: Optional[Store] = None) -> Tuple[Store, Tuple[ast.Expr, ...]]:
-        """Execute ``cmd`` from ``store`` (default: every variable maps to
-        itself, i.e. fully symbolic inputs).  Returns the final store and
-        path; obligations accumulate on the generator."""
-        store = dict(store or {})
-        return self._exec(cmd, store, ())
+    def run(self, program: Union[ast.Command, CFG], store: Optional[Store] = None) -> State:
+        """Execute ``program`` (a command or a prebuilt CFG) from
+        ``store`` (default: every variable maps to itself, i.e. fully
+        symbolic inputs).  Returns the final store and path; obligations
+        accumulate on the generator."""
+        cfg = program if isinstance(program, CFG) else ast_to_cfg(program)
+        return self.run_region(cfg, cfg.entry, None, (dict(store or {}), ()))
 
     # -- helpers ------------------------------------------------------------------
 
@@ -87,56 +97,65 @@ class VCGenerator:
             return
         self.obligations.append(Obligation(goal, path, tag, label))
 
-    # -- execution -----------------------------------------------------------------
+    # -- straight-line statements --------------------------------------------------
 
-    def _exec(self, cmd: ast.Command, store: Store, path: Tuple[ast.Expr, ...]):
-        if isinstance(cmd, ast.Skip):
-            return store, path
-        if isinstance(cmd, ast.Seq):
-            for part in cmd.commands:
-                store, path = self._exec(part, store, path)
-            return store, path
-        if isinstance(cmd, ast.Assign):
-            store = dict(store)
-            store[cmd.name] = self._subst(cmd.expr, store)
-            return store, path
-        if isinstance(cmd, ast.Havoc):
-            store = dict(store)
-            store[cmd.name] = self.fresh(cmd.name)
-            return store, path
-        if isinstance(cmd, ast.Assert):
-            self._oblige(self._subst(cmd.expr, store), path, "assert")
-            return store, path
-        if isinstance(cmd, ast.Assume):
-            fact = self._subst(cmd.expr, store)
-            if fact != ast.TRUE:
-                path = path + (fact,)
-            return store, path
-        if isinstance(cmd, ast.If):
-            return self._exec_if(cmd, store, path)
-        if isinstance(cmd, ast.While):
-            if self.use_invariants and (cmd.invariants or self.extra_invariants):
-                return self._exec_loop_invariant(cmd, store, path)
-            return self._exec_loop_unroll(cmd, store, path, self.unroll_limit)
-        if isinstance(cmd, ast.Return):
-            return store, path
-        if isinstance(cmd, ast.Sample):
-            raise VCGenError(
-                "sampling command reached the verifier — lower with "
-                "repro.target.transform first"
-            )
-        raise VCGenError(f"cannot execute {cmd!r}")
+    def visit_assign(self, stmt: ast.Assign, state: State) -> State:
+        store, path = state
+        store = dict(store)
+        store[stmt.name] = self._subst(stmt.expr, store)
+        return store, path
 
-    def _exec_if(self, cmd: ast.If, store: Store, path: Tuple[ast.Expr, ...]):
-        cond = self._subst(cmd.cond, store)
+    def visit_havoc(self, stmt: ast.Havoc, state: State) -> State:
+        store, path = state
+        store = dict(store)
+        store[stmt.name] = self.fresh(stmt.name)
+        return store, path
+
+    def visit_assert_(self, stmt: ast.Assert, state: State) -> State:
+        store, path = state
+        self._oblige(self._subst(stmt.expr, store), path, "assert")
+        return state
+
+    def visit_assume(self, stmt: ast.Assume, state: State) -> State:
+        store, path = state
+        fact = self._subst(stmt.expr, store)
+        if fact != ast.TRUE:
+            path = path + (fact,)
+        return store, path
+
+    def visit_return_(self, stmt: ast.Return, state: State) -> State:
+        return state
+
+    def visit_skip(self, stmt: ast.Skip, state: State) -> State:
+        return state
+
+    def visit_sample(self, stmt: ast.Sample, state: State) -> State:
+        raise VCGenError(
+            "sampling command reached the verifier — lower with "
+            "repro.target.transform first"
+        )
+
+    def generic_visit(self, stmt: ast.Command, *args):
+        raise VCGenError(f"cannot execute {stmt!r}")
+
+    # -- branches: merge stores at the join node -----------------------------------
+
+    def on_branch(self, cfg: CFG, block: Block, term: Branch, join: int, state: State) -> State:
+        store, path = state
+        cond = self._subst(term.cond, store)
         if cond == ast.TRUE:
-            return self._exec(cmd.then, store, path)
+            return self.run_region(cfg, term.then, join, state)
         if cond == ast.FALSE:
-            return self._exec(cmd.orelse, store, path)
+            if term.orelse == join:
+                return state
+            return self.run_region(cfg, term.orelse, join, state)
         base_t = path + (cond,)
         base_f = path + (ast.Not(cond),)
-        store_t, path_t = self._exec(cmd.then, dict(store), base_t)
-        store_f, path_f = self._exec(cmd.orelse, dict(store), base_f)
+        store_t, path_t = self.run_region(cfg, term.then, join, (dict(store), base_t))
+        if term.orelse == join:
+            store_f, path_f = dict(store), base_f
+        else:
+            store_f, path_f = self.run_region(cfg, term.orelse, join, (dict(store), base_f))
         # Facts learned inside a branch (assumes, loop-invariant
         # assumptions) survive the merge as guarded implications.
         merged_path = path
@@ -146,8 +165,20 @@ class VCGenerator:
             merged_path = merged_path + (ast.BinOp("||", cond, fact),)
         return _merge_stores(cond, store_t, store_f), merged_path
 
-    def _exec_loop_unroll(self, cmd: ast.While, store: Store, path, budget: int):
-        guard = self._subst(cmd.cond, store)
+    # -- loops: one sub-CFG per loop ------------------------------------------------
+
+    def on_loop(self, cfg: CFG, block: Block, term: LoopHeader, state: State) -> State:
+        store, path = state
+        if self.use_invariants and (term.invariants or self.extra_invariants):
+            return self._exec_loop_invariant(term, store, path)
+        return self._exec_loop_unroll(term, store, path, self.unroll_limit)
+
+    def _run_body(self, term: LoopHeader, state: State) -> State:
+        body = term.body
+        return self.run_region(body, body.entry, None, state)
+
+    def _exec_loop_unroll(self, term: LoopHeader, store: Store, path, budget: int) -> State:
+        guard = self._subst(term.cond, store)
         if guard == ast.FALSE:
             return store, path
         if budget == 0:
@@ -158,21 +189,21 @@ class VCGenerator:
                 path = path + (ast.Not(guard),)
             return store, path
         base = path if guard == ast.TRUE else path + (guard,)
-        body_store, body_path = self._exec(cmd.body, dict(store), base)
-        rest_store, rest_path = self._exec_loop_unroll(cmd, body_store, body_path, budget - 1)
+        body_store, body_path = self._run_body(term, (dict(store), base))
+        rest_store, rest_path = self._exec_loop_unroll(term, body_store, body_path, budget - 1)
         if guard == ast.TRUE:
             return rest_store, rest_path
         merged = _merge_stores(guard, rest_store, store)
         merged_path = path
         for fact in rest_path[len(base):]:
             merged_path = merged_path + (ast.BinOp("||", ast.Not(guard), fact),)
-        exit_guard = self._subst(cmd.cond, merged)
+        exit_guard = self._subst(term.cond, merged)
         if exit_guard != ast.FALSE:
             merged_path = merged_path + (ast.Not(exit_guard),)
         return merged, merged_path
 
-    def _exec_loop_invariant(self, cmd: ast.While, store: Store, path):
-        own = tuple(cmd.invariants)
+    def _exec_loop_invariant(self, term: LoopHeader, store: Store, path) -> State:
+        own = tuple(term.invariants)
         invariants = own + tuple(self.extra_invariants)
         # Labels distinguish program-annotated invariants from injected
         # candidates so Houdini prunes only its own.
@@ -184,12 +215,12 @@ class VCGenerator:
             self._oblige(self._subst(inv, store), path, "invariant-entry", label=label)
         # 2. An arbitrary iteration preserves them.
         havoced = dict(store)
-        for name in sorted(ast.assigned_vars(cmd.body)):
+        for name in sorted(term.body.assigned_names()):
             havoced[name] = self.fresh(name)
         assumed = tuple(self._subst(inv, havoced) for inv in invariants)
-        guard = self._subst(cmd.cond, havoced)
+        guard = self._subst(term.cond, havoced)
         body_path = path + assumed + (guard,)
-        body_store, body_path_out = self._exec(cmd.body, dict(havoced), body_path)
+        body_store, body_path_out = self._run_body(term, (dict(havoced), body_path))
         for label, inv in zip(labels, invariants):
             self._oblige(self._subst(inv, body_store), body_path_out, "invariant-preserved", label=label)
         # 3. Continue from an arbitrary post-loop state.
@@ -202,32 +233,19 @@ class VCGenerator:
 
 
 def _subst_expr(expr: ast.Expr, store: Store) -> ast.Expr:
-    if isinstance(expr, ast.Var):
-        return store.get(expr.name, expr)
-    if isinstance(expr, ast.Hat):
-        return store.get(ast.hat_name(expr.base, expr.version), expr)
-    if isinstance(expr, (ast.Real, ast.BoolLit)):
-        return expr
-    if isinstance(expr, ast.Neg):
-        return ast.Neg(_subst_expr(expr.operand, store))
-    if isinstance(expr, ast.Not):
-        return ast.Not(_subst_expr(expr.operand, store))
-    if isinstance(expr, ast.Abs):
-        return ast.Abs(_subst_expr(expr.operand, store))
-    if isinstance(expr, ast.BinOp):
-        return ast.BinOp(expr.op, _subst_expr(expr.left, store), _subst_expr(expr.right, store))
-    if isinstance(expr, ast.Ternary):
-        return ast.Ternary(
-            _subst_expr(expr.cond, store),
-            _subst_expr(expr.then, store),
-            _subst_expr(expr.orelse, store),
-        )
-    if isinstance(expr, ast.Index):
-        # List bases are input symbols; only the index is state-dependent.
-        return ast.Index(expr.base, _subst_expr(expr.index, store))
-    if isinstance(expr, ast.Cons):
-        return ast.Cons(_subst_expr(expr.head, store), _subst_expr(expr.tail, store))
-    raise VCGenError(f"cannot substitute into {expr!r}")
+    def replace(node: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(node, ast.Var):
+            return store.get(node.name, node)
+        if isinstance(node, ast.Hat):
+            return store.get(ast.hat_name(node.base, node.version), node)
+        if isinstance(node, ast.Index):
+            # List bases are input symbols; only the index is state-dependent.
+            return ast.Index(node.base, _subst_expr(node.index, store))
+        if isinstance(node, ast.ForAll):
+            raise VCGenError(f"cannot substitute into {node!r}")
+        return None  # generic bottom-up rebuild
+
+    return map_expr(expr, replace)
 
 
 def _merge_stores(cond: ast.Expr, store_t: Store, store_f: Store) -> Store:

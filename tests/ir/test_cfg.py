@@ -1,0 +1,173 @@
+"""Unit and property tests for the CFG-based program IR."""
+
+import pytest
+
+from repro.algorithms import all_specs
+from repro.ir import (
+    ast_to_cfg,
+    cfg_to_ast,
+    map_expr,
+    map_statements,
+    statement_kind,
+    statement_reads,
+)
+from repro.ir.cfg import Branch, Exit, IRError, Jump, LoopHeader, dump
+from repro.lang import ast
+from repro.lang.parser import parse_command, parse_expr
+from repro.lang.pretty import pretty_command
+
+
+def roundtrip(source: str) -> None:
+    cmd = parse_command(source)
+    back = cfg_to_ast(ast_to_cfg(cmd))
+    assert pretty_command(back) == pretty_command(ast.seq(cmd))
+
+
+class TestRoundTrip:
+    """``cfg_to_ast ∘ ast_to_cfg`` is the identity up to seq-normal form."""
+
+    def test_straight_line(self):
+        roundtrip("x := 1; y := x + 1; return y;")
+
+    def test_if_with_else(self):
+        roundtrip("if (x > 0) { y := 1; } else { y := 2; } z := y;")
+
+    def test_if_without_else(self):
+        roundtrip("if (x > 0) { y := 1; } z := y;")
+
+    def test_nested_branches(self):
+        roundtrip(
+            "if (a > 0) { if (b > 0) { x := 1; } else { x := 2; } } else { x := 3; }"
+        )
+
+    def test_loop_with_invariants(self):
+        roundtrip(
+            "i := 0; while (i < n) invariant i >= 0; { i := i + 1; } return i;"
+        )
+
+    def test_nested_loops(self):
+        roundtrip(
+            "i := 0; while (i < n) { j := 0; while (j < i) { j := j + 1; } i := i + 1; }"
+        )
+
+    def test_branch_inside_loop(self):
+        roundtrip(
+            "while (i < n) { if (q[i] > 0) { c := c + 1; } else { c := c; } i := i + 1; }"
+        )
+
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_registry_source_bodies(self, spec):
+        body = spec.function().body
+        assert pretty_command(cfg_to_ast(ast_to_cfg(body))) == pretty_command(ast.seq(body))
+
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_registry_checked_bodies(self, spec):
+        body = spec.checked().body
+        assert pretty_command(cfg_to_ast(ast_to_cfg(body))) == pretty_command(ast.seq(body))
+
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_registry_target_bodies(self, spec):
+        body = spec.target().body
+        assert pretty_command(cfg_to_ast(ast_to_cfg(body))) == pretty_command(ast.seq(body))
+
+
+class TestStructure:
+    def test_single_block(self):
+        cfg = ast_to_cfg(parse_command("x := 1; return x;"))
+        assert cfg.stats() == {"blocks": 1, "edges": 0, "loops": 0}
+        assert isinstance(cfg.block(cfg.entry).term, Exit)
+
+    def test_branch_makes_diamond(self):
+        cfg = ast_to_cfg(parse_command("if (c > 0) { x := 1; } else { x := 2; }"))
+        term = cfg.block(cfg.entry).term
+        assert isinstance(term, Branch)
+        join = cfg.join_of(cfg.entry)
+        assert cfg.block(term.then).term == Jump(join)
+        assert cfg.block(term.orelse).term == Jump(join)
+        assert cfg.stats() == {"blocks": 4, "edges": 4, "loops": 0}
+
+    def test_empty_else_branches_to_join(self):
+        cfg = ast_to_cfg(parse_command("if (c > 0) { x := 1; }"))
+        term = cfg.block(cfg.entry).term
+        assert term.orelse == cfg.join_of(cfg.entry)
+
+    def test_loop_header_carries_invariants(self):
+        cfg = ast_to_cfg(
+            parse_command("while (i < n) invariant i >= 0; { i := i + 1; }")
+        )
+        ((_, header),) = list(cfg.loop_headers())
+        assert isinstance(header, LoopHeader)
+        assert header.invariants == (parse_expr("i >= 0"),)
+        assert header.body.stats()["blocks"] == 1
+
+    def test_assigned_names_matches_ast(self):
+        cmd = parse_command(
+            "havoc a; while (i < n) { b := 1; eta := Lap(1), aligned, 0; i := i + 1; }"
+        )
+        assert ast_to_cfg(cmd).assigned_names() == ast.assigned_vars(cmd)
+
+    def test_predecessors(self):
+        cfg = ast_to_cfg(parse_command("if (c > 0) { x := 1; } else { x := 2; }"))
+        join = cfg.join_of(cfg.entry)
+        term = cfg.block(cfg.entry).term
+        assert set(cfg.predecessors(join)) == {term.then, term.orelse}
+
+    def test_rpo_starts_at_entry(self):
+        cfg = ast_to_cfg(parse_command("if (c > 0) { x := 1; } y := 2;"))
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert order.index(cfg.join_of(cfg.entry)) > order.index(cfg.block(cfg.entry).term.then)
+
+    def test_non_simple_statement_rejected(self):
+        cfg = ast_to_cfg(parse_command("x := 1;"))
+        with pytest.raises(IRError):
+            cfg.block(cfg.entry).append(ast.If(ast.TRUE, ast.Skip()))
+
+    def test_dump_mentions_blocks_and_loops(self):
+        cfg = ast_to_cfg(parse_command("while (i < n) { i := i + 1; }"))
+        text = dump(cfg)
+        assert "bb0 (entry)" in text
+        assert "loop i < n" in text
+
+
+class TestVisitors:
+    def test_statement_kind_table(self):
+        assert statement_kind(parse_command("x := 1;")) == "assign"
+        assert statement_kind(parse_command("havoc x;")) == "havoc"
+        assert statement_kind(parse_command("assert(x > 0);")) == "assert_"
+
+    def test_statement_reads(self):
+        sample = parse_command("eta := Lap(1 / eps), q[i] > 0 ? aligned : shadow, 2;")
+        reads = statement_reads(sample)
+        assert parse_expr("1 / eps") in reads
+        assert parse_expr("q[i] > 0") in reads
+        assert parse_expr("2") in reads
+        assert statement_reads(parse_command("havoc x;")) == ()
+
+    def test_map_expr_replaces_nodes(self):
+        expr = parse_expr("x + y * x")
+        swapped = map_expr(
+            expr, lambda e: ast.Var("z") if e == ast.Var("x") else None
+        )
+        assert swapped == parse_expr("z + y * z")
+
+    def test_map_expr_identity_preserves_object(self):
+        expr = parse_expr("a + b < c")
+        assert map_expr(expr, lambda e: None) is expr
+
+    def test_map_statements_rewrites_in_loops(self):
+        cfg = ast_to_cfg(parse_command("while (i < n) { x^s := 1; i := i + 1; }"))
+        out = map_statements(
+            cfg,
+            lambda s: None if statement_kind(s) == "assign" and s.name == "x^s" else s,
+        )
+        text = pretty_command(cfg_to_ast(out))
+        assert "x^s" not in text
+        assert "i := i + 1" in text
+
+    def test_map_statements_expands_to_sequences(self):
+        cfg = ast_to_cfg(parse_command("x := 1;"))
+        out = map_statements(
+            cfg, lambda s: (s, ast.Assert(ast.BinOp(">", ast.Var("x"), ast.ZERO)))
+        )
+        assert pretty_command(cfg_to_ast(out)) == "x := 1;\nassert(x > 0);"

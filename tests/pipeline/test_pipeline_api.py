@@ -24,7 +24,7 @@ BUGGY = get("bad_svt_no_budget")
 
 class TestStages:
     def test_stage_order(self):
-        assert STAGES == ("parse", "check", "lower", "optimize", "verify")
+        assert STAGES == ("parse", "check", "lower_ir", "lower", "optimize", "verify")
 
     def test_run_stops_after_each_stage(self):
         pipe = Pipeline(memoize=False)
@@ -60,6 +60,27 @@ class TestStages:
             c for c in ast.command_iter(optimized.body)
             if isinstance(c, ast.Assign) and c.name == "max^s"
         ]
+
+    def test_lower_ir_stage_builds_cfg(self):
+        from repro.ir import ProgramIR
+
+        run = Pipeline().run(SVT.source, stop_after="lower_ir")
+        ir = run.ir
+        assert isinstance(ir, ProgramIR)
+        stats = ir.stats()
+        assert stats["blocks"] > 1
+        assert stats["loops"] == 1
+        assert run.stages["lower_ir"].ir_stats == stats
+
+    def test_lower_records_ir_pass_trail(self):
+        run = Pipeline().run(SVT.source, stop_after="optimize")
+        assert run.target.ir is not None
+        assert run.target.ir.passes == (
+            "lower-samples",
+            "init-cost",
+            "budget-assert",
+            "dse-hats",
+        )
 
     def test_function_def_input(self):
         run = Pipeline().run(SVT.function(), stop_after="check")

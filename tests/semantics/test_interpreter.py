@@ -1,12 +1,11 @@
 """Unit tests for the concrete interpreter."""
 
-import math
 import random
 
 import pytest
 
 from repro.algorithms import get
-from repro.lang.parser import parse_command, parse_expr, parse_function
+from repro.lang.parser import parse_command, parse_expr
 from repro.semantics.distributions import laplace_pdf, laplace_sample
 from repro.semantics.interpreter import (
     FixedNoise,

@@ -1,6 +1,5 @@
 """Tests for the incremental solver context and the shared query cache."""
 
-from fractions import Fraction
 
 import pytest
 

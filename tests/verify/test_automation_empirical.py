@@ -1,9 +1,7 @@
 """Tests for annotation inference (Section 6.4), the empirical estimator
 and the CLI."""
 
-import random
 
-import pytest
 
 from repro.algorithms import get
 from repro.automation.inference import (
@@ -15,7 +13,6 @@ from repro.automation.inference import (
 from repro.empirical import estimate_epsilon_lower_bound
 from repro.lang import ast
 from repro.lang.parser import parse_expr
-from repro.lang.pretty import pretty_expr, pretty_selector
 from repro.verify.verifier import VerificationConfig
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the target transform and optimizer."""
 
-import pytest
 
 from repro.core.checker import check_function
 from repro.lang import ast

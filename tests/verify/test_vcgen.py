@@ -11,7 +11,6 @@ from repro.verify.verifier import (
     ObligationChecker,
     VerificationConfig,
     bind_command,
-    verify_target,
 )
 
 
@@ -82,6 +81,96 @@ class TestSymbolicExecution:
         # The entry obligation (0 >= 0) folds to true and is elided;
         # preservation over the havoced state remains.
         assert tags.count("invariant-preserved") == 1
+
+
+class TestBranchMergeAndHavoc:
+    """Store merging at CFG join nodes and havoc symbol plumbing."""
+
+    def test_nested_branch_merges_nest_ternaries(self):
+        gen, store, _ = run(
+            "havoc a; havoc b;"
+            "if (a > 0) { if (b > 0) { x := 1; } else { x := 2; } } else { x := 3; }"
+        )
+        outer = store["x"]
+        assert isinstance(outer, ast.Ternary)
+        assert isinstance(outer.then, ast.Ternary)
+        assert outer.orelse == ast.Real(3)
+
+    def test_merge_keeps_untouched_variables_unwrapped(self):
+        gen, store, _ = run("y := 5; havoc c; if (c > 0) { x := 1; } else { x := 2; }")
+        assert store["y"] == ast.Real(5)
+
+    def test_one_sided_write_merges_against_prior_value(self):
+        gen, store, _ = run("x := 0; havoc c; if (c > 0) { x := 1; }")
+        merged = store["x"]
+        assert isinstance(merged, ast.Ternary)
+        assert merged.then == ast.Real(1)
+        assert merged.orelse == ast.Real(0)
+
+    def test_havoc_inside_branch_merges_fresh_symbol(self):
+        gen, store, _ = run("x := 0; havoc c; if (c > 0) { havoc x; }")
+        merged = store["x"]
+        assert isinstance(merged, ast.Ternary)
+        assert isinstance(merged.then, ast.Var)
+        assert merged.then.name.startswith("x#")
+        assert merged.orelse == ast.Real(0)
+
+    def test_both_arm_assumes_become_guarded_implications(self):
+        gen, _, path = run(
+            "havoc c; if (c > 0) { assume(c < 5); } else { assume(c > -5); }"
+        )
+        # One implication per arm, guarded by the (negated) condition.
+        assert len(path) == 2
+        assert all(isinstance(p, ast.BinOp) and p.op == "||" for p in path)
+
+    def test_havoc_numbering_is_sequential_across_arms(self):
+        gen, store, _ = run("havoc c; if (c > 0) { havoc a; } else { havoc b; }")
+        assert store["c"] == ast.Var("c#1")
+        assert store["a"].then == ast.Var("a#2")  # then-arm executes first
+        assert store["b"].orelse == ast.Var("b#3")
+
+    def test_branch_obligations_emitted_in_arm_order(self):
+        gen, _, _ = run(
+            "havoc c; if (c > 0) { assert(c > 1); } else { assert(c < 1); }"
+        )
+        goals = [ob.goal for ob in gen.obligations]
+        assert goals == [
+            ast.BinOp(">", ast.Var("c#1"), ast.ONE),
+            ast.BinOp("<", ast.Var("c#1"), ast.ONE),
+        ]
+        # Each obligation's path records its own arm of the branch.
+        assert gen.obligations[0].path[-1] == ast.BinOp(">", ast.Var("c#1"), ast.ZERO)
+        assert gen.obligations[1].path[-1] == ast.Not(
+            ast.BinOp(">", ast.Var("c#1"), ast.ZERO)
+        )
+
+    def test_branch_inside_unrolled_loop_merges_per_iteration(self):
+        gen, store, _ = run(
+            "i := 0; c := 0; havoc t;"
+            "while (i < 2) { if (t > i) { c := c + 1; } i := i + 1; }",
+            unroll_limit=4,
+        )
+        assert store["i"] == ast.Real(2)
+        # c depends on both iterations' branch outcomes.
+        assert isinstance(store["c"], ast.Ternary)
+
+    def test_invariant_mode_havocs_only_assigned_names(self):
+        gen = VCGenerator(use_invariants=True)
+        store, _ = gen.run(
+            parse_command(
+                "x := 0; y := 7; while (x < 5) invariant x >= 0; { x := x + 1; }"
+            )
+        )
+        assert isinstance(store["x"], ast.Var) and store["x"].name.startswith("x#")
+        assert store["y"] == ast.Real(7)
+
+    def test_prebuilt_cfg_accepted(self):
+        from repro.ir import ast_to_cfg
+
+        cfg = ast_to_cfg(parse_command("havoc x; assert(x > 0);"))
+        gen = VCGenerator()
+        gen.run(cfg)
+        assert len(gen.obligations) == 1
 
 
 class TestObligationChecker:
