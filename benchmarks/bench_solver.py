@@ -346,6 +346,41 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
         solves += stats["solve_calls"]
     record("houdini", "incremental", queries, hits, solves, time.perf_counter() - start)
 
+    # -- threaded backend (registry invariant sweep) ---------------------------
+    # Same work as the serial incremental invariant sweep, scheduled by
+    # the ThreadedBackend on 4 workers with its own fresh cache.  The
+    # single-flight cache keeps verdicts and solve counts identical;
+    # wall clock is recorded honestly — the solver is pure Python, so on
+    # a stock GIL build (and especially single-core CI runners) workers
+    # interleave and no speedup materializes.
+    threaded_cache = QueryCache()
+    serial_seconds = results["workloads"]["registry-invariant"]["incremental"]["seconds"]
+    queries = hits = solves = 0
+    start = time.perf_counter()
+    for name in invariant_names:
+        spec = get(name)
+        config = VerificationConfig(
+            mode="invariant", assumptions=spec.assumption_exprs(),
+            jobs=4, backend="threaded",
+        )
+        outcome = verify_target(spec.target(), config, cache=threaded_cache)
+        stats = outcome.solver_stats()
+        queries += stats["queries"]
+        hits += stats["cache_hits"]
+        solves += stats["solve_calls"]
+    threaded_seconds = time.perf_counter() - start
+    results["threaded_invariant"] = {
+        "jobs": 4,
+        "queries": queries,
+        "cache_hits": hits,
+        "solve_calls": solves,
+        "seconds": round(threaded_seconds, 3),
+        "serial_seconds": serial_seconds,
+        "speedup_vs_serial": (
+            round(serial_seconds / threaded_seconds, 2) if threaded_seconds > 0 else None
+        ),
+    }
+
     # -- totals ---------------------------------------------------------------
     totals: Dict = {}
     for side in ("baseline", "incremental"):
@@ -482,11 +517,24 @@ GUARD_COUNTERS = ("solve_calls", "pivots")
 #: Allowed relative growth before the guard fails.
 GUARD_TOLERANCE = 0.20
 
+#: Counters the guard additionally checks for **exact** equality against
+#: the committed ``serial_reference``: the serial backend is required to
+#: be byte-identical release over release (same queries, same cache
+#: hits, same solves on the pinned quick sweep), not merely within
+#: tolerance.
+SERIAL_REFERENCE_COUNTERS = ("queries", "cache_hits", "solve_calls")
+
 
 def guard_counters(results: Dict) -> Dict[str, int]:
     """The counters the regression guard tracks, from a quick run."""
     totals = results["totals"]["incremental"]
     return {key: int(totals.get(key, 0)) for key in GUARD_COUNTERS}
+
+
+def serial_counters(results: Dict) -> Dict[str, int]:
+    """The serial-backend counters pinned exactly by the guard."""
+    totals = results["totals"]["incremental"]
+    return {key: int(totals.get(key, 0)) for key in SERIAL_REFERENCE_COUNTERS}
 
 
 def _pin_hash_seed() -> None:
@@ -531,9 +579,24 @@ def run_guard(reference_path: str, jobs: int) -> int:
               f"limit={limit:.0f} [{status}]")
         if new > limit:
             failed = True
+    serial_expected = reference.get("serial_reference")
+    if serial_expected:
+        serial_current = serial_counters(results)
+        for key in SERIAL_REFERENCE_COUNTERS:
+            old = serial_expected.get(key)
+            if old is None:
+                continue
+            new = serial_current[key]
+            status = "OK" if new == old else "CHANGED"
+            print(f"bench-guard: serial {key}: reference={old} current={new} "
+                  f"[{status}]")
+            if new != old:
+                failed = True
+    else:
+        print("bench-guard: no serial_reference section; exact serial check skipped")
     if failed:
-        print("bench-guard: FAILED (counters regressed by more than "
-              f"{GUARD_TOLERANCE:.0%})", file=sys.stderr)
+        print("bench-guard: FAILED (counters regressed beyond tolerance or "
+              "serial backend diverged)", file=sys.stderr)
         return 1
     print("bench-guard: passed")
     return 0
@@ -548,10 +611,12 @@ def update_reference(reference_path: str, jobs: int) -> int:
     results = run_workloads(quick=True, jobs=jobs)
     print(render(results))
     reference["quick_reference"] = guard_counters(results)
+    reference["serial_reference"] = serial_counters(results)
     with open(reference_path, "w") as handle:
         json.dump(reference, handle, indent=2)
     print(f"updated quick_reference in {reference_path}: "
-          f"{reference['quick_reference']}")
+          f"{reference['quick_reference']}; serial_reference: "
+          f"{reference['serial_reference']}")
     return 0
 
 
@@ -584,6 +649,14 @@ def render(results: Dict) -> str:
     )
     if "pivots" in totals["incremental"]:
         lines.append(f"incremental pivots: {totals['incremental']['pivots']}")
+    threaded = results.get("threaded_invariant")
+    if threaded:
+        lines.append(
+            f"threaded invariant sweep (jobs={threaded['jobs']}): "
+            f"{threaded['solve_calls']} solves in {threaded['seconds']}s "
+            f"(serial {threaded['serial_seconds']}s, "
+            f"{threaded['speedup_vs_serial']}x)"
+        )
     micro = results.get("microbench")
     if micro:
         lines.append("")

@@ -1,6 +1,6 @@
 """Regeneration of the paper's Table 1.
 
-For each of the nine rows the paper reports: type-check seconds,
+For each row the paper reports: type-check seconds,
 verification seconds for ShadowDP (with a "Rewrite" column — their
 general-parameter run with rewrites/manual invariants — and a "Fix ε"
 column), and the verification seconds of the coupling-proof synthesiser
@@ -39,6 +39,7 @@ ROW_LABELS = {
     ("svt", None): ("svt", "Sparse Vector Technique"),
     ("num_svt", "n1"): ("num_svt_n1", "Numerical SVT (N = 1)"),
     ("num_svt", None): ("num_svt", "Numerical SVT"),
+    ("gap_svt", "n1"): ("gap_svt_n1", "Gap SVT (N = 1)"),
     ("gap_svt", None): ("gap_svt", "Gap Sparse Vector Technique"),
     ("partial_sum", None): ("partial_sum", "Partial Sum"),
     ("prefix_sum", None): ("prefix_sum", "Prefix Sum"),

@@ -29,14 +29,16 @@ _SPECS: Dict[str, AlgorithmSpec] = {
     )
 }
 
-#: The nine rows of Table 1, in the paper's order.  (N=1) rows reuse the
-#: general spec with the binding N=1.
+#: The rows of Table 1, in the paper's order.  (N=1) rows reuse the
+#: general spec with the binding N=1; the gap variant gets the same
+#: single-query row as plain SVT.
 TABLE1_ORDER = (
     ("noisy_max", None),
     ("svt", {"N": 1}),
     ("svt", None),
     ("num_svt", {"N": 1}),
     ("num_svt", None),
+    ("gap_svt", {"N": 1}),
     ("gap_svt", None),
     ("partial_sum", None),
     ("prefix_sum", None),

@@ -12,18 +12,27 @@ Commands
     Type check and print the transformed target program.
 ``verify FILE [--mode unroll|invariant] [--bind name=value ...]``
     Run the full pipeline and report the verification outcome.
+``obligations FILE [--json]``
+    List the program's proof obligations — stable content-derived ids,
+    CFG provenance (region/block/iteration), path-condition depth and
+    the discharge-plan unit each belongs to — *without* solving
+    anything.
 ``pipeline FILE [FILE ...] [--stage STAGE] [--json]``
     Run the staged pipeline, reporting per-stage timings, solver-query
     counts and cache hits; with several files the stages share one
     memoization cache and one solver query cache (``Pipeline.run_many``).
 
 Solver flags (``verify`` and ``pipeline``): ``--jobs N`` discharges
-independent obligation groups on ``N`` worker threads,
+independent obligation units on ``N`` worker threads, ``--backend``
+pins a discharge backend (serial/threaded/oneshot) explicitly,
 ``--no-incremental`` disables push/pop context reuse (one-shot solver
-per query), ``--solver-stats`` prints query/cache/solve-call counters
-after the verdict, and ``--profile`` additionally reports the
-inner-loop solver profile (SAT decisions/propagations/conflicts/
-restarts, simplex pivots, interned-node hits).
+per query), ``--fail-fast`` stops discharging at the first refutation,
+``--progress`` streams discharge events (units started/finished,
+obligations discharged/refuted) as they happen, ``--solver-stats``
+prints query/cache/solve-call counters after the verdict, and
+``--profile`` additionally reports the inner-loop solver profile (SAT
+decisions/propagations/conflicts/restarts, simplex pivots,
+interned-node hits).
 ``run FILE [--input name=value ...] [--seed N]``
     Execute the source program with real Laplace noise.
 ``table1``
@@ -71,7 +80,10 @@ _VERIFICATION_FLAG_DEFAULTS = {
     "mode": "unroll",
     "unroll": 32,
     "jobs": 1,
+    "backend": None,
     "no_incremental": False,
+    "fail_fast": False,
+    "progress": False,
     "solver_stats": False,
     "profile": False,
 }
@@ -89,15 +101,60 @@ def _config_from_args(args) -> VerificationConfig:
         unroll_limit=_flag_default(args, "unroll"),
         incremental=not _flag_default(args, "no_incremental"),
         jobs=_flag_default(args, "jobs"),
+        backend=_flag_default(args, "backend"),
+        fail_fast=_flag_default(args, "fail_fast"),
         profile=_flag_default(args, "profile"),
     )
+
+
+def _progress_sink(args):
+    """An event printer for ``--progress``, or None when not asked for."""
+    from repro.verify.discharge import (
+        EarlyExit,
+        ObligationDischarged,
+        ObligationRefuted,
+        RoundFinished,
+        UnitFinished,
+        UnitStarted,
+    )
+
+    if not _flag_default(args, "progress"):
+        return None
+
+    def emit(event) -> None:
+        if isinstance(event, UnitStarted):
+            print(f"  [{event.unit}] started ({event.obligations} obligations)")
+        elif isinstance(event, ObligationDischarged):
+            note = " (cached)" if event.cached else ""
+            print(f"  [{event.unit}] ok {event.oid} {event.tag}{note}")
+        elif isinstance(event, ObligationRefuted):
+            print(f"  [{event.unit}] REFUTED {event.oid} {event.tag}")
+            if event.counterexample:
+                print(f"      {event.counterexample}")
+        elif isinstance(event, UnitFinished):
+            stats = event.stats
+            print(
+                f"  [{event.unit}] finished in {event.seconds:.3f}s "
+                f"({stats['solve_calls']} solves, {stats['cache_hits']} cache hits)"
+            )
+        elif isinstance(event, EarlyExit):
+            print(f"  [{event.unit}] early exit: {event.reason}")
+        elif isinstance(event, RoundFinished):
+            print(
+                f"  [houdini] round {event.round}: pruned {event.pruned}, "
+                f"{event.surviving} surviving"
+            )
+
+    return emit
 
 
 def _print_solver_stats(stats, indent: str = "") -> None:
     print(
         f"{indent}solver: {stats['queries']} queries, "
         f"{stats['cache_hits']} cache hits, {stats['solve_calls']} solves, "
-        f"{stats['pushes']} pushes/{stats['pops']} pops, jobs={stats['jobs']}"
+        f"{stats['pushes']} pushes/{stats['pops']} pops, "
+        f"backend={stats.get('backend', 'serial')} "
+        f"({stats.get('units', 0)} units, jobs={stats['jobs']})"
     )
 
 
@@ -143,8 +200,41 @@ def cmd_transform(args) -> int:
     return 0
 
 
+def cmd_obligations(args) -> int:
+    from repro.verify.discharge import DischargePlan
+    from repro.verify.verifier import iter_obligations
+
+    run = Pipeline().run(_read_source(args.file), stop_after="optimize")
+    config = _config_from_args(args)
+    plan = DischargePlan.from_obligations(iter_obligations(run.target, config))
+    if args.json:
+        data = plan.to_dict()
+        data["name"] = run.name
+        data["mode"] = config.mode
+        print(json.dumps(data, indent=2))
+        return 0
+    obligations = plan.obligations
+    print(
+        f"{run.name}: {len(obligations)} obligations in {len(plan.units)} "
+        f"discharge units [mode={config.mode}]"
+    )
+    for unit in plan.units:
+        print(f"  {unit.uid}  (base depth {len(unit.base)})")
+        for _, obligation, _ in unit.members:
+            provenance = obligation.provenance
+            where = provenance.describe() if provenance is not None else "?"
+            print(
+                f"    {obligation.oid}  {obligation.tag:<20s} {where:<28s} "
+                f"depth {provenance.path_depth if provenance else '?'}"
+            )
+            print(f"        {obligation.describe()}")
+    return 0
+
+
 def cmd_verify(args) -> int:
-    run = Pipeline(config=_config_from_args(args)).run(_read_source(args.file))
+    run = Pipeline(config=_config_from_args(args)).run(
+        _read_source(args.file), on_event=_progress_sink(args)
+    )
     outcome = run.outcome
     print(outcome.describe())
     for failure in outcome.failures:
@@ -159,7 +249,10 @@ def cmd_verify(args) -> int:
 def cmd_pipeline(args) -> int:
     pipe = Pipeline(config=_config_from_args(args))
     runs = pipe.run_many(
-        [_read_source(path) for path in args.files], stop_after=args.stage
+        [_read_source(path) for path in args.files],
+        stop_after=args.stage,
+        on_event=_progress_sink(args),
+        stop_on_failure=_flag_default(args, "fail_fast"),
     )
     if args.json:
         print(json.dumps([run.to_dict() for run in runs], indent=2))
@@ -237,14 +330,34 @@ def _add_verification_flags(parser) -> None:
         type=int,
         default=defaults["jobs"],
         metavar="N",
-        help="discharge independent obligation groups on N worker threads "
+        help="discharge independent obligation units on N worker threads "
         "(structural concurrency; GIL-bound, not a wall-clock multiplier)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "threaded", "oneshot"),
+        default=defaults["backend"],
+        help="pin the discharge backend explicitly (default: derived from "
+        "--jobs/--no-incremental; identical verdicts either way)",
     )
     parser.add_argument(
         "--no-incremental",
         action="store_true",
         default=defaults["no_incremental"],
         help="disable push/pop solver-context reuse (one-shot solver per query)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        default=defaults["fail_fast"],
+        help="stop discharging at the first refuted obligation",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        default=defaults["progress"],
+        help="stream discharge events (unit started/finished, obligation "
+        "discharged/refuted) as they happen",
     )
     parser.add_argument(
         "--solver-stats",
@@ -281,6 +394,15 @@ def main(argv=None) -> int:
     p_ver.add_argument("file")
     _add_verification_flags(p_ver)
     p_ver.set_defaults(func=cmd_verify)
+
+    p_obl = sub.add_parser(
+        "obligations",
+        help="list proof obligations with ids and provenance, without solving",
+    )
+    p_obl.add_argument("file")
+    p_obl.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_verification_flags(p_obl)
+    p_obl.set_defaults(func=cmd_obligations)
 
     p_pipe = sub.add_parser(
         "pipeline", help="run the staged pipeline with per-stage accounting"

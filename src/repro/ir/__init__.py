@@ -35,6 +35,7 @@ from repro.ir.passes import (
     PassManager,
     ProgramIR,
     StatementVisitor,
+    fold_constant_guards,
     map_expr,
     map_statements,
     statement_kind,
@@ -54,6 +55,7 @@ __all__ = [
     "StatementVisitor",
     "ast_to_cfg",
     "cfg_to_ast",
+    "fold_constant_guards",
     "map_expr",
     "map_statements",
     "statement_kind",

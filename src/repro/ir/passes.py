@@ -230,6 +230,53 @@ def map_statements(cfg: CFG, fn: StatementRewrite) -> CFG:
 
 
 # ---------------------------------------------------------------------------
+# Constant-guard folding
+# ---------------------------------------------------------------------------
+
+
+def fold_constant_guards(cfg: CFG, fold_loops: bool = False) -> CFG:
+    """Fold branches whose guard is trivially true/false into jumps.
+
+    Parameter binding (the unroll regime's ``size=4, N=2`` substitution)
+    leaves literally-constant branch guards behind; folding them before
+    symbolic execution means statically-dead arms are never walked and
+    dead obligations are never generated.  Loop bodies are folded
+    recursively.  ``fold_loops`` additionally removes loops whose guard
+    is constant-false — sound for unrolling, but **not** in invariant
+    mode, where entry/preservation obligations are emitted even for a
+    loop that never runs (Houdini may inject candidates into any loop,
+    so annotation-free loops are not exempt).
+
+    Block ids and the region structure of the surviving graph are
+    preserved (dead blocks stay in the graph, unreachable), so the
+    result composes with every other pass and walker.
+    """
+    from repro.core.simplify import simplify
+
+    out = cfg.copy()
+    for block in out.blocks.values():
+        term = block.term
+        if isinstance(term, Branch):
+            cond = simplify(term.cond)
+            if cond == ast.TRUE:
+                block.term = Jump(term.then)
+            elif cond == ast.FALSE:
+                block.term = Jump(term.orelse)
+        elif isinstance(term, LoopHeader):
+            if fold_loops and simplify(term.cond) == ast.FALSE:
+                block.term = Jump(term.after)
+                continue
+            body = fold_constant_guards(term.body, fold_loops)
+            block.term = LoopHeader(
+                cond=term.cond,
+                body=body,
+                after=term.after,
+                invariants=term.invariants,
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Program IR and the pass manager
 # ---------------------------------------------------------------------------
 

@@ -40,12 +40,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.checker import CheckedProgram, check_function
-from repro.ir import ProgramIR, ast_to_cfg
+from repro.ir import PassManager, ProgramIR, ast_to_cfg, fold_constant_guards
 from repro.lang import ast
 from repro.lang.parser import parse_function
 from repro.lang.pretty import pretty_function
 from repro.solver.context import QueryCache
 from repro.target.transform import TargetProgram, to_target
+from repro.verify.discharge import EventSink
 from repro.verify.verifier import (
     VerificationConfig,
     VerificationOutcome,
@@ -226,6 +227,8 @@ def _config_fingerprint(config: VerificationConfig) -> str:
             config.collect_models,
             config.incremental,
             config.jobs,
+            getattr(config.backend, "name", config.backend),
+            config.fail_fast,
             config.profile,
         )
     )
@@ -320,13 +323,19 @@ class Pipeline:
 
         return self._memo("check", key, "", produce)
 
+    #: The named CFG passes ``lower_ir`` runs after building the graph;
+    #: recorded on the artifact's pass trail (``ir_stats["passes"]``).
+    IR_PASSES: Tuple[Tuple[str, Any], ...] = (
+        ("fold-constant-guards", fold_constant_guards),
+    )
+
     def _lower_ir(self, key: str, checked: CheckedProgram) -> StageResult:
-        return self._memo(
-            "lower_ir",
-            key,
-            "",
-            lambda: (ProgramIR(checked.function, ast_to_cfg(checked.body)), 0),
-        )
+        def produce():
+            ir = ProgramIR(checked.function, ast_to_cfg(checked.body))
+            ir = PassManager(self.IR_PASSES).run(ir)
+            return ir, 0
+
+        return self._memo("lower_ir", key, "", produce)
 
     def _lower(self, key: str, checked: CheckedProgram, ir: ProgramIR) -> StageResult:
         return self._memo(
@@ -336,9 +345,17 @@ class Pipeline:
     def _optimize(self, key: str, target: TargetProgram) -> StageResult:
         return self._memo("optimize", key, "", lambda: (target.optimized(), 0))
 
-    def _verify(self, key: str, target: TargetProgram, config: VerificationConfig) -> StageResult:
+    def _verify(
+        self,
+        key: str,
+        target: TargetProgram,
+        config: VerificationConfig,
+        on_event: EventSink = None,
+    ) -> StageResult:
         def produce():
-            outcome = verify_target(target, config, cache=self.query_cache)
+            outcome = verify_target(
+                target, config, cache=self.query_cache, on_event=on_event
+            )
             return outcome, outcome.solver_queries, outcome.solver_stats()
 
         return self._memo("verify", key, _config_fingerprint(config), produce)
@@ -351,6 +368,7 @@ class Pipeline:
         config: Optional[VerificationConfig] = None,
         stop_after: str = "verify",
         profile: Optional[bool] = None,
+        on_event: EventSink = None,
     ) -> PipelineRun:
         """Run the pipeline through ``stop_after`` (inclusive).
 
@@ -365,6 +383,13 @@ class Pipeline:
         (pivots, propagations, conflicts, restarts, interned-node hits…)
         to the ``verify`` stage's ``solver_stats`` under a ``"profile"``
         key (see :class:`repro.solver.profile.SolverProfile`).
+
+        ``on_event`` receives the ``verify`` stage's typed
+        :class:`~repro.verify.discharge.DischargeEvent` stream as units
+        are scheduled and obligations discharged (no events fire when
+        the stage comes out of the memo cache).  Combine with
+        ``config.fail_fast`` to stop discharging at the first
+        refutation.
         """
         if stop_after not in STAGES:
             raise PipelineError(
@@ -411,7 +436,9 @@ class Pipeline:
         if stop_after == "optimize":
             return run
 
-        run.stages["verify"] = self._verify(key, run.stages["optimize"].artifact, config)
+        run.stages["verify"] = self._verify(
+            key, run.stages["optimize"].artifact, config, on_event
+        )
         return run
 
     def run_stage(self, program: Program, stage: str, config: Optional[VerificationConfig] = None) -> StageResult:
@@ -423,6 +450,8 @@ class Pipeline:
         programs: Iterable[Any],
         config: Optional[VerificationConfig] = None,
         stop_after: str = "verify",
+        on_event: EventSink = None,
+        stop_on_failure: bool = False,
     ) -> List[PipelineRun]:
         """Batch a collection of programs through one shared cache.
 
@@ -432,6 +461,11 @@ class Pipeline:
         no explicit ``config`` argument, a per-spec unroll-mode
         configuration is derived from ``fixed_bindings`` and
         ``assumptions`` — the registry's Table-1 regime.
+
+        ``on_event`` streams every program's discharge events;
+        ``stop_on_failure`` ends the batch at the first refuted program
+        (pair it with ``config.fail_fast`` to also stop that program's
+        own discharge at its first refutation).
         """
         runs: List[PipelineRun] = []
         for item in programs:
@@ -447,7 +481,12 @@ class Pipeline:
                 raise PipelineError(
                     f"run_many items must be sources, FunctionDefs or specs, got {type(item).__name__}"
                 )
-            runs.append(self.run(program, config=item_config, stop_after=stop_after))
+            run = self.run(
+                program, config=item_config, stop_after=stop_after, on_event=on_event
+            )
+            runs.append(run)
+            if stop_on_failure and run.verified is False:
+                break
         return runs
 
 

@@ -85,7 +85,8 @@ class CacheEntry:
 
 
 class QueryCache:
-    """A thread-safe **LRU** cache of normalized validity queries.
+    """A thread-safe, **single-flight**, **LRU** cache of normalized
+    validity queries.
 
     ``hits``/``misses`` count lookups globally; callers that want
     per-consumer accounting (e.g. :class:`ValidityChecker`) keep their
@@ -96,6 +97,16 @@ class QueryCache:
     evicted, so long Houdini runs and registry sweeps cannot grow it
     without limit.  ``evictions`` counts the entries dropped; the full
     counter set is available from :meth:`stats`.
+
+    **Single-flight:** :meth:`acquire` hands the same key to exactly one
+    solver at a time — a second thread asking while the first is mid
+    solve *waits* for the stored answer instead of solving redundantly.
+    This is what makes the threaded discharge backend's solve-call and
+    cache-hit counters identical to the serial backend's for every job
+    count: the number of solves equals the number of distinct normalized
+    queries, regardless of scheduling.  In the uncontended (serial) case
+    ``acquire``/``store`` count exactly like ``lookup``/``store`` always
+    did.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -103,6 +114,8 @@ class QueryCache:
             raise ValueError("max_entries must be positive")
         self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Keys currently being solved → event waiters block on.
+        self._pending: Dict[Tuple, threading.Event] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -121,6 +134,28 @@ class QueryCache:
                 self._entries.move_to_end(key)
             return entry
 
+    def acquire(self, key: Tuple) -> Optional[CacheEntry]:
+        """A cached answer, or the *right to solve* ``key``.
+
+        Returns the entry on a hit.  On a miss the caller now owns the
+        key's single flight and **must** call :meth:`store` (or
+        :meth:`cancel` on error) — concurrent acquirers of the same key
+        block until then and receive the stored entry as a hit.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return entry
+                pending = self._pending.get(key)
+                if pending is None:
+                    self._pending[key] = threading.Event()
+                    self.misses += 1
+                    return None
+            pending.wait()
+
     def store(self, key: Tuple, entry: CacheEntry) -> None:
         with self._lock:
             if key in self._entries:
@@ -129,6 +164,20 @@ class QueryCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+            pending = self._pending.pop(key, None)
+        if pending is not None:
+            pending.set()
+
+    def cancel(self, key: Tuple) -> None:
+        """Give up a single flight without an answer (solver raised).
+
+        Waiters wake, find no entry, and the first of them takes over
+        the flight.
+        """
+        with self._lock:
+            pending = self._pending.pop(key, None)
+        if pending is not None:
+            pending.set()
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
@@ -142,6 +191,9 @@ class QueryCache:
 
     def clear(self) -> None:
         with self._lock:
+            for pending in self._pending.values():
+                pending.set()
+            self._pending.clear()
             self._entries.clear()
             self.hits = 0
             self.misses = 0
@@ -255,19 +307,26 @@ class SolverContext:
         key = None
         if self.cache is not None:
             key = normalize_query(goal, self.premises + extra, self.bool_vars)
-            entry = self.cache.lookup(key)
+            # Single flight: a concurrent identical query waits for this
+            # solve instead of duplicating it (see QueryCache.acquire).
+            entry = self.cache.acquire(key)
             if entry is not None:
                 self.stats.cache_hits += 1
                 return entry.valid, entry.model
 
-        self.push()
         try:
-            for premise in extra:
-                self.assert_expr(premise)
-            self.solver.add(F.mk_not(self.encoder.boolean(goal)))
-            result = self.solver.check()
-        finally:
-            self.pop()
+            self.push()
+            try:
+                for premise in extra:
+                    self.assert_expr(premise)
+                self.solver.add(F.mk_not(self.encoder.boolean(goal)))
+                result = self.solver.check()
+            finally:
+                self.pop()
+        except BaseException:
+            if self.cache is not None and key is not None:
+                self.cache.cancel(key)
+            raise
         self.stats.solve_calls += 1
 
         entry = entry_from_result(result)

@@ -68,12 +68,18 @@ class ValidityChecker:
         premises = tuple(premises)
         self.queries += 1
         key = normalize_query(goal, premises, self.bool_vars)
-        entry = self.cache.lookup(key)
+        # Single flight (see QueryCache.acquire): a concurrent identical
+        # query waits for this solve instead of duplicating it.
+        entry = self.cache.acquire(key)
         if entry is not None:
             self.cache_hits += 1
             return entry.valid, entry.model
 
-        result = self._solve(goal, premises)
+        try:
+            result = self._solve(goal, premises)
+        except BaseException:
+            self.cache.cancel(key)
+            raise
         self.solve_calls += 1
         entry = entry_from_result(result)
         self.cache.store(key, entry)

@@ -4,10 +4,17 @@ The target language is deterministic code plus ``havoc`` and ``assert``;
 verifying that no assertion can fail establishes ε-differential privacy
 of the source program (Theorem 2).  This package provides:
 
-* :mod:`repro.verify.vcgen` — a symbolic executor generating proof
-  obligations, with two loop treatments: full unrolling under concrete
-  loop bounds (BMC / the paper's "fix ε" regime) and invariant-based
-  Hoare reasoning (the paper's manually-supplied-invariant regime).
+* :mod:`repro.verify.vcgen` — a symbolic executor *streaming* proof
+  obligations (stable content-derived ids, CFG provenance), with two
+  loop treatments: full unrolling under concrete loop bounds (BMC / the
+  paper's "fix ε" regime) and invariant-based Hoare reasoning (the
+  paper's manually-supplied-invariant regime).
+* :mod:`repro.verify.discharge` — the first-class discharge API:
+  :class:`DischargePlan` partitions the obligation stream into
+  independent, addressable work units; pluggable
+  :class:`DischargeBackend`\\ s (serial / threaded / one-shot /
+  cache-wrapped) schedule them with a deterministic per-unit merge; a
+  typed :class:`DischargeEvent` stream reports progress.
 * :mod:`repro.verify.lemmas` — instantiation lemmas relating monomial
   atoms (sign propagation and multiplication monotonicity), standing in
   for the nonlinear reasoning the paper obtains by rewriting programs.
@@ -21,18 +28,43 @@ from repro.verify.verifier import (
     VerificationConfig,
     VerificationOutcome,
     ObligationFailure,
+    iter_obligations,
     verify_target,
 )
-from repro.verify.vcgen import Obligation, VCGenerator
+from repro.verify.vcgen import Obligation, Provenance, VCGenerator
+from repro.verify.discharge import (
+    CachedBackend,
+    DischargeBackend,
+    DischargeEvent,
+    DischargePlan,
+    DischargeUnit,
+    OneShotBackend,
+    SerialBackend,
+    ThreadedBackend,
+    event_kind,
+    resolve_backend,
+)
 from repro.verify.houdini import HoudiniResult, infer_invariants
 
 __all__ = [
     "VerificationConfig",
     "VerificationOutcome",
     "ObligationFailure",
+    "iter_obligations",
     "verify_target",
     "Obligation",
+    "Provenance",
     "VCGenerator",
+    "CachedBackend",
+    "DischargeBackend",
+    "DischargeEvent",
+    "DischargePlan",
+    "DischargeUnit",
+    "OneShotBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "event_kind",
+    "resolve_backend",
     "HoudiniResult",
     "infer_invariants",
 ]

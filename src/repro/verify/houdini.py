@@ -24,6 +24,7 @@ from repro.core.simplify import simplify
 from repro.lang import ast
 from repro.solver.context import QueryCache
 from repro.target.transform import COST_VAR, TargetProgram
+from repro.verify.discharge import EventSink, RoundFinished
 from repro.verify.verifier import (
     ObligationChecker,
     VerificationConfig,
@@ -214,6 +215,7 @@ def infer_invariants(
     candidates: Optional[Sequence[ast.Expr]] = None,
     peel: int = 1,
     cache: Optional[QueryCache] = None,
+    on_event: EventSink = None,
 ) -> HoudiniResult:
     """Run Houdini and verify the program with the surviving invariants.
 
@@ -222,6 +224,13 @@ def infer_invariants(
     obligations of surviving candidates in particular) are answered
     once, and the final full verification replays the last round's
     queries out of the cache instead of re-solving them.
+
+    Pruning rounds and the final verification discharge through the
+    first-class API (:mod:`repro.verify.discharge`): the configured
+    backend schedules the obligation units, and ``on_event`` receives
+    the typed :class:`DischargeEvent` stream — unit/obligation events
+    from every discharge plus a :class:`RoundFinished` per pruning
+    round.
     """
     config = config or VerificationConfig(mode="invariant")
     pool = list(candidates) if candidates is not None else default_candidates(target, config.bindings)
@@ -239,6 +248,7 @@ def infer_invariants(
         cache=cache,
         incremental=config.incremental,
         jobs=config.jobs,
+        backend=config.backend,
     )
 
     surviving = list(pool)
@@ -253,7 +263,10 @@ def infer_invariants(
         checker.check_all(
             [ob for ob in generator.obligations if _is_candidate_obligation(ob)],
             on_failure=lambda ob: bad.add(ob.label[1]),
+            emit=on_event,
         )
+        if on_event is not None:
+            on_event(RoundFinished(rounds, len(bad), len(surviving) - len(bad)))
         if not bad:
             break
         surviving = [inv for k, inv in enumerate(surviving) if k not in bad]
@@ -273,8 +286,14 @@ def infer_invariants(
         cache=cache,
         incremental=config.incremental,
         jobs=config.jobs,
+        backend=config.backend,
     )
-    failures: List[ObligationFailure] = final_checker.check_all(generator.obligations)
+    # Pruning rounds always run their full plan — every refutation is
+    # pruning signal, not failure — but the final verification honours
+    # ``fail_fast``: refuting one program assertion is enough to reject.
+    failures: List[ObligationFailure] = final_checker.discharge_stream(
+        generator.obligations, emit=on_event, fail_fast=config.fail_fast
+    )
     stats = final_checker.solver_stats()
     run_stats = checker.solver_stats()
     run_stats.merge(stats)
@@ -288,7 +307,10 @@ def infer_invariants(
         solve_calls=stats.solve_calls,
         context_pushes=stats.pushes,
         context_pops=stats.pops,
-        jobs=final_checker.jobs,
+        jobs=final_checker.effective_jobs,
+        backend=final_checker.backend_name,
+        units=final_checker.units_run,
+        early_exit=final_checker.early_exited,
     )
     return HoudiniResult(
         invariants=tuple(surviving),

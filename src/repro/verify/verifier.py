@@ -7,6 +7,17 @@ program and proves that no assertion — in particular the final
 adjacency precondition.  By Theorem 2 this establishes ε-differential
 privacy of the source program.
 
+The discharge machinery itself is the first-class API in
+:mod:`repro.verify.discharge`: the symbolic executor streams
+:class:`~repro.verify.vcgen.Obligation`\\ s with provenance, a
+:class:`~repro.verify.discharge.DischargePlan` partitions the stream
+into addressable units, and a :class:`DischargeBackend` (serial /
+threaded / one-shot, optionally cache-wrapped) schedules them while
+emitting a typed :class:`DischargeEvent` stream.  This module wires a
+:class:`VerificationConfig` to that API and keeps the legacy
+:class:`ObligationChecker` surface (``check`` / ``check_all``) on top
+of it.
+
 Three regimes mirror the paper's Table 1 columns:
 
 * ``mode="unroll"`` with concrete loop bounds — the "fix ε / fixed N"
@@ -21,22 +32,35 @@ Three regimes mirror the paper's Table 1 columns:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.core import preconditions
 from repro.core.simplify import simplify
+from repro.ir import ast_to_cfg, fold_constant_guards
 from repro.lang import ast
-from repro.solver import formula as F
 from repro.solver import intern
-from repro.solver.context import ContextStats, Model, QueryCache, SolverContext
-from repro.solver.encode import EncodeError, Encoder
-from repro.solver.interface import ValidityChecker
-from repro.solver.profile import SolverProfile
+from repro.solver.context import QueryCache
 from repro.target.transform import TargetProgram
-from repro.verify import lemmas as lemma_mod
+from repro.verify.discharge import (
+    DischargeBackend,
+    DischargeEngine,
+    DischargePlan,
+    EventSink,
+    ObligationFailure,
+    _LockedSink,
+    effective_jobs,
+    resolve_backend,
+)
 from repro.verify.vcgen import Obligation, VCGenerator
 
 
@@ -50,14 +74,16 @@ class VerificationConfig:
     ``assumptions`` are extra premises about the (remaining symbolic)
     parameters, e.g. ``eps > 0``.
 
-    ``incremental`` discharges obligations grouped by shared path prefix
-    under one pushed solver context per group (same verdicts, fewer and
-    cheaper solves); ``jobs`` > 1 discharges independent groups on a
-    thread pool.  Note the solver is pure Python, so thread workers
-    interleave under the GIL rather than run truly concurrently —
-    ``jobs`` bounds discharge concurrency structurally (and exercises
-    the shared-cache locking) but is not a wall-clock multiplier on
-    CPython today.
+    Discharge strategy: ``backend`` names one explicitly ("serial",
+    "threaded", "oneshot", or a ready
+    :class:`~repro.verify.discharge.DischargeBackend` instance); when
+    None the legacy knobs decide — ``incremental`` groups obligations
+    into path-prefix units under pushed solver contexts, ``jobs > 1``
+    schedules units on a worker pool.  Any backend and job count
+    produces identical verdicts, obligation ids and solve counts; the
+    solver is pure Python, so on a stock GIL build thread workers
+    interleave rather than run concurrently.  ``fail_fast`` stops
+    scheduling work units after the first refutation.
     """
 
     mode: str = "unroll"  # "unroll" | "invariant"
@@ -69,28 +95,12 @@ class VerificationConfig:
     collect_models: bool = True
     incremental: bool = True
     jobs: int = 1
+    backend: Optional[Union[str, DischargeBackend]] = None
+    fail_fast: bool = False
     #: Attach the inner-loop :class:`SolverProfile` counters (pivots,
     #: propagations, conflicts, restarts, interned-node hits…) to the
     #: outcome.  Collection is always on; this flag controls reporting.
     profile: bool = False
-
-
-@dataclass
-class ObligationFailure:
-    """A refuted obligation, with a counterexample model when available."""
-
-    obligation: Obligation
-    arith_model: Optional[Dict[str, Fraction]] = None
-    bool_model: Optional[Dict[str, bool]] = None
-
-    def describe(self) -> str:
-        text = self.obligation.describe()
-        if self.arith_model:
-            inputs = ", ".join(
-                f"{k}={v}" for k, v in sorted(self.arith_model.items()) if not k.startswith("%")
-            )
-            text += f"  counterexample: {inputs}"
-        return text
 
 
 @dataclass
@@ -102,8 +112,9 @@ class VerificationOutcome:
     ``solve_calls`` the DPLL(T) solves actually executed (each refuted
     obligation costs exactly one — the countermodel comes from the
     refuting solve).  ``context_pushes``/``context_pops`` count
-    incremental scope traffic, and ``jobs`` records the discharge
-    parallelism used.
+    incremental scope traffic; ``jobs``/``backend``/``units`` record
+    the discharge schedule used, and ``early_exit`` whether
+    ``fail_fast`` stopped it before the full plan ran.
     """
 
     verified: bool
@@ -116,16 +127,22 @@ class VerificationOutcome:
     context_pushes: int = 0
     context_pops: int = 0
     jobs: int = 1
+    backend: str = "serial"
+    units: int = 0
+    early_exit: bool = False
     #: Inner-loop counters (see :class:`SolverProfile`), attached when the
     #: configuration asked for profiling.
     profile: Optional[Dict[str, int]] = None
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
-        return (
+        text = (
             f"{status}: {self.obligations_total} obligations, "
             f"{len(self.failures)} failed, {self.seconds:.3f}s"
         )
+        if self.early_exit:
+            text += " (early exit)"
+        return text
 
     def solver_stats(self) -> Dict[str, int]:
         stats = {
@@ -135,6 +152,8 @@ class VerificationOutcome:
             "pushes": self.context_pushes,
             "pops": self.context_pops,
             "jobs": self.jobs,
+            "backend": self.backend,
+            "units": self.units,
         }
         if self.profile is not None:
             stats["profile"] = dict(self.profile)
@@ -187,20 +206,21 @@ def bind_command(cmd: ast.Command, bindings: Dict[str, Fraction]) -> ast.Command
 # ---------------------------------------------------------------------------
 
 
-class ObligationChecker:
-    """Checks obligations against Ψ, assumptions and nonlinear lemmas.
+class ObligationChecker(DischargeEngine):
+    """The configured discharge engine plus the legacy checking surface.
 
-    Discharge strategies (:meth:`check_all`):
+    Strategy selection (see :func:`repro.verify.discharge.resolve_backend`):
 
-    * **incremental** (default) — obligations are grouped by their shared
-      path condition; each group's premises (assumptions + path) are
+    * **serial** (default) — obligations are grouped into path-prefix
+      units; each unit's premises (assumptions + path base) are
       asserted once into a :class:`SolverContext` and every member is
-      checked under one pushed scope, reusing the Tseitin encoding and
-      learned theory lemmas across the group.
-    * **parallel** — independent groups are discharged on a thread pool
-      (``jobs`` workers) sharing one :class:`QueryCache`.
-    * **serial one-shot** — ``incremental=False`` restores a fresh solver
-      per query (still single-solve and cache-backed).
+      checked under one pushed scope, goals conjoined with model-guided
+      refinement.
+    * **threaded** — independent units are discharged on a worker pool
+      (``jobs`` workers) sharing one single-flight :class:`QueryCache`;
+      results and counters merge deterministically by unit id.
+    * **oneshot** — ``incremental=False`` restores a fresh solver per
+      query (still single-solve and cache-backed).
 
     All strategies are sound and agree on every genuine verdict.  The
     conjoined check asserts the *union* of its chunk's premise
@@ -210,75 +230,56 @@ class ObligationChecker:
     concrete countermodel and are identical across strategies.
     """
 
-    def __init__(
-        self,
-        psi: ast.Expr,
-        assumptions: Sequence[ast.Expr],
-        use_lemmas: bool = True,
-        collect_models: bool = True,
-        cache: Optional[QueryCache] = None,
-        incremental: bool = True,
-        jobs: int = 1,
-    ) -> None:
-        self.psi = psi
-        self.assumptions = [simplify(a) for a in assumptions]
-        self.use_lemmas = use_lemmas
-        self.collect_models = collect_models
-        self.cache = cache if cache is not None else QueryCache()
-        self.incremental = incremental
-        self.jobs = max(1, jobs)
-        self.validity = ValidityChecker(cache=self.cache)
-        self.stats = ContextStats()
-        #: Inner-loop counters merged from every solver context this
-        #: checker ran (the one-shot path accumulates directly into
-        #: ``self.validity.profile``).
-        self.profile = SolverProfile()
-
-    # -- premise assembly ------------------------------------------------------
-
-    def extra_premises_for(self, obligation: Obligation) -> List[ast.Expr]:
-        """The per-obligation premises beyond assumptions + path:
-        Ψ instances for the query's index terms, plus nonlinear lemmas."""
-        queries = list(obligation.path) + [obligation.goal] + self.assumptions
-        psi_premises = preconditions.instantiate(self.psi, queries)
-        extra = list(psi_premises)
-        if self.use_lemmas:
-            premises = list(self.assumptions) + psi_premises + list(obligation.path)
-            extra += self._lemmas(premises + [obligation.goal])
-        return extra
-
-    def premises_for(self, obligation: Obligation) -> List[ast.Expr]:
-        premises = list(self.assumptions) + list(obligation.path)
-        premises += self.extra_premises_for(obligation)
-        return premises
-
-    def _lemmas(self, exprs: Sequence[ast.Expr]) -> List[ast.Expr]:
-        # Discovery pass: find all monomial atoms the query will create.
-        encoder = Encoder()
-        for expr in exprs:
-            try:
-                encoder.boolean(expr)
-            except EncodeError:
-                continue
-        if not encoder.monomials:
-            return []
-        candidates = lemma_mod.relevant_vars(exprs)
-        out = lemma_mod.sign_lemmas(encoder, self.assumptions)
-        out += lemma_mod.monotonicity_lemmas(encoder, candidates)
-        return out
-
     # -- discharge -------------------------------------------------------------
 
     def check(self, obligation: Obligation) -> Optional[ObligationFailure]:
-        """None when the obligation is valid, a failure record otherwise.
+        """None when the obligation is valid, a failure record otherwise."""
+        return self.check_one(obligation)
 
-        A refuted check returns its counterexample from the same solve
-        that refuted it — no second query.
+    def discharge_stream(
+        self,
+        obligations,
+        skip: Optional[Callable[[Obligation], bool]] = None,
+        on_failure: Optional[Callable[[Obligation], None]] = None,
+        batch: bool = True,
+        emit: EventSink = None,
+        fail_fast: bool = False,
+    ) -> List[ObligationFailure]:
+        """Discharge an obligation stream; failures in stream order.
+
+        ``skip`` is consulted just before each obligation is checked and
+        ``on_failure`` fires as refutations are found — together they let
+        Houdini prune a candidate's remaining obligations mid-batch
+        (``skip`` implies per-obligation discharge).  ``batch`` enables
+        conjoined unit discharge.  ``emit`` receives the typed
+        :class:`DischargeEvent` stream; ``fail_fast`` stops scheduling
+        units after the first refutation.
         """
-        valid, model = self.validity.entailment(
-            obligation.goal, self.premises_for(obligation)
+        backend = resolve_backend(self.incremental, self.jobs, self.backend_choice)
+        if (
+            emit is not None
+            and effective_jobs(backend) > 1
+            and not isinstance(emit, _LockedSink)
+        ):
+            # Plan events (main thread) and unit events (workers) go
+            # through one serialized writer; single-threaded backends
+            # skip the lock.
+            emit = _LockedSink(emit)
+        units = DischargePlan.stream_units(obligations, emit=emit)
+        results: Dict[int, ObligationFailure] = {}
+        accounts = backend.run(
+            self,
+            units,
+            results,
+            skip=skip,
+            on_failure=on_failure,
+            emit=emit,
+            batch=batch,
+            fail_fast=fail_fast,
         )
-        return self._failure(obligation, valid, model)
+        self.units_run += len(accounts)
+        self.merge_accounts(accounts)
+        return [results[index] for index in sorted(results)]
 
     def check_all(
         self,
@@ -286,226 +287,27 @@ class ObligationChecker:
         skip: Optional[Callable[[Obligation], bool]] = None,
         on_failure: Optional[Callable[[Obligation], None]] = None,
         batch: bool = True,
+        emit: EventSink = None,
     ) -> List[ObligationFailure]:
-        """Discharge a batch of obligations; failures in input order.
-
-        ``skip`` is consulted just before each obligation is checked and
-        ``on_failure`` fires as refutations are found — together they let
-        Houdini prune a candidate's remaining obligations mid-batch
-        (``skip`` implies per-obligation discharge).  ``batch`` enables
-        conjoined group discharge: all goals of a group proved in one
-        solve, with model-guided refinement when some fail.
-        """
-        obligations = list(obligations)
-        if not self.incremental:
-            failures = []
-            for obligation in obligations:
-                if skip is not None and skip(obligation):
-                    continue
-                failure = self.check(obligation)
-                if failure is not None:
-                    failures.append(failure)
-                    if on_failure is not None:
-                        on_failure(obligation)
-            return failures
-
-        groups = _prefix_groups(obligations)
-        results: List[Optional[ObligationFailure]] = [None] * len(obligations)
-
-        def discharge(group: "_Group") -> Tuple[ContextStats, SolverProfile]:
-            context = SolverContext(cache=self.cache)
-            for premise in self.assumptions:
-                context.assert_expr(premise)
-            for premise in group.base:
-                context.assert_expr(premise)
-            if batch and skip is None and len(group.members) > 1:
-                self._discharge_batched(context, group.members, results, on_failure)
-            else:
-                self._discharge_each(context, group.members, results, skip, on_failure)
-            return context.stats, context.profile
-
-        if self.jobs > 1 and len(groups) > 1:
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                accounts = list(pool.map(discharge, groups))
-        else:
-            accounts = [discharge(group) for group in groups]
-        for group_stats, group_profile in accounts:
-            self.stats.merge(group_stats)
-            self.profile.merge(group_profile)
-        return [failure for failure in results if failure is not None]
-
-    def _discharge_each(self, context, members, results, skip, on_failure) -> None:
-        for index, obligation, suffix in members:
-            if skip is not None and skip(obligation):
-                continue
-            valid, model = context.check_entailment(
-                obligation.goal,
-                list(suffix) + self.extra_premises_for(obligation),
-            )
-            failure = self._failure(obligation, valid, model)
-            if failure is not None:
-                results[index] = failure
-                if on_failure is not None:
-                    on_failure(obligation)
-
-    #: Conjoined-discharge width: batches wider than this are chunked.
-    #: Bounds the case-split breadth of one solve — a refuting model
-    #: still prunes across its whole chunk, while each solve stays
-    #: comparable in size to a handful of individual queries.
-    batch_limit: int = 8
-
-    def _discharge_batched(self, context, members, results, on_failure) -> None:
-        """Conjoined discharge: prove all goals of a group in few solves.
-
-        Each member contributes the guarded goal ``suffix → g`` (its
-        path facts beyond the group base as the guard), so the conjoined
-        query ``base ⊨ ∧ᵢ (suffixᵢ → gᵢ)`` asks exactly the individual
-        questions at once.  The per-goal premise extensions (Ψ instances
-        under the precondition, sound real-arithmetic lemmas) are all
-        valid facts, so asserting their union preserves each verdict's
-        soundness.  UNSAT certifies every goal.  A SAT model satisfies
-        the base premises, hence falsifying ``suffixᵢ → gᵢ`` makes it a
-        genuine counterexample for obligation *i* — those are recorded
-        at zero extra solves and the remainder re-batched.  Goals the
-        model leaves undecided (or that evaluation cannot reach) fall
-        back to individual checks, so the refinement loop strictly
-        shrinks.
-        """
-        remaining: List[Tuple[int, Obligation, Tuple[ast.Expr, ...], List[ast.Expr]]] = [
-            (index, obligation, suffix, self.extra_premises_for(obligation))
-            for index, obligation, suffix in members
-        ]
-        while remaining:
-            chunk = remaining[: self.batch_limit]
-            remaining = remaining[self.batch_limit:]
-            self._discharge_chunk(context, chunk, results, on_failure)
-
-    def _discharge_chunk(self, context, pending, results, on_failure) -> None:
-        while len(pending) > 1:
-            extras: List[ast.Expr] = []
-            seen = set()
-            for _, _, _, extension in pending:
-                for premise in extension:
-                    if premise not in seen:
-                        seen.add(premise)
-                        extras.append(premise)
-            conjunction: Optional[ast.Expr] = None
-            for _, obligation, suffix, _ in pending:
-                guarded = _guarded_goal(obligation.goal, suffix)
-                conjunction = (
-                    guarded if conjunction is None else ast.BinOp("&&", conjunction, guarded)
-                )
-            valid, model = context.check_entailment(conjunction, extras)
-            if valid:
-                return
-            if model is None:
-                break  # solver gave up on the batch; decide individually
-            falsified = [
-                (index, obligation)
-                for index, obligation, suffix, _ in pending
-                if _model_falsifies(_guarded_goal(obligation.goal, suffix), model)
-            ]
-            if not falsified:
-                break  # model decides nothing we can evaluate
-            for index, obligation in falsified:
-                results[index] = self._failure(obligation, False, model)
-                if on_failure is not None:
-                    on_failure(obligation)
-            decided = {index for index, _ in falsified}
-            pending = [item for item in pending if item[0] not in decided]
-        for index, obligation, suffix, extension in pending:
-            valid, model = context.check_entailment(
-                obligation.goal, list(suffix) + extension
-            )
-            failure = self._failure(obligation, valid, model)
-            if failure is not None:
-                results[index] = failure
-                if on_failure is not None:
-                    on_failure(obligation)
-
-    def _failure(
-        self, obligation: Obligation, valid: bool, model
-    ) -> Optional[ObligationFailure]:
-        if valid:
-            return None
-        if not self.collect_models or model is None:
-            return ObligationFailure(obligation)
-        arith, booleans = model
-        return ObligationFailure(obligation, arith, booleans)
-
-    # -- accounting ------------------------------------------------------------
-
-    def solver_stats(self) -> ContextStats:
-        """Aggregate counters: one-shot queries plus all context work."""
-        stats = ContextStats(
-            queries=self.validity.queries,
-            cache_hits=self.validity.cache_hits,
-            solve_calls=self.validity.solve_calls,
+        """Discharge a batch of obligations; failures in input order."""
+        return self.discharge_stream(
+            obligations, skip=skip, on_failure=on_failure, batch=batch, emit=emit
         )
-        stats.merge(self.stats)
-        return stats
 
-    def profile_totals(self) -> SolverProfile:
-        """Inner-loop counters over the whole discharge (all strategies)."""
-        totals = SolverProfile()
-        totals.merge(self.validity.profile)
-        totals.merge(self.profile)
-        return totals
+    @property
+    def effective_backend(self) -> DischargeBackend:
+        """The backend this checker's configuration resolves to."""
+        return resolve_backend(self.incremental, self.jobs, self.backend_choice)
 
+    @property
+    def backend_name(self) -> str:
+        return self.effective_backend.name
 
-@dataclass
-class _Group:
-    """Obligations sharing a path prefix.
-
-    ``base`` is the common prefix (asserted once into the group's solver
-    context); each member carries its path *suffix* beyond the base.
-    """
-
-    base: Tuple[ast.Expr, ...]
-    members: List[Tuple[int, Obligation, Tuple[ast.Expr, ...]]]
-
-
-def _prefix_groups(obligations: Sequence[Obligation]) -> List[_Group]:
-    """Greedy chain grouping in generation order.
-
-    Symbolic execution emits obligations along straight-line segments
-    with monotonically growing paths; each such chain becomes one group
-    whose base is its first obligation's path.  A branch merge resets
-    the chain (its paths are not extensions of the previous base), which
-    starts a fresh group.
-    """
-    groups: List[_Group] = []
-    for index, obligation in enumerate(obligations):
-        if groups:
-            base = groups[-1].base
-            if obligation.path[: len(base)] == base:
-                groups[-1].members.append((index, obligation, obligation.path[len(base):]))
-                continue
-        groups.append(_Group(obligation.path, [(index, obligation, ())]))
-    return groups
-
-
-def _guarded_goal(goal: ast.Expr, suffix: Tuple[ast.Expr, ...]) -> ast.Expr:
-    """``suffix → goal`` as an expression (``goal`` when no suffix)."""
-    if not suffix:
-        return goal
-    guard = suffix[0]
-    for fact in suffix[1:]:
-        guard = ast.BinOp("&&", guard, fact)
-    return ast.BinOp("||", ast.Not(guard), goal)
-
-
-def _model_falsifies(goal: ast.Expr, model: Model) -> bool:
-    """Does the (total, rational) model make ``goal`` false?
-
-    Conservative: any variable the model misses or any construct the
-    encoder cannot reach counts as "undecided", never as falsified.
-    """
-    arith, booleans = model
-    try:
-        return not F.evaluate(Encoder().boolean(goal), arith, booleans)
-    except (KeyError, EncodeError, ArithmeticError):
-        return False
+    @property
+    def effective_jobs(self) -> int:
+        """The discharge worker count actually used (env overrides and
+        explicit backend instances included), for honest accounting."""
+        return effective_jobs(self.effective_backend)
 
 
 # ---------------------------------------------------------------------------
@@ -513,22 +315,17 @@ def _model_falsifies(goal: ast.Expr, model: Model) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def verify_target(
-    target: TargetProgram,
-    config: Optional[VerificationConfig] = None,
-    cache: Optional[QueryCache] = None,
-) -> VerificationOutcome:
-    """Verify that every assertion of ``target`` always holds.
+def prepare_generator(
+    target: TargetProgram, config: VerificationConfig
+) -> Tuple[VCGenerator, ObligationChecker]:
+    """The configured symbolic executor and checker for one run.
 
-    ``cache`` is an optional shared :class:`QueryCache`; the pipeline
-    passes one per batch so repeated obligations across programs,
-    bindings and Houdini rounds are answered once.
+    Shared by :func:`verify_target`, :func:`iter_obligations` and the
+    CLI's ``repro obligations`` listing: parameters are bound, the body
+    CFG is built and constant guards are folded (statically-dead
+    branches never generate obligations), and the checker carries Ψ,
+    the assumptions and the discharge strategy.
     """
-    config = config or VerificationConfig()
-    start = time.perf_counter()
-    intern_hits_before, intern_misses_before = intern.counters()
-
-    body = bind_command(target.body, config.bindings)
     psi = _bind_psi(target.function.precondition, config.bindings)
     assumptions = [bind_expr(a, config.bindings) for a in config.assumptions]
     assumptions = [a for a in assumptions if a != ast.TRUE]
@@ -538,18 +335,74 @@ def verify_target(
         use_invariants=(config.mode == "invariant"),
         extra_invariants=tuple(bind_expr(i, config.bindings) for i in config.extra_invariants),
     )
-    generator.run(body)
-
     checker = ObligationChecker(
         psi,
         assumptions,
         use_lemmas=config.use_lemmas,
         collect_models=config.collect_models,
-        cache=cache,
         incremental=config.incremental,
         jobs=config.jobs,
+        backend=config.backend,
     )
-    failures = checker.check_all(generator.obligations)
+    return generator, checker
+
+
+def target_cfg(target: TargetProgram, config: VerificationConfig):
+    """The bound, guard-folded CFG the symbolic executor runs."""
+    body = bind_command(target.body, config.bindings)
+    cfg = ast_to_cfg(body)
+    # Statically-constant guards (usually produced by parameter binding)
+    # are folded before execution, so dead obligations are never
+    # generated.  Constant-false loops are only removable in unroll
+    # mode: invariant mode emits entry/preservation obligations even
+    # for loops whose guard is never true.
+    return fold_constant_guards(cfg, fold_loops=(config.mode != "invariant"))
+
+
+def iter_obligations(
+    target: TargetProgram, config: Optional[VerificationConfig] = None
+) -> Iterator[Obligation]:
+    """Stream a target's obligations, with provenance, without solving.
+
+    Backs the ``repro obligations`` CLI subcommand and any tooling that
+    wants to inspect or partition the obligation space.
+    """
+    config = config or VerificationConfig()
+    generator, _ = prepare_generator(target, config)
+    yield from generator.stream(target_cfg(target, config))
+
+
+def verify_target(
+    target: TargetProgram,
+    config: Optional[VerificationConfig] = None,
+    cache: Optional[QueryCache] = None,
+    on_event: EventSink = None,
+) -> VerificationOutcome:
+    """Verify that every assertion of ``target`` always holds.
+
+    ``cache`` is an optional shared :class:`QueryCache`; the pipeline
+    passes one per batch so repeated obligations across programs,
+    bindings and Houdini rounds are answered once (the configured
+    backend is wrapped in a
+    :class:`~repro.verify.discharge.CachedBackend`).  ``on_event``
+    receives the typed :class:`DischargeEvent` stream as units are
+    scheduled and obligations discharged.
+    """
+    config = config or VerificationConfig()
+    start = time.perf_counter()
+    intern_hits_before, intern_misses_before = intern.counters()
+
+    generator, checker = prepare_generator(target, config)
+    if cache is not None:
+        # Wrap the resolved backend so the shared cache is installed at
+        # discharge time — the CachedBackend composition path.
+        checker.backend_choice = resolve_backend(
+            checker.incremental, checker.jobs, checker.backend_choice, cache=cache
+        )
+    stream = generator.stream(target_cfg(target, config))
+    failures = checker.discharge_stream(
+        stream, emit=on_event, fail_fast=config.fail_fast
+    )
     stats = checker.solver_stats()
 
     profile_dict: Optional[Dict[str, int]] = None
@@ -570,7 +423,10 @@ def verify_target(
         solve_calls=stats.solve_calls,
         context_pushes=stats.pushes,
         context_pops=stats.pops,
-        jobs=checker.jobs,
+        jobs=checker.effective_jobs,
+        backend=checker.backend_name,
+        units=checker.units_run,
+        early_exit=checker.early_exited,
         profile=profile_dict,
     )
 

@@ -76,6 +76,7 @@ class TestStages:
         run = Pipeline().run(SVT.source, stop_after="optimize")
         assert run.target.ir is not None
         assert run.target.ir.passes == (
+            "fold-constant-guards",
             "lower-samples",
             "init-cost",
             "budget-assert",

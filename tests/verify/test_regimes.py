@@ -2,7 +2,7 @@
 
 These are the paper's headline results as assertions:
 
-* all nine rows type check with only the paper's annotations;
+* all Table-1 rows type check with only the paper's annotations;
 * all transformed programs verify — bounded (unroll) and unbounded
   (invariant mode) — and the buggy variants are refuted;
 * Report Noisy Max verifies with *no* manual invariants via Houdini;
