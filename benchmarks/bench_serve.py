@@ -1,0 +1,218 @@
+"""Service-mode load benchmark: ``repro serve`` under client concurrency.
+
+Boots an in-process :class:`~repro.serve.server.VerifyServer` on a unix
+socket, then measures the client-observed cost of verify requests
+through the full wire path (handshake, JSON framing, event streaming,
+worker dispatch, warm caches):
+
+* **cold** — one client, first pass over the registry rows: every
+  request executes the pipeline (the price a one-shot CLI run pays).
+* **warm** — concurrency 1, 4 and 8: every client loops over the same
+  rows; requests are served from the stage memo, so this isolates the
+  service overhead (socket + JSON + scheduling) and shows how the single
+  warm cache multiplexes across connections.
+
+Reported per phase: requests/sec and p50/p95/max request latency in
+milliseconds.  Correctness is asserted, not assumed: every warm result
+must be cache-served and carry the same verdict as its cold run.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/bench_serve.py [--quick] \
+        [--json-out serve.json] [--update BENCH_solver.json]
+
+``--quick`` sweeps three registry rows with fewer warm rounds (CI
+smoke); the default covers the whole non-buggy registry.  ``--update``
+rewrites the committed ``BENCH_solver.json`` in place, replacing its
+top-level ``serve`` section with this run's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro import __version__
+from repro.algorithms import registry
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerThread
+
+QUICK_SPECS = ("svt", "noisy_max", "partial_sum")
+
+#: Warm rounds per client (each round = one sweep over the spec list).
+QUICK_ROUNDS = 5
+FULL_ROUNDS = 20
+
+CONCURRENCY_LEVELS = (1, 4, 8)
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _phase_stats(latencies: List[float], seconds: float) -> Dict[str, float]:
+    return {
+        "requests": len(latencies),
+        "seconds": round(seconds, 3),
+        "requests_per_second": round(len(latencies) / seconds, 2) if seconds else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "max_ms": round(max(latencies) * 1000, 3) if latencies else 0.0,
+    }
+
+
+def _timed_sweep(client: ServeClient, specs, latencies: List[float]) -> List[Dict]:
+    results = []
+    for name in specs:
+        start = time.perf_counter()
+        result = client.verify(spec=name)
+        latencies.append(time.perf_counter() - start)
+        results.append(result)
+    return results
+
+
+def _warm_phase(sock: str, specs, concurrency: int, rounds: int) -> Dict[str, float]:
+    latencies_per_client: List[List[float]] = [[] for _ in range(concurrency)]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(slot: int) -> None:
+        try:
+            with ServeClient(socket_path=sock) as client:
+                barrier.wait()
+                for _ in range(rounds):
+                    for result in _timed_sweep(client, specs, latencies_per_client[slot]):
+                        assert result["cached"], "warm request missed the stage memo"
+        except BaseException as err:
+            errors.append(err)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    latencies = [sample for bucket in latencies_per_client for sample in bucket]
+    return _phase_stats(latencies, seconds)
+
+
+def run_benchmark(quick: bool = False) -> Dict:
+    specs = list(QUICK_SPECS) if quick else [
+        name for name in registry.names(include_buggy=False)
+    ]
+    rounds = QUICK_ROUNDS if quick else FULL_ROUNDS
+    sock = os.path.join(tempfile.mkdtemp(prefix="repro-bench-serve-"), "bench.sock")
+
+    results: Dict = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "specs": specs,
+        "rounds_per_client": rounds,
+    }
+    with ServerThread(socket_path=sock, max_concurrent=8):
+        # Cold: one client, first pass — every request runs the pipeline.
+        cold_latencies: List[float] = []
+        start = time.perf_counter()
+        with ServeClient(socket_path=sock) as client:
+            cold_results = _timed_sweep(client, specs, cold_latencies)
+        results["cold"] = _phase_stats(cold_latencies, time.perf_counter() - start)
+        verdicts = {r["name"]: r["outcome"]["verified"] for r in cold_results}
+        assert all(verdicts.values()), f"unexpected refutation: {verdicts}"
+
+        # Warm: the stage memo serves every request; scale client count.
+        warm: Dict[str, Dict] = {}
+        for concurrency in CONCURRENCY_LEVELS:
+            warm[str(concurrency)] = _warm_phase(sock, specs, concurrency, rounds)
+        results["warm"] = warm
+
+    cold_p50 = results["cold"]["p50_ms"]
+    warm_p50 = results["warm"]["1"]["p50_ms"]
+    results["warm_speedup_p50"] = round(cold_p50 / warm_p50, 1) if warm_p50 else None
+    return results
+
+
+def render(results: Dict) -> str:
+    lines = [
+        f"repro serve load benchmark (v{results['version']}, "
+        f"py{results['python']}; {len(results['specs'])} registry rows, "
+        f"{results['rounds_per_client']} warm rounds/client)",
+        "",
+        f"{'phase':<12} {'clients':>7} {'requests':>9} {'req/s':>9} "
+        f"{'p50 ms':>9} {'p95 ms':>9} {'max ms':>9}",
+    ]
+
+    def row(label: str, clients: int, stats: Dict) -> str:
+        return (
+            f"{label:<12} {clients:>7} {stats['requests']:>9} "
+            f"{stats['requests_per_second']:>9.2f} {stats['p50_ms']:>9.3f} "
+            f"{stats['p95_ms']:>9.3f} {stats['max_ms']:>9.3f}"
+        )
+
+    lines.append(row("cold", 1, results["cold"]))
+    for concurrency, stats in results["warm"].items():
+        lines.append(row("warm", int(concurrency), stats))
+    if results.get("warm_speedup_p50"):
+        lines.append("")
+        lines.append(
+            f"warm p50 is {results['warm_speedup_p50']}x faster than cold p50 "
+            "(stage memo serves the request without a single solver query)"
+        )
+    return "\n".join(lines)
+
+
+def update_reference(path: str, results: Dict) -> None:
+    with open(path) as handle:
+        reference = json.load(handle)
+    reference["serve"] = results
+    with open(path, "w") as handle:
+        json.dump(reference, handle, indent=2)
+        handle.write("\n")
+    print(f"updated {path} (serve section)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="three rows, fewer rounds (CI smoke)"
+    )
+    parser.add_argument("--json-out", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--update",
+        metavar="BENCH_JSON",
+        help="replace the 'serve' section of the committed benchmark JSON",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(quick=args.quick)
+    print(render(results))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json_out}", file=sys.stderr)
+    if args.update:
+        update_reference(args.update, results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

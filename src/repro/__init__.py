@@ -62,7 +62,7 @@ from repro.pipeline import (
 from repro.target.transform import TargetProgram, to_target
 from repro.verify.verifier import VerificationConfig, VerificationOutcome, verify_target
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 @dataclass

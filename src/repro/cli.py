@@ -37,6 +37,18 @@ interned-node hits).
     Execute the source program with real Laplace noise.
 ``table1``
     Regenerate the paper's Table 1 (see also benchmarks/).
+``serve [--socket PATH] [--port N] [--warm] [--max-concurrent N]``
+    Run the long-lived verification service: one warm pipeline (stage
+    memo + solver query cache) shared across requests, discharge events
+    streamed to clients, graceful drain on SIGTERM/Ctrl-C.  ``--warm``
+    preloads the full registry sweep before accepting connections.
+``client [--socket PATH | --port N] ACTION``
+    Talk to a running server: ``status`` (cache stats, uptime,
+    counters), ``verify`` (``--spec NAME`` or ``--file FILE``),
+    ``sweep`` (the whole registry), ``ping``, ``shutdown``.
+
+``repro --version`` prints the package version and the serve-protocol
+revision (the server embeds both in its handshake and status reply).
 """
 
 from __future__ import annotations
@@ -317,6 +329,178 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.server import VerifyServer
+
+    try:
+        server = VerifyServer(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            request_timeout=args.request_timeout,
+            warm=args.warm,
+            quiet=args.quiet,
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    try:
+        asyncio.run(server.run(install_signal_handlers=True))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_event_printer(args):
+    """A printer for streamed wire events, or None without --progress."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def emit(event) -> None:
+        kind = event.get("kind")
+        if kind == "unit-started":
+            print(f"  [{event['unit']}] started ({event['obligations']} obligations)")
+        elif kind == "obligation-discharged":
+            note = " (cached)" if event.get("cached") else ""
+            print(f"  [{event['unit']}] ok {event['oid']} {event['tag']}{note}")
+        elif kind == "obligation-refuted":
+            print(f"  [{event['unit']}] REFUTED {event['oid']} {event['tag']}")
+            if event.get("counterexample"):
+                print(f"      {event['counterexample']}")
+        elif kind == "unit-finished":
+            print(f"  [{event['unit']}] finished in {event['seconds']:.3f}s")
+        elif kind == "early-exit":
+            print(f"  [{event['unit']}] early exit: {event['reason']}")
+
+    return emit
+
+
+def _client_wire_config(args):
+    """The verify request's ``config`` dict from the client flags."""
+    config = {}
+    if getattr(args, "mode", None):
+        config["mode"] = args.mode
+    bindings = _parse_bindings(getattr(args, "bind", None))
+    if bindings:
+        config["bindings"] = {name: str(value) for name, value in bindings.items()}
+    if getattr(args, "assume", None):
+        config["assumptions"] = list(args.assume)
+    if getattr(args, "unroll", None) is not None:
+        config["unroll_limit"] = args.unroll
+    if getattr(args, "jobs", None) is not None:
+        config["jobs"] = args.jobs
+    if getattr(args, "backend", None):
+        config["backend"] = args.backend
+    if getattr(args, "fail_fast", False):
+        config["fail_fast"] = True
+    return config or None
+
+
+def _print_wire_result(result, json_mode: bool) -> None:
+    if json_mode:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return
+    outcome = result["outcome"]
+    counters = outcome["counters"]
+    verdict = "verified" if outcome["verified"] else "REFUTED"
+    cached = " [cached]" if result.get("cached") else ""
+    print(
+        f"{result['name']}: {verdict} — {outcome['obligations_total']} obligations, "
+        f"{counters['solve_calls']} solves, {counters['cache_hits']} cache hits"
+        f"{cached}"
+    )
+    for failure in outcome["failures"]:
+        print("  " + failure["description"])
+
+
+def _print_status(status) -> None:
+    server, requests = status["server"], status["requests"]
+    cache, memo = status["query_cache"], status["stage_memo"]
+    print(
+        f"repro-serve {server['version']} (protocol {server['protocol']}), "
+        f"up {server['uptime_seconds']:.0f}s"
+        f"{', draining' if server['draining'] else ''}"
+    )
+    warmed = server["warmed"]
+    print(
+        f"  workers: {server['max_concurrent']}, "
+        f"warmed: {len(warmed)} algorithm(s)"
+    )
+    print(
+        f"  requests: {requests['active']} active, {requests['completed']} completed, "
+        f"{requests['cancelled']} cancelled, {requests['failed']} failed, "
+        f"{requests['rejected']} rejected"
+    )
+    print(
+        f"  query cache: {cache['entries']} entries, {cache['hits']} hits, "
+        f"{cache['misses']} misses, {cache['pending']} in flight"
+    )
+    print(
+        f"  stage memo: {memo['entries']} entries, "
+        f"{sum(memo['hits'].values())} hits, {sum(memo['misses'].values())} misses"
+    )
+
+
+def cmd_client(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        client = ServeClient(socket_path=args.socket, host=args.host, port=args.port)
+    except (ServeError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.action == "status":
+                status = client.status()
+                if args.json:
+                    print(json.dumps(status, indent=2, sort_keys=True))
+                else:
+                    _print_status(status)
+                return 0
+            if args.action == "ping":
+                client.ping()
+                print("pong")
+                return 0
+            if args.action == "shutdown":
+                client.shutdown()
+                print("server draining")
+                return 0
+            on_event = _client_event_printer(args)
+            config = _client_wire_config(args)
+            if args.action == "sweep":
+                results = client.sweep(
+                    specs=args.spec or None,
+                    config=config,
+                    timeout=args.timeout,
+                    on_event=on_event,
+                )
+                for result in results:
+                    _print_wire_result(result, args.json)
+                return 0 if all(r["outcome"]["verified"] for r in results) else 1
+            # verify
+            if bool(args.file) == bool(args.spec):
+                raise SystemExit(
+                    "error: client verify needs exactly one of --file and --spec"
+                )
+            if args.spec and len(args.spec) != 1:
+                raise SystemExit("error: client verify takes exactly one --spec")
+            result = client.verify(
+                source=_read_source(args.file) if args.file else None,
+                spec=args.spec[0] if args.spec else None,
+                config=config,
+                timeout=args.timeout,
+                on_event=on_event,
+            )
+            _print_wire_result(result, args.json)
+            return 0 if result["outcome"]["verified"] else 1
+        except ServeError as err:
+            print(f"error [{err.code}]: {err}", file=sys.stderr)
+            return 2
+
+
 def _add_verification_flags(parser) -> None:
     defaults = _VERIFICATION_FLAG_DEFAULTS
     parser.add_argument(
@@ -375,7 +559,15 @@ def _add_verification_flags(parser) -> None:
 
 
 def main(argv=None) -> int:
+    from repro import __version__
+    from repro.serve.protocol import PROTOCOL_VERSION
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} (serve protocol {PROTOCOL_VERSION})",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_check = sub.add_parser("check", help="type check a ShadowDP file")
@@ -426,6 +618,65 @@ def main(argv=None) -> int:
 
     p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p_t1.set_defaults(func=cmd_table1)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the long-lived verification service (warm caches)"
+    )
+    p_srv.add_argument("--socket", metavar="PATH", help="unix socket to listen on")
+    p_srv.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p_srv.add_argument(
+        "--port", type=int, metavar="N", help="TCP port to listen on (0 = ephemeral)"
+    )
+    p_srv.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        metavar="N",
+        help="verify requests processed at once (further requests queue)",
+    )
+    p_srv.add_argument(
+        "--request-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="default per-request wall-clock budget (cooperative cancellation)",
+    )
+    p_srv.add_argument(
+        "--warm",
+        action="store_true",
+        help="preload the registry sweep before accepting connections",
+    )
+    p_srv.add_argument("--quiet", action="store_true", help="suppress serve logging")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_cl = sub.add_parser("client", help="talk to a running verification server")
+    p_cl.add_argument(
+        "action", choices=("status", "verify", "sweep", "ping", "shutdown")
+    )
+    p_cl.add_argument("--socket", metavar="PATH", help="server unix socket")
+    p_cl.add_argument("--host", default="127.0.0.1", help="server TCP host")
+    p_cl.add_argument("--port", type=int, metavar="N", help="server TCP port")
+    p_cl.add_argument("--file", metavar="FILE", help="verify: a ShadowDP source file")
+    p_cl.add_argument(
+        "--spec",
+        action="append",
+        metavar="NAME",
+        help="registry algorithm name (verify: one; sweep: repeatable filter)",
+    )
+    p_cl.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="per-request server timeout"
+    )
+    p_cl.add_argument("--mode", choices=("unroll", "invariant"))
+    p_cl.add_argument("--bind", action="append", metavar="NAME=VALUE")
+    p_cl.add_argument("--assume", action="append", metavar="EXPR")
+    p_cl.add_argument("--unroll", type=int, metavar="N")
+    p_cl.add_argument("--jobs", type=int, metavar="N")
+    p_cl.add_argument("--backend", choices=("serial", "threaded", "oneshot"))
+    p_cl.add_argument("--fail-fast", action="store_true")
+    p_cl.add_argument(
+        "--progress", action="store_true", help="print streamed discharge events"
+    )
+    p_cl.add_argument("--json", action="store_true", help="machine-readable output")
+    p_cl.set_defaults(func=cmd_client)
 
     args = parser.parse_args(argv)
     try:

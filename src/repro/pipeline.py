@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
@@ -258,6 +259,15 @@ class Pipeline:
     ``verify`` stage this pipeline runs, so identical solver queries
     recur for free across programs, bindings and batch sweeps
     (:meth:`run_many`).
+
+    **Thread safety.**  A memoizing pipeline may be shared by concurrent
+    callers (``repro serve`` runs one per daemon, with requests on a
+    worker pool): the stage memo is locked and **single-flight** —
+    concurrent identical stage productions run *once*; the other callers
+    block and receive the memoized result as a hit, exactly as if they
+    had arrived after it serially.  Combined with the single-flight
+    :class:`QueryCache`, verdicts and counters of a concurrent request
+    mix are the same as a serial replay of those requests.
     """
 
     def __init__(
@@ -270,31 +280,86 @@ class Pipeline:
         self.memoize = memoize
         self.query_cache = query_cache if query_cache is not None else QueryCache()
         self._cache: Dict[Tuple[str, str, str], StageResult] = {}
+        self._lock = threading.Lock()
+        #: Stage productions currently in flight → event waiters block on.
+        self._flights: Dict[Tuple[str, str, str], threading.Event] = {}
         self.cache_hits: Dict[str, int] = {name: 0 for name in STAGES}
         self.cache_misses: Dict[str, int] = {name: 0 for name in STAGES}
 
     # -- cache plumbing ------------------------------------------------------
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+            flights = list(self._flights.values())
+            self._flights.clear()
+        # Waiters wake, find no entry, and the first of them takes over
+        # each flight.
+        for flight in flights:
+            flight.set()
+
+    def memo_stats(self) -> Dict[str, Any]:
+        """A snapshot of the stage-memo counters (for ``repro serve`` status)."""
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "in_flight": len(self._flights),
+                "hits": dict(self.cache_hits),
+                "misses": dict(self.cache_misses),
+            }
 
     def _memo(self, stage: str, key: str, extra: str, produce) -> StageResult:
         cache_key = (stage, key, extra)
-        if self.memoize and cache_key in self._cache:
-            self.cache_hits[stage] += 1
-            hit = self._cache[cache_key]
-            # A hit issues no solver queries and takes no time: both are
-            # the marginal cost of *this* run, not of the cached artifact.
-            # CFG shape, by contrast, is a property of the artifact.
-            return StageResult(
-                stage, hit.artifact, 0.0, 0, cached=True, ir_stats=hit.ir_stats
-            )
-        self.cache_misses[stage] += 1
+        if not self.memoize:
+            with self._lock:
+                self.cache_misses[stage] += 1
+            return self._produce(stage, produce)
+        while True:
+            with self._lock:
+                hit = self._cache.get(cache_key)
+                if hit is not None:
+                    self.cache_hits[stage] += 1
+                    # A hit issues no solver queries and takes no time:
+                    # both are the marginal cost of *this* run, not of
+                    # the cached artifact.  CFG shape, by contrast, is a
+                    # property of the artifact.
+                    return StageResult(
+                        stage, hit.artifact, 0.0, 0, cached=True, ir_stats=hit.ir_stats
+                    )
+                flight = self._flights.get(cache_key)
+                if flight is None:
+                    # We own this key's single flight: produce below.
+                    self._flights[cache_key] = threading.Event()
+                    self.cache_misses[stage] += 1
+                    break
+            # Another caller is already producing this exact stage
+            # artifact; wait for it and take the memoized result.
+            flight.wait()
+        try:
+            result = self._produce(stage, produce)
+        except BaseException:
+            # Release the flight without a result (cancelled or failed
+            # production): waiters wake and the first retakes the key.
+            self._release_flight(cache_key)
+            raise
+        with self._lock:
+            self._cache[cache_key] = result
+        self._release_flight(cache_key)
+        return result
+
+    def _release_flight(self, cache_key: Tuple[str, str, str]) -> None:
+        with self._lock:
+            flight = self._flights.pop(cache_key, None)
+        if flight is not None:
+            flight.set()
+
+    @staticmethod
+    def _produce(stage: str, produce) -> StageResult:
         start = time.perf_counter()
         produced = produce()
         artifact, queries = produced[0], produced[1]
         stats = produced[2] if len(produced) > 2 else None
-        result = StageResult(
+        return StageResult(
             stage,
             artifact,
             time.perf_counter() - start,
@@ -303,9 +368,6 @@ class Pipeline:
             solver_stats=stats,
             ir_stats=_ir_stats_of(artifact),
         )
-        if self.memoize:
-            self._cache[cache_key] = result
-        return result
 
     # -- stage bodies --------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""``repro serve``: a long-lived verification service with warm caches.
+
+The subsystem has three layers:
+
+:mod:`repro.serve.protocol`
+    The newline-delimited JSON wire format — framing, version
+    handshake, and the converters between pipeline objects and wire
+    dicts (specified field-by-field in ``docs/protocol.md``).
+:mod:`repro.serve.server`
+    The asyncio daemon: one warm :class:`~repro.pipeline.Pipeline`
+    (stage memo + single-flight query cache) shared by all requests,
+    verify work on a bounded thread pool, streamed discharge events,
+    graceful drain on signal or request.
+:mod:`repro.serve.client`
+    A synchronous :class:`ServeClient` for scripts, tests and the
+    ``repro client`` subcommand.
+
+``python -m repro.serve.smoke`` runs the end-to-end smoke check CI
+uses: a real daemon subprocess, two client sweeps, determinism against
+a serial in-process reference, warm-cache assertions, clean shutdown.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ServerThread, VerifyServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "VerifyServer",
+]

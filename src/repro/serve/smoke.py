@@ -1,0 +1,146 @@
+"""The ``repro serve`` end-to-end smoke check (the CI ``serve-smoke`` job).
+
+Run as ``PYTHONPATH=src python -m repro.serve.smoke``.  It exercises the
+full deployment shape — a real daemon subprocess, real sockets — and
+asserts the service-mode contract:
+
+1. start ``repro serve`` on a unix socket and wait for the socket to
+   appear (the server binds only once it is ready);
+2. compute a serial in-process reference for three registry rows;
+3. first client sweep (cold): verdicts, obligation ids and query
+   counters must equal the serial reference exactly;
+4. second client sweep (warm): every result served from the stage memo
+   (``cached``), zero new solver queries, nonzero memo hits;
+5. clean shutdown via SIGTERM: the daemon drains and exits 0, removing
+   its socket.
+
+Any violated assertion exits nonzero, failing the CI job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.algorithms import registry
+from repro.pipeline import Pipeline, spec_config
+from repro.serve.client import ServeClient
+
+#: The registry rows the smoke sweeps (ISSUE floor: at least three).
+SPECS = ("svt", "noisy_max", "partial_sum")
+
+
+def _signature(result):
+    outcome = result["outcome"]
+    return (
+        result["name"],
+        outcome["verified"],
+        tuple(outcome["oids"]),
+        outcome["obligations_total"],
+        outcome["counters"]["queries"],
+    )
+
+
+def _serial_reference():
+    pipe = Pipeline()
+    signatures = []
+    for name in SPECS:
+        spec = registry.get(name)
+        run = pipe.run(spec.source, config=spec_config(spec))
+        outcome = run.outcome
+        signatures.append(
+            (
+                run.name,
+                outcome.verified,
+                tuple(outcome.oids),
+                outcome.obligations_total,
+                outcome.solver_stats()["queries"],
+            )
+        )
+    return signatures
+
+
+def _wait_for_socket(path: str, process: subprocess.Popen, timeout: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        if process.poll() is not None:
+            raise SystemExit(
+                f"FAIL: server exited with {process.returncode} before binding"
+            )
+        time.sleep(0.05)
+    raise SystemExit(f"FAIL: server socket {path} did not appear in {timeout:.0f}s")
+
+
+def check(condition: bool, label: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {label}")
+    print(f"ok: {label}")
+
+
+def main() -> int:
+    sock = os.path.join(tempfile.mkdtemp(prefix="repro-serve-smoke-"), "serve.sock")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        _wait_for_socket(sock, server)
+        print(f"server up on {sock} (pid {server.pid})")
+
+        reference = _serial_reference()
+        print(f"serial reference computed for {', '.join(SPECS)}")
+
+        with ServeClient(socket_path=sock) as client:
+            cold = [client.verify(spec=name) for name in SPECS]
+            check(
+                [_signature(r) for r in cold] == reference,
+                "cold sweep matches the serial reference "
+                "(verdicts, obligation ids, query counters)",
+            )
+            check(
+                not any(r["cached"] for r in cold),
+                "cold sweep genuinely executed (nothing pre-cached)",
+            )
+            status_cold = client.status()
+
+            warm = [client.verify(spec=name) for name in SPECS]
+            status_warm = client.status()
+            check(
+                [_signature(r) for r in warm] == reference,
+                "warm sweep matches the serial reference",
+            )
+            check(all(r["cached"] for r in warm), "warm sweep fully cache-served")
+            check(
+                status_warm["query_cache"]["misses"]
+                == status_cold["query_cache"]["misses"],
+                "warm sweep issued zero new solver queries",
+            )
+            check(
+                sum(status_warm["stage_memo"]["hits"].values()) > 0,
+                "warm sweep produced stage-memo hits",
+            )
+            check(
+                status_warm["requests"]["completed"] == 2 * len(SPECS),
+                "all requests accounted for",
+            )
+
+        server.send_signal(signal.SIGTERM)
+        returncode = server.wait(timeout=60)
+        check(returncode == 0, "SIGTERM drains the server to a clean exit")
+        check(not os.path.exists(sock), "socket removed on shutdown")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -180,6 +180,13 @@ class QueryCache:
             pending.set()
 
     def stats(self) -> Dict[str, int]:
+        """A consistent snapshot of the cache counters.
+
+        ``pending`` is the number of single-flight solves currently in
+        progress — nonzero only while queries are actually being solved,
+        so a long-lived server's ``status`` endpoint can report live
+        solver pressure alongside the hit/miss history.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -187,6 +194,7 @@ class QueryCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "pending": len(self._pending),
             }
 
     def clear(self) -> None:

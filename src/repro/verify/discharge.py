@@ -38,6 +38,7 @@ surface).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -70,6 +71,19 @@ from repro.verify.vcgen import Obligation
 #: backend: it overrides the default discharge parallelism (the CI
 #: ``verify-jobs-smoke`` leg runs the whole suite under ``2``).
 JOBS_ENV_VAR = "REPRO_VERIFY_JOBS"
+
+
+class DischargeCancelled(Exception):
+    """A discharge run was cancelled cooperatively before completing.
+
+    Raised at unit/chunk boundaries when the engine's ``cancel_event``
+    is set (per-request timeouts and server drain in ``repro serve``),
+    and used by backends to unwind cleanly: pushed solver scopes are
+    popped (``SolverContext.check_entailment`` pops in a ``finally``),
+    in-flight single-flight cache acquisitions are released
+    (``QueryCache.cancel``), and queued-but-unstarted work is dropped —
+    no waiter deadlocks, no leaked scopes.
+    """
 
 
 @dataclass
@@ -327,6 +341,7 @@ class DischargeEngine:
         incremental: bool = True,
         jobs: int = 1,
         backend: Optional[Union[str, "DischargeBackend"]] = None,
+        cancel_event: Optional[threading.Event] = None,
     ) -> None:
         self.psi = psi
         self.assumptions = [simplify(a) for a in assumptions]
@@ -336,6 +351,11 @@ class DischargeEngine:
         self.incremental = incremental
         self.jobs = max(1, jobs)
         self.backend_choice = backend
+        #: When set, discharge stops at the next unit/chunk boundary by
+        #: raising :class:`DischargeCancelled` (after emitting one
+        #: ``early-exit`` event).  This is the cooperative cancellation
+        #: hook behind per-request timeouts and server drain.
+        self.cancel_event = cancel_event
         self.validity = ValidityChecker(cache=self.cache)
         self.stats = ContextStats()
         #: Work units discharged so far (all strategies).
@@ -353,6 +373,27 @@ class DischargeEngine:
         """Swap in a shared query cache (see :class:`CachedBackend`)."""
         self.cache = cache
         self.validity.cache = cache
+
+    # -- cooperative cancellation ----------------------------------------------
+
+    def check_cancelled(self, unit: Optional[DischargeUnit] = None,
+                        emit: EventSink = None) -> None:
+        """Raise :class:`DischargeCancelled` if the cancel event is set.
+
+        Called at every unit, member and chunk boundary, so a cancelled
+        run stops within one solve of the request.  The first check to
+        observe the cancellation emits a single ``early-exit`` event;
+        every check marks the engine as early-exited so the outcome
+        reports an honest partial verdict.
+        """
+        if self.cancel_event is None or not self.cancel_event.is_set():
+            return
+        first = not self.early_exited
+        self.early_exited = True
+        if first and emit is not None:
+            emit(EarlyExit(unit.uid if unit is not None else "plan", "cancelled"))
+        where = unit.uid if unit is not None else "plan"
+        raise DischargeCancelled(f"discharge cancelled at {where}")
 
     # -- premise assembly ------------------------------------------------------
 
@@ -419,6 +460,7 @@ class DischargeEngine:
         caller's deterministic merge — nothing is accumulated on shared
         state from worker threads.
         """
+        self.check_cancelled(unit, emit)
         if emit is not None:
             emit(UnitStarted(unit.uid, len(unit.members)))
         start = time.perf_counter()
@@ -441,6 +483,7 @@ class DischargeEngine:
 
     def _discharge_each(self, context, unit, results, skip, on_failure, emit) -> None:
         for index, obligation, suffix in unit.members:
+            self.check_cancelled(unit, emit)
             if skip is not None and skip(obligation):
                 continue
             hits_before = context.stats.cache_hits
@@ -478,6 +521,7 @@ class DischargeEngine:
             for index, obligation, suffix in unit.members
         ]
         while remaining:
+            self.check_cancelled(unit, emit)
             chunk = remaining[: self.batch_limit]
             remaining = remaining[self.batch_limit:]
             self._discharge_chunk(context, unit, chunk, results, on_failure, emit)
@@ -665,24 +709,40 @@ class ThreadedBackend(DischargeBackend):
             emit = _LockedSink(emit)
         futures: List[Tuple[int, object]] = []
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            for unit in units:
-                # Checked before submitting, so early_exited means this
-                # unit (at least) was genuinely never scheduled.
-                if fail_fast and results:
-                    engine.early_exited = True
-                    if emit is not None:
-                        emit(
-                            EarlyExit(
-                                unit.uid,
-                                "first refutation (fail-fast); unit not scheduled",
+            try:
+                for unit in units:
+                    # Cancellation and fail-fast are checked before
+                    # submitting, so early_exited means this unit (at
+                    # least) was genuinely never scheduled.
+                    engine.check_cancelled(unit, emit)
+                    if fail_fast and results:
+                        engine.early_exited = True
+                        if emit is not None:
+                            emit(
+                                EarlyExit(
+                                    unit.uid,
+                                    "first refutation (fail-fast); unit not scheduled",
+                                )
                             )
-                        )
-                    break
-                future = pool.submit(
-                    engine.discharge_unit, unit, results, skip, on_failure, emit, batch
-                )
-                futures.append((unit.index, future))
-            accounts = [(index, future.result()) for index, future in futures]
+                        break
+                    future = pool.submit(
+                        engine.discharge_unit, unit, results, skip, on_failure, emit, batch
+                    )
+                    futures.append((unit.index, future))
+                accounts = [(index, future.result()) for index, future in futures]
+            except BaseException:
+                # A worker raised (DischargeCancelled, solver error) or
+                # the main thread was interrupted mid-collection
+                # (KeyboardInterrupt).  Queued-but-unstarted units are
+                # dropped here; without this, the executor's shutdown
+                # would run the *whole* remaining plan before the
+                # exception could propagate.  Running units finish their
+                # current solve and unwind via their own handlers
+                # (scopes popped, single-flight acquisitions released).
+                for _, future in futures:
+                    future.cancel()
+                engine.early_exited = True
+                raise
         return accounts
 
 
@@ -705,6 +765,7 @@ class OneShotBackend(DischargeBackend):
             # entry records the unit for the deterministic merge/count.
             accounts.append((unit.index, (ContextStats(), SolverProfile())))
             for position, (index, obligation, _) in enumerate(unit.members):
+                engine.check_cancelled(unit, emit)
                 if skip is not None and skip(obligation):
                     continue
                 hits_before = engine.validity.cache_hits

@@ -31,6 +31,7 @@ Three regimes mirror the paper's Table 1 columns:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -101,6 +102,12 @@ class VerificationConfig:
     #: propagations, conflicts, restarts, interned-node hits…) to the
     #: outcome.  Collection is always on; this flag controls reporting.
     profile: bool = False
+    #: Cooperative cancellation: when this event is set, discharge stops
+    #: at the next unit/chunk boundary with
+    #: :class:`~repro.verify.discharge.DischargeCancelled` (per-request
+    #: timeouts and drain in ``repro serve``).  Not part of the memo
+    #: fingerprint — cancelling one request must not fork the cache.
+    cancel_event: Optional[threading.Event] = None
 
 
 @dataclass
@@ -133,6 +140,11 @@ class VerificationOutcome:
     #: Inner-loop counters (see :class:`SolverProfile`), attached when the
     #: configuration asked for profiling.
     profile: Optional[Dict[str, int]] = None
+    #: The content-derived ids of every obligation the run generated, in
+    #: stream order — the addressable names the service layer reports
+    #: (and the determinism property compares) without re-walking the
+    #: program.  None on legacy construction paths.
+    oids: Optional[List[str]] = None
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
@@ -343,6 +355,7 @@ def prepare_generator(
         incremental=config.incremental,
         jobs=config.jobs,
         backend=config.backend,
+        cancel_event=config.cancel_event,
     )
     return generator, checker
 
@@ -428,6 +441,7 @@ def verify_target(
         units=checker.units_run,
         early_exit=checker.early_exited,
         profile=profile_dict,
+        oids=[ob.oid for ob in generator.obligations],
     )
 
 

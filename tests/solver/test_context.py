@@ -223,6 +223,7 @@ class TestQueryCacheLRU:
             "hits": 1,
             "misses": 1,
             "evictions": 1,
+            "pending": 0,
         }
 
     def test_default_capacity(self):
