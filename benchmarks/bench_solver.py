@@ -381,6 +381,51 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
         ),
     }
 
+    # -- process backend (registry unroll sweep, jobs sweep) -------------------
+    # Same work as the serial incremental unroll sweep, solved on worker
+    # processes.  Each job count gets its own fresh cache so its counters
+    # are directly comparable to the serial sweep — the oracle-replay
+    # design makes them *identical* (asserted below), which is the whole
+    # point: multicore scheduling with byte-for-byte serial accounting.
+    serial_unroll = results["workloads"]["registry-unroll"]["incremental"]
+    process_section: Dict = {
+        "serial_seconds": serial_unroll["seconds"],
+        "by_jobs": {},
+    }
+    for process_jobs in (1, 2, 4):
+        process_cache = QueryCache()
+        queries = hits = solves = 0
+        start = time.perf_counter()
+        for name in unroll_names:
+            spec = get(name)
+            config = spec_config(spec)
+            config.backend = "process"
+            config.jobs = process_jobs
+            outcome = verify_target(spec.target(), config, cache=process_cache)
+            stats = outcome.solver_stats()
+            queries += stats["queries"]
+            hits += stats["cache_hits"]
+            solves += stats["solve_calls"]
+        seconds = time.perf_counter() - start
+        process_section["by_jobs"][str(process_jobs)] = {
+            "queries": queries,
+            "cache_hits": hits,
+            "solve_calls": solves,
+            "seconds": round(seconds, 3),
+            "speedup_vs_serial": (
+                round(serial_unroll["seconds"] / seconds, 2) if seconds > 0 else None
+            ),
+            "identical_to_serial": (
+                queries == serial_unroll["queries"]
+                and hits == serial_unroll["cache_hits"]
+                and solves == serial_unroll["solve_calls"]
+            ),
+        }
+    results["process_jobs"] = process_section
+
+    # -- persistent store: cold vs warm (registry unroll sweep) ----------------
+    results["warm_store"] = run_warm_store(unroll_names)
+
     # -- totals ---------------------------------------------------------------
     totals: Dict = {}
     for side in ("baseline", "incremental"):
@@ -403,6 +448,45 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
     )
     results["totals"] = totals
     return results
+
+
+def run_warm_store(names: List[str]) -> Dict:
+    """Cold vs warm sweep through a temporary persistent store.
+
+    Both passes use a fresh in-memory :class:`QueryCache`, so every warm
+    answer comes from disk — the warm pass is required to perform
+    **zero** DPLL(T) solves (the cross-run incrementality contract the
+    CI guard enforces).
+    """
+    import os
+    import tempfile
+
+    out: Dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "obligations.sqlite")
+        for side in ("cold", "warm"):
+            cache = QueryCache()
+            obligations = solves = store_hits = store_writes = 0
+            start = time.perf_counter()
+            for name in names:
+                spec = get(name)
+                config = spec_config(spec)
+                config.store = store_path
+                outcome = verify_target(spec.target(), config, cache=cache)
+                obligations += outcome.obligations_total
+                solves += outcome.solve_calls
+                store_hits += outcome.store["hits"]
+                store_writes += outcome.store["writes"]
+            out[side] = {
+                "obligations": obligations,
+                "solve_calls": solves,
+                "store_hits": store_hits,
+                "store_writes": store_writes,
+                "seconds": round(time.perf_counter() - start, 3),
+            }
+    cold_s, warm_s = out["cold"]["seconds"], out["warm"]["seconds"]
+    out["speedup"] = round(cold_s / warm_s, 1) if warm_s > 0 else None
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -594,6 +678,14 @@ def run_guard(reference_path: str, jobs: int) -> int:
                 failed = True
     else:
         print("bench-guard: no serial_reference section; exact serial check skipped")
+    warm_store = results.get("warm_store")
+    if warm_store is not None:
+        warm_solves = warm_store["warm"]["solve_calls"]
+        status = "OK" if warm_solves == 0 else "REGRESSION"
+        print(f"bench-guard: warm-store solve_calls: expected=0 "
+              f"current={warm_solves} [{status}]")
+        if warm_solves != 0:
+            failed = True
     if failed:
         print("bench-guard: FAILED (counters regressed beyond tolerance or "
               "serial backend diverged)", file=sys.stderr)
@@ -656,6 +748,24 @@ def render(results: Dict) -> str:
             f"{threaded['solve_calls']} solves in {threaded['seconds']}s "
             f"(serial {threaded['serial_seconds']}s, "
             f"{threaded['speedup_vs_serial']}x)"
+        )
+    process = results.get("process_jobs")
+    if process:
+        for jobs_key, row in process["by_jobs"].items():
+            identical = "identical counters" if row["identical_to_serial"] else "COUNTERS DIVERGED"
+            lines.append(
+                f"process unroll sweep (jobs={jobs_key}): {row['solve_calls']} solves "
+                f"in {row['seconds']}s (serial {process['serial_seconds']}s, "
+                f"{row['speedup_vs_serial']}x, {identical})"
+            )
+    warm_store = results.get("warm_store")
+    if warm_store:
+        cold, warm = warm_store["cold"], warm_store["warm"]
+        lines.append(
+            f"persistent store: cold {cold['seconds']}s ({cold['solve_calls']} solves, "
+            f"{cold['store_writes']} writes) -> warm {warm['seconds']}s "
+            f"({warm['solve_calls']} solves, {warm['store_hits']} store hits), "
+            f"{warm_store['speedup']}x"
         )
     micro = results.get("microbench")
     if micro:

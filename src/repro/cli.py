@@ -23,16 +23,24 @@ Commands
     memoization cache and one solver query cache (``Pipeline.run_many``).
 
 Solver flags (``verify`` and ``pipeline``): ``--jobs N`` discharges
-independent obligation units on ``N`` worker threads, ``--backend``
-pins a discharge backend (serial/threaded/oneshot) explicitly,
-``--no-incremental`` disables push/pop context reuse (one-shot solver
-per query), ``--fail-fast`` stops discharging at the first refutation,
+independent obligation units on ``N`` workers, ``--backend`` pins a
+discharge backend (serial/threaded/process/oneshot) explicitly — the
+``process`` backend solves units on worker processes for real multicore
+speedup with byte-identical results — ``--store PATH`` enables the
+persistent obligation store (``REPRO_STORE`` env sets a default), so
+verdicts are reused across runs by content id, ``--no-incremental``
+disables push/pop context reuse (one-shot solver per query),
+``--fail-fast`` stops discharging at the first refutation,
 ``--progress`` streams discharge events (units started/finished,
 obligations discharged/refuted) as they happen, ``--solver-stats``
 prints query/cache/solve-call counters after the verdict, and
 ``--profile`` additionally reports the inner-loop solver profile (SAT
 decisions/propagations/conflicts/restarts, simplex pivots,
 interned-node hits).
+``cache ACTION``
+    Inspect or maintain the persistent obligation store: ``stats``,
+    ``gc`` (``--max-age-days`` / ``--max-entries``), ``clear``,
+    ``path``.
 ``run FILE [--input name=value ...] [--seed N]``
     Execute the source program with real Laplace noise.
 ``table1``
@@ -55,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from fractions import Fraction
 
@@ -93,6 +102,7 @@ _VERIFICATION_FLAG_DEFAULTS = {
     "unroll": 32,
     "jobs": 1,
     "backend": None,
+    "store": None,
     "no_incremental": False,
     "fail_fast": False,
     "progress": False,
@@ -103,6 +113,16 @@ _VERIFICATION_FLAG_DEFAULTS = {
 
 def _flag_default(args, name: str):
     return getattr(args, name, _VERIFICATION_FLAG_DEFAULTS[name])
+
+
+def _store_from_args(args):
+    """The persistent-store path: ``--store`` wins, then ``REPRO_STORE``."""
+    from repro.verify.store import STORE_ENV_VAR
+
+    store = _flag_default(args, "store")
+    if store is None:
+        store = os.environ.get(STORE_ENV_VAR) or None
+    return store
 
 
 def _config_from_args(args) -> VerificationConfig:
@@ -116,6 +136,7 @@ def _config_from_args(args) -> VerificationConfig:
         backend=_flag_default(args, "backend"),
         fail_fast=_flag_default(args, "fail_fast"),
         profile=_flag_default(args, "profile"),
+        store=_store_from_args(args),
     )
 
 
@@ -168,6 +189,20 @@ def _print_solver_stats(stats, indent: str = "") -> None:
         f"backend={stats.get('backend', 'serial')} "
         f"({stats.get('units', 0)} units, jobs={stats['jobs']})"
     )
+    store = stats.get("store")
+    if store is not None:
+        print(
+            f"{indent}store: {store['hits']} hits, {store['misses']} misses, "
+            f"{store['writes']} writes, {store['invalid']} invalid "
+            f"({store.get('entries', 0)} entries on disk)"
+        )
+    workers = stats.get("workers")
+    if workers:
+        for pid, row in sorted(workers.items()):
+            print(
+                f"{indent}worker {pid}: {row['units']} units, "
+                f"{row['solve_calls']} solves, {row['cache_hits']} cache hits"
+            )
 
 
 def _print_profile(profile, indent: str = "") -> None:
@@ -334,6 +369,8 @@ def cmd_serve(args) -> int:
 
     from repro.serve.server import VerifyServer
 
+    from repro.verify.store import STORE_ENV_VAR
+
     try:
         server = VerifyServer(
             socket_path=args.socket,
@@ -342,6 +379,7 @@ def cmd_serve(args) -> int:
             max_concurrent=args.max_concurrent,
             request_timeout=args.request_timeout,
             warm=args.warm,
+            store=args.store or os.environ.get(STORE_ENV_VAR) or None,
             quiet=args.quiet,
         )
     except ValueError as err:
@@ -441,6 +479,13 @@ def _print_status(status) -> None:
         f"  stage memo: {memo['entries']} entries, "
         f"{sum(memo['hits'].values())} hits, {sum(memo['misses'].values())} misses"
     )
+    store = status.get("obligation_store")
+    if store is not None:
+        print(
+            f"  obligation store: {store['entries']} entries at {store['path']}, "
+            f"{store['hits']} hits, {store['misses']} misses, "
+            f"{store['writes']} writes"
+        )
 
 
 def cmd_client(args) -> int:
@@ -501,6 +546,49 @@ def cmd_client(args) -> int:
             return 2
 
 
+def cmd_cache(args) -> int:
+    from repro.verify.store import (
+        STORE_ENV_VAR,
+        ObligationStore,
+        default_store_path,
+    )
+
+    path = args.store or os.environ.get(STORE_ENV_VAR) or default_store_path()
+    if args.cache_action == "path":
+        print(path)
+        return 0
+    store = ObligationStore(path)
+    if args.cache_action == "stats":
+        stats = store.stats()
+        breakdown = store.breakdown()
+        if args.json:
+            stats["breakdown"] = breakdown
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"store: {stats['path']}")
+        print(
+            f"  {stats['entries']} entries ({breakdown['valid']} valid, "
+            f"{breakdown['refuted']} refuted), {stats['bytes']} bytes, "
+            f"schema v{stats['schema_version']}"
+        )
+        return 0
+    if args.cache_action == "gc":
+        if args.max_age_days is None and args.max_entries is None:
+            raise SystemExit(
+                "error: cache gc needs --max-age-days and/or --max-entries"
+            )
+        removed = store.gc(
+            max_age_days=args.max_age_days, max_entries=args.max_entries
+        )
+        print(f"removed {removed} entries ({store.entry_count()} remain)")
+        return 0
+    if args.cache_action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries")
+        return 0
+    raise SystemExit(f"error: unknown cache action {args.cache_action!r}")
+
+
 def _add_verification_flags(parser) -> None:
     defaults = _VERIFICATION_FLAG_DEFAULTS
     parser.add_argument(
@@ -519,10 +607,18 @@ def _add_verification_flags(parser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "threaded", "oneshot"),
+        choices=("serial", "threaded", "process", "oneshot"),
         default=defaults["backend"],
         help="pin the discharge backend explicitly (default: derived from "
-        "--jobs/--no-incremental; identical verdicts either way)",
+        "--jobs/--no-incremental; identical verdicts either way; 'process' "
+        "solves units on worker processes for real multicore speedup)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=defaults["store"],
+        help="persistent obligation store: verdicts keyed by content id are "
+        "reused across runs (default: REPRO_STORE env if set, else disabled)",
     )
     parser.add_argument(
         "--no-incremental",
@@ -619,6 +715,36 @@ def main(argv=None) -> int:
     p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p_t1.set_defaults(func=cmd_table1)
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent obligation store"
+    )
+    p_cache.add_argument(
+        "cache_action",
+        choices=("stats", "gc", "clear", "path"),
+        metavar="ACTION",
+        help="stats (entry counts + traffic), gc (drop stale entries), "
+        "clear (drop everything), path (print the resolved store path)",
+    )
+    p_cache.add_argument(
+        "--store",
+        metavar="PATH",
+        help="store path (default: REPRO_STORE env, else the user cache dir)",
+    )
+    p_cache.add_argument(
+        "--max-age-days",
+        type=float,
+        metavar="DAYS",
+        help="gc: drop entries not used within DAYS",
+    )
+    p_cache.add_argument(
+        "--max-entries",
+        type=int,
+        metavar="N",
+        help="gc: keep only the N most recently used entries",
+    )
+    p_cache.add_argument("--json", action="store_true", help="machine-readable output")
+    p_cache.set_defaults(func=cmd_cache)
+
     p_srv = sub.add_parser(
         "serve", help="run the long-lived verification service (warm caches)"
     )
@@ -645,6 +771,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="preload the registry sweep before accepting connections",
     )
+    p_srv.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent obligation store shared by all requests "
+        "(default: REPRO_STORE env if set, else disabled)",
+    )
     p_srv.add_argument("--quiet", action="store_true", help="suppress serve logging")
     p_srv.set_defaults(func=cmd_serve)
 
@@ -670,7 +802,7 @@ def main(argv=None) -> int:
     p_cl.add_argument("--assume", action="append", metavar="EXPR")
     p_cl.add_argument("--unroll", type=int, metavar="N")
     p_cl.add_argument("--jobs", type=int, metavar="N")
-    p_cl.add_argument("--backend", choices=("serial", "threaded", "oneshot"))
+    p_cl.add_argument("--backend", choices=("serial", "threaded", "process", "oneshot"))
     p_cl.add_argument("--fail-fast", action="store_true")
     p_cl.add_argument(
         "--progress", action="store_true", help="print streamed discharge events"

@@ -231,6 +231,10 @@ def _config_fingerprint(config: VerificationConfig) -> str:
             getattr(config.backend, "name", config.backend),
             config.fail_fast,
             config.profile,
+            # The persistent store changes what a run *does* (lookups,
+            # write-backs, reported StoreStats), so runs against
+            # different stores must not share a memo entry.
+            getattr(config.store, "path", config.store),
         )
     )
 

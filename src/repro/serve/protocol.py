@@ -207,7 +207,12 @@ def config_from_wire(
     else:
         assumptions = tuple(base.assumptions)
     backend = data.get("backend", base.backend)
-    if backend is not None and backend not in ("serial", "threaded", "oneshot"):
+    if backend is not None and backend not in (
+        "serial",
+        "threaded",
+        "process",
+        "oneshot",
+    ):
         raise ProtocolError(f"unknown backend {backend!r}")
     try:
         unroll_limit = int(data.get("unroll_limit", base.unroll_limit))

@@ -47,6 +47,7 @@ timeouts use the same cooperative cancellation seam.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import os
 import sys
 import threading
@@ -61,6 +62,7 @@ from repro.lang.parser import ParseError
 from repro.pipeline import Pipeline, PipelineRun, spec_config
 from repro.serve import protocol
 from repro.verify.discharge import DischargeCancelled
+from repro.verify.store import resolve_store
 from repro.verify.verifier import VerificationConfig
 
 #: Sentinel queued after the last event of a verify run.
@@ -86,6 +88,11 @@ class VerifyServer:
         Run the full registry sweep (every non-buggy algorithm in its
         Table-1 regime) through the pipeline before accepting
         connections, so the first client hits a hot cache.
+    store:
+        A persistent :class:`~repro.verify.store.ObligationStore` (or a
+        path to one) shared by every request that does not carry its
+        own: verdicts survive server restarts, and a freshly-started
+        server answers warm obligations from disk without solving.
     drain_grace:
         Seconds to wait for in-flight requests to unwind during
         shutdown before their connections are force-closed.
@@ -101,6 +108,7 @@ class VerifyServer:
         request_timeout: Optional[float] = None,
         warm: bool = False,
         warm_specs: Optional[List[str]] = None,
+        store: Optional[object] = None,
         drain_grace: float = 30.0,
         quiet: bool = False,
     ) -> None:
@@ -120,6 +128,8 @@ class VerifyServer:
 
         #: The warm state: one memoizing pipeline and its query cache.
         self.pipeline = Pipeline()
+        #: Shared on-disk verdict cache (None = per-request stores only).
+        self.store = resolve_store(store)
         self.counters: Dict[str, int] = {
             "received": 0,
             "completed": 0,
@@ -148,6 +158,12 @@ class VerifyServer:
 
     # -- lifecycle -------------------------------------------------------------
 
+    def _with_store(self, config: VerificationConfig) -> VerificationConfig:
+        """Attach the server's shared store to a config that has none."""
+        if self.store is None or config.store is not None:
+            return config
+        return dataclasses.replace(config, store=self.store)
+
     def warm_registry(self, names: Optional[List[str]] = None) -> List[str]:
         """Preload the stage memo and query cache with a registry sweep."""
         specs = (
@@ -156,7 +172,7 @@ class VerifyServer:
             else registry.all_specs(include_buggy=False)
         )
         for spec in specs:
-            self.pipeline.run(spec.source, config=spec_config(spec))
+            self.pipeline.run(spec.source, config=self._with_store(spec_config(spec)))
             self.warmed.append(spec.name)
         return self.warmed
 
@@ -364,8 +380,10 @@ class VerifyServer:
         cancel_event = threading.Event()
         try:
             source, base = self._resolve_request(message)
-            config = protocol.config_from_wire(
-                message.get("config"), base=base, cancel_event=cancel_event
+            config = self._with_store(
+                protocol.config_from_wire(
+                    message.get("config"), base=base, cancel_event=cancel_event
+                )
             )
             timeout = message.get("timeout", self.request_timeout)
             if timeout is not None:
@@ -476,6 +494,7 @@ class VerifyServer:
             "requests": {**self.counters, "active": len(self._active)},
             "query_cache": self.pipeline.query_cache.stats(),
             "stage_memo": self.pipeline.memo_stats(),
+            "obligation_store": self.store.stats() if self.store is not None else None,
             "registry": registry.names(include_buggy=True),
         }
         if rid is not None:

@@ -37,10 +37,12 @@ surface).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
 from threading import Lock
@@ -60,17 +62,31 @@ from repro.core import preconditions
 from repro.core.simplify import simplify
 from repro.lang import ast
 from repro.solver import formula as F
-from repro.solver.context import ContextStats, Model, QueryCache, SolverContext
+from repro.solver.context import (
+    CacheEntry,
+    ContextStats,
+    Model,
+    QueryCache,
+    SolverContext,
+    oracle_digest,
+)
 from repro.solver.encode import EncodeError, Encoder
 from repro.solver.interface import ValidityChecker
 from repro.solver.profile import SolverProfile
 from repro.verify import lemmas as lemma_mod
+from repro.verify.store import ObligationStore, premise_fingerprint
 from repro.verify.vcgen import Obligation
 
 #: Environment variable consulted when a configuration does not pin a
 #: backend: it overrides the default discharge parallelism (the CI
 #: ``verify-jobs-smoke`` leg runs the whole suite under ``2``).
 JOBS_ENV_VAR = "REPRO_VERIFY_JOBS"
+
+#: Environment variable naming the default backend when a configuration
+#: pins neither a backend nor a job count: the CI
+#: ``process-backend-smoke`` leg sets it to ``process`` to run the whole
+#: suite through worker processes.
+BACKEND_ENV_VAR = "REPRO_VERIFY_BACKEND"
 
 
 class DischargeCancelled(Exception):
@@ -342,6 +358,7 @@ class DischargeEngine:
         jobs: int = 1,
         backend: Optional[Union[str, "DischargeBackend"]] = None,
         cancel_event: Optional[threading.Event] = None,
+        store: Optional[ObligationStore] = None,
     ) -> None:
         self.psi = psi
         self.assumptions = [simplify(a) for a in assumptions]
@@ -351,6 +368,9 @@ class DischargeEngine:
         self.incremental = incremental
         self.jobs = max(1, jobs)
         self.backend_choice = backend
+        #: Persistent cross-run verdict cache (None = disabled).
+        self.store = store
+        self._store_fingerprint: Optional[str] = None
         #: When set, discharge stops at the next unit/chunk boundary by
         #: raising :class:`DischargeCancelled` (after emitting one
         #: ``early-exit`` event).  This is the cooperative cancellation
@@ -366,6 +386,18 @@ class DischargeEngine:
         #: engine ran (the one-shot path accumulates directly into
         #: ``self.validity.profile``).
         self.profile = SolverProfile()
+        #: Per-worker raw solve totals from the last process-backend
+        #: run (pid-keyed; schedule-dependent, unlike the merged view).
+        self.worker_report: Optional[Dict[str, Dict[str, int]]] = None
+
+    @property
+    def store_fingerprint(self) -> str:
+        """The premise/config fingerprint store entries are keyed under."""
+        if self._store_fingerprint is None:
+            self._store_fingerprint = premise_fingerprint(
+                self.psi, self.assumptions, self.use_lemmas
+            )
+        return self._store_fingerprint
 
     # -- cache plumbing --------------------------------------------------------
 
@@ -451,6 +483,7 @@ class DischargeEngine:
         on_failure: Optional[Callable[[Obligation], None]] = None,
         emit: EventSink = None,
         batch: bool = True,
+        oracle: Optional[Dict[str, CacheEntry]] = None,
     ) -> Tuple[ContextStats, SolverProfile]:
         """Discharge one unit under one pushed solver context.
 
@@ -458,13 +491,14 @@ class DischargeEngine:
         asserted once; members are then discharged conjoined (``batch``)
         or individually.  Returns the context's counters for the
         caller's deterministic merge — nothing is accumulated on shared
-        state from worker threads.
+        state from worker threads.  ``oracle`` pre-answers queries a
+        worker process already solved (the process backend's replay).
         """
         self.check_cancelled(unit, emit)
         if emit is not None:
             emit(UnitStarted(unit.uid, len(unit.members)))
         start = time.perf_counter()
-        context = SolverContext(cache=self.cache)
+        context = SolverContext(cache=self.cache, oracle=oracle)
         for premise in self.assumptions:
             context.assert_expr(premise)
         for premise in unit.base:
@@ -746,6 +780,226 @@ class ThreadedBackend(DischargeBackend):
         return accounts
 
 
+# -- process-backend worker plumbing ----------------------------------------
+#
+# Everything a worker needs must cross the pickle boundary: obligations,
+# premises and cache entries are frozen dataclasses over interned
+# expression nodes (all picklable), and the engine itself is rebuilt in
+# each worker from a small spec at pool start.
+
+
+@dataclass(frozen=True)
+class _EngineSpec:
+    """The picklable subset of engine configuration a worker rebuilds."""
+
+    psi: ast.Expr
+    assumptions: Tuple[ast.Expr, ...]
+    use_lemmas: bool
+    collect_models: bool
+    batch_limit: int
+
+
+class _RecordingCache:
+    """A :class:`QueryCache` shim that records every consulted answer.
+
+    Workers solve speculatively against their own per-process cache;
+    the recorded ``digest → entry`` map is the unit's *answer oracle*,
+    shipped back to the parent so its authoritative replay can skip the
+    redundant solves (see :class:`ProcessPoolBackend`).
+    """
+
+    def __init__(self, inner: QueryCache) -> None:
+        self.inner = inner
+        self.entries: Dict[str, CacheEntry] = {}
+
+    def acquire(self, key) -> Optional[CacheEntry]:
+        entry = self.inner.acquire(key)
+        if entry is not None:
+            self.entries[oracle_digest(key)] = entry
+        return entry
+
+    def store(self, key, entry: CacheEntry) -> None:
+        self.entries[oracle_digest(key)] = entry
+        self.inner.store(key, entry)
+
+    def cancel(self, key) -> None:
+        self.inner.cancel(key)
+
+
+_WORKER_ENGINE: Optional[DischargeEngine] = None
+
+
+def _process_worker_init(spec: _EngineSpec) -> None:
+    global _WORKER_ENGINE
+    engine = DischargeEngine(
+        spec.psi,
+        list(spec.assumptions),
+        use_lemmas=spec.use_lemmas,
+        collect_models=spec.collect_models,
+    )
+    engine.batch_limit = spec.batch_limit
+    _WORKER_ENGINE = engine
+
+
+def _process_worker_discharge(
+    unit: DischargeUnit, batch: bool
+) -> Tuple[int, int, ContextStats, SolverProfile, Dict[str, CacheEntry]]:
+    """Solve one unit in a worker; return its stats and answer oracle."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process worker used before initialization")
+    recorder = _RecordingCache(engine.cache)
+    engine.attach_cache(recorder)  # type: ignore[arg-type]
+    try:
+        stats, profile = engine.discharge_unit(unit, {}, batch=batch)
+    finally:
+        engine.attach_cache(recorder.inner)
+    return unit.index, os.getpid(), stats, profile, recorder.entries
+
+
+def _process_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap: interned tables come along); the
+    platform default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class ProcessPoolBackend(DischargeBackend):
+    """Discharge units on worker *processes* — real multicore solving.
+
+    Each worker owns a full Encoder/SMTSolver/QueryCache stack and
+    solves whole units speculatively, recording every answer it
+    consulted.  The parent then **replays** each unit, in plan order,
+    through the ordinary serial discharge path against the shared query
+    cache — with the worker's answer map as a solve *oracle*: a shared
+    cache miss whose answer the oracle holds is accounted exactly like
+    a serial solve and never touches the parent's DPLL(T) core.  The
+    replay therefore reproduces the serial backend's exact hit/miss/
+    solve sequence: verdicts, obligation ids, failure lists, the event
+    stream and the merged counters are byte-identical to
+    :class:`SerialBackend` for every job count, while the expensive
+    solving runs concurrently in the workers.  (An oracle miss — a
+    replay query no worker happened to solve — simply falls through to
+    a real parent-side solve, trading a little speed for none of the
+    determinism.)
+
+    Fail-fast inherits the same determinism: replays run in plan
+    order, so the run stops at exactly the unit the serial backend
+    stops at, with the same failures and counters.  Only the stream
+    *generation* extent can run ahead of serial there — workers solve
+    speculatively, so obligations may be produced (never discharged)
+    past the refuting unit.
+
+    Raw per-worker solve totals (schedule-dependent, unlike the merged
+    view) are published on ``engine.worker_report``.
+
+    Houdini-style pruning (``skip``) consults a live closure per
+    obligation, which cannot cross the process boundary — those runs
+    delegate to :class:`SerialBackend`.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, jobs)
+
+    def run(self, engine, units, results, skip=None, on_failure=None,
+            emit=None, batch=True, fail_fast=False):
+        if skip is not None:
+            return SerialBackend().run(
+                engine, units, results, skip=skip, on_failure=on_failure,
+                emit=emit, batch=batch, fail_fast=fail_fast,
+            )
+        spec = _EngineSpec(
+            engine.psi,
+            tuple(engine.assumptions),
+            engine.use_lemmas,
+            engine.collect_models,
+            engine.batch_limit,
+        )
+        accounts: List[Tuple[int, Tuple[ContextStats, SolverProfile]]] = []
+        per_worker: Dict[str, Dict[str, int]] = {}
+        pending: "deque[Tuple[DischargeUnit, object]]" = deque()
+        failed_uid: Optional[str] = None
+
+        def replay_one() -> None:
+            nonlocal failed_uid
+            unit, future = pending.popleft()
+            _, pid, w_stats, w_profile, oracle = future.result()
+            bucket = per_worker.setdefault(
+                f"pid{pid}",
+                {"units": 0, "queries": 0, "cache_hits": 0, "solve_calls": 0},
+            )
+            bucket["units"] += 1
+            bucket["queries"] += w_stats.queries
+            bucket["cache_hits"] += w_stats.cache_hits
+            bucket["solve_calls"] += w_stats.solve_calls
+            stats, profile = engine.discharge_unit(
+                unit, results, None, on_failure, emit, batch, oracle=oracle
+            )
+            # The replay's counters are the canonical (serial-identical)
+            # account; the worker's inner-loop profile is where the
+            # pivots actually happened, so fold it in for honest
+            # --profile totals.
+            profile.merge(w_profile)
+            accounts.append((unit.index, (stats, profile)))
+            if fail_fast and results and failed_uid is None:
+                failed_uid = unit.uid
+
+        units = iter(units)
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=_process_context(),
+            initializer=_process_worker_init,
+            initargs=(spec,),
+        ) as pool:
+            try:
+                # Replays run strictly in plan order, so the first unit
+                # whose replay records a refutation is the same unit the
+                # serial backend would have stopped at — fail-fast is as
+                # deterministic as everything else, however the workers
+                # were actually scheduled.
+                while failed_uid is None:
+                    unit = next(units, None)
+                    if unit is None:
+                        break
+                    engine.check_cancelled(unit, emit)
+                    pending.append((unit, pool.submit(_process_worker_discharge, unit, batch)))
+                    # Opportunistic in-order replay keeps the parent's
+                    # shared cache warm while the stream is still
+                    # producing (and surfaces fail-fast refutations as
+                    # early as the serial backend would).
+                    while pending and pending[0][1].done() and failed_uid is None:
+                        replay_one()
+                while pending and failed_uid is None:
+                    replay_one()
+                if failed_uid is not None and (pending or next(units, None) is not None):
+                    # Mirror SerialBackend: only an early exit if work
+                    # actually remained past the refuted unit.  Units
+                    # already speculatively solved in the workers are
+                    # simply discarded unreplayed.
+                    engine.early_exited = True
+                    if emit is not None:
+                        emit(EarlyExit(failed_uid, "first refutation (fail-fast)"))
+                for _, future in pending:
+                    future.cancel()
+                pending.clear()
+            except BaseException:
+                # Mirror ThreadedBackend: a worker raised or the main
+                # thread was interrupted mid-collection.  Queued-but-
+                # unstarted units are dropped here — without this, pool
+                # shutdown would run the whole remaining plan before
+                # the exception could propagate.
+                for _, future in pending:
+                    future.cancel()
+                engine.early_exited = True
+                raise
+        engine.worker_report = {pid: dict(row) for pid, row in sorted(per_worker.items())}
+        return accounts
+
+
 class OneShotBackend(DischargeBackend):
     """A fresh solver per query, per obligation, in stream order.
 
@@ -824,8 +1078,10 @@ def resolve_backend(
     otherwise the legacy knobs decide: ``incremental=False`` → one-shot,
     ``jobs > 1`` → threaded, else serial.  When no choice is pinned the
     ``REPRO_VERIFY_JOBS`` environment variable can raise the default
-    parallelism (that is how the CI jobs-smoke leg runs the whole test
-    suite threaded).  ``cache`` wraps the result in a
+    parallelism and ``REPRO_VERIFY_BACKEND`` can name a different
+    default backend (that is how the CI jobs-smoke and
+    process-backend-smoke legs run the whole test suite through the
+    threaded and process backends).  ``cache`` wraps the result in a
     :class:`CachedBackend`.
     """
     backend: DischargeBackend
@@ -834,22 +1090,29 @@ def resolve_backend(
     else:
         name = choice
         if name is None:
+            unpinned = incremental and jobs == 1
             env = os.environ.get(JOBS_ENV_VAR)
-            if env and incremental and jobs == 1:
+            if env and unpinned:
                 try:
                     jobs = max(1, int(env))
                 except ValueError:
                     pass
             name = "oneshot" if not incremental else ("threaded" if jobs > 1 else "serial")
+            env_backend = os.environ.get(BACKEND_ENV_VAR)
+            if env_backend and unpinned:
+                name = env_backend
         if name == "serial":
             backend = SerialBackend()
         elif name == "threaded":
             backend = ThreadedBackend(jobs=max(2, jobs) if jobs > 1 else jobs)
+        elif name == "process":
+            backend = ProcessPoolBackend(jobs=max(2, jobs) if jobs > 1 else jobs)
         elif name == "oneshot":
             backend = OneShotBackend()
         else:
             raise ValueError(
-                f"unknown discharge backend {name!r}; expected serial, threaded or oneshot"
+                f"unknown discharge backend {name!r};"
+                " expected serial, threaded, process or oneshot"
             )
     if cache is not None:
         backend = CachedBackend(backend, cache)

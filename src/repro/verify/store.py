@@ -1,0 +1,425 @@
+"""The persistent obligation store: cross-run incremental verification.
+
+Every :class:`~repro.verify.vcgen.Obligation` carries a stable,
+content-derived ``.oid`` — the same proof obligation hashes to the same
+id across runs, processes and machines.  This module keys verdicts by
+``(oid, fingerprint)`` in a small sqlite database, where the
+*fingerprint* digests everything that could change a verdict without
+changing the obligation itself: the bound precondition Ψ, the global
+assumptions and the lemma policy.  Edit one line of a program and a
+rerun re-proves only the obligations whose content actually changed;
+everything else is answered from disk without a single solve.
+
+Design rules (see ``docs/cache.md`` for the on-disk format spec):
+
+* **Versioned schema** — ``PRAGMA user_version`` records the layout; a
+  mismatch (older or newer writer) drops the table and starts clean
+  rather than guessing at field meanings.
+* **Atomic writes** — verdicts for a run are inserted in one
+  transaction; readers never observe a half-written batch.
+* **Corruption is a miss, never a crash** — an unreadable database file
+  is recreated, an undecodable row is deleted and treated as a miss,
+  both under the ``invalid`` counter so the degradation is observable.
+* **Auditable records** — each row stores the verdict *and* its
+  provenance (tag, CFG region, countermodel, timestamps), so a cached
+  refutation can be replayed and inspected, not just trusted.
+
+The store is consulted *before* any unit is planned (hits never reach
+the solver) and written *after* a clean, complete run (early-exited or
+cancelled runs record nothing — a partially-discharged unit must not
+masquerade as a verdict).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.lang import ast
+
+#: Environment variable naming a store path; the CLI consults it when
+#: ``--store`` is not given, so ``REPRO_STORE=~/.cache/... repro verify``
+#: enables cross-run caching without touching the command line.
+STORE_ENV_VAR = "REPRO_STORE"
+
+#: On-disk layout version, recorded in ``PRAGMA user_version``.  Bump on
+#: any change to the table shape or the meaning of stored fields; a
+#: mismatched database is cleared, never reinterpreted.
+SCHEMA_VERSION = 1
+
+_TABLE = """
+CREATE TABLE IF NOT EXISTS obligations (
+    oid        TEXT NOT NULL,
+    fp         TEXT NOT NULL,
+    valid      INTEGER NOT NULL,
+    status     TEXT NOT NULL,
+    model      TEXT,
+    tag        TEXT NOT NULL DEFAULT '',
+    region     TEXT NOT NULL DEFAULT '',
+    created    REAL NOT NULL,
+    last_used  REAL NOT NULL,
+    PRIMARY KEY (oid, fp)
+)
+"""
+
+
+def default_store_path() -> str:
+    """``$XDG_CACHE_HOME/repro/obligations.sqlite`` (or ``~/.cache/…``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "obligations.sqlite")
+
+
+def premise_fingerprint(
+    psi: ast.Expr, assumptions: Sequence[ast.Expr], use_lemmas: bool
+) -> str:
+    """Digest the verdict-relevant context an oid does not capture.
+
+    Two runs share store entries exactly when their obligations would be
+    discharged under the same premise regime: same bound precondition,
+    same global assumptions (order-insensitive), same lemma policy.
+    """
+    payload = repr(
+        (
+            SCHEMA_VERSION,
+            psi,
+            tuple(sorted(repr(a) for a in assumptions)),
+            bool(use_lemmas),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class StoredVerdict:
+    """One persisted obligation verdict, decoded and type-checked."""
+
+    valid: bool
+    status: str
+    arith_model: Optional[Dict[str, Fraction]] = None
+    bool_model: Optional[Dict[str, bool]] = None
+
+
+@dataclass
+class StoreStats:
+    """Store traffic counters for one consumer's accounting window."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    invalid: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }
+
+
+def _encode_model(verdict_model: Optional[Tuple[Dict, Dict]]) -> Optional[str]:
+    if verdict_model is None:
+        return None
+    arith, booleans = verdict_model
+    return json.dumps(
+        {
+            "arith": {name: str(value) for name, value in sorted(arith.items())},
+            "bool": {name: bool(value) for name, value in sorted(booleans.items())},
+        },
+        sort_keys=True,
+    )
+
+
+def _decode_model(
+    text: Optional[str],
+) -> Tuple[Optional[Dict[str, Fraction]], Optional[Dict[str, bool]]]:
+    if text is None:
+        return None, None
+    payload = json.loads(text)
+    arith = {str(k): Fraction(v) for k, v in payload["arith"].items()}
+    booleans = {str(k): bool(v) for k, v in payload["bool"].items()}
+    return arith, booleans
+
+
+class ObligationStore:
+    """A thread-safe on-disk verdict cache keyed by ``(oid, fingerprint)``.
+
+    One instance owns one sqlite connection (serialized by a lock, so a
+    long-lived ``repro serve`` can share the store across request
+    threads).  All failure modes degrade to a miss: a corrupt database
+    file is recreated, a mismatched schema version is cleared, and an
+    undecodable row is deleted — each tallied in :attr:`counters`.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = os.path.expanduser(path) if path else default_store_path()
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self.counters = StoreStats()
+
+    # -- connection management -------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open (or recover) the database; callers hold ``self._lock``."""
+        if self._conn is not None:
+            return self._conn
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        try:
+            conn = self._open()
+        except sqlite3.DatabaseError:
+            # The file exists but is not a database we can read (torn
+            # write, truncation, a stray file at the store path).  The
+            # store is a cache: recreate rather than fail the run.
+            self.counters.invalid += 1
+            try:
+                os.remove(self.path)
+            except OSError:
+                pass
+            conn = self._open()
+        self._conn = conn
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=10.0, check_same_thread=False)
+        try:
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version != SCHEMA_VERSION:
+                # Older or newer layout: clear rather than reinterpret.
+                if version != 0:
+                    self.counters.invalid += 1
+                conn.execute("DROP TABLE IF EXISTS obligations")
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION:d}")
+            conn.execute(_TABLE)
+            conn.execute("PRAGMA synchronous = NORMAL")
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, oid: str, fingerprint: str) -> Optional[StoredVerdict]:
+        """The persisted verdict for ``(oid, fingerprint)``, or None.
+
+        Every decode failure deletes the offending row and reports a
+        miss — a damaged entry costs one re-solve, never a crash.
+        """
+        with self._lock:
+            try:
+                conn = self._connect()
+                row = conn.execute(
+                    "SELECT valid, status, model FROM obligations"
+                    " WHERE oid = ? AND fp = ?",
+                    (oid, fingerprint),
+                ).fetchone()
+            except sqlite3.DatabaseError:
+                self.counters.invalid += 1
+                self.counters.misses += 1
+                self._reset_connection()
+                return None
+            if row is None:
+                self.counters.misses += 1
+                return None
+            try:
+                valid = bool(row[0])
+                status = str(row[1])
+                if status not in ("unsat", "sat", "unknown"):
+                    raise ValueError(f"bad status {status!r}")
+                arith, booleans = _decode_model(row[2])
+                if valid and status != "unsat":
+                    raise ValueError("valid verdict with non-unsat status")
+            except (ValueError, KeyError, TypeError, ZeroDivisionError,
+                    json.JSONDecodeError):
+                self.counters.invalid += 1
+                self.counters.misses += 1
+                try:
+                    conn.execute(
+                        "DELETE FROM obligations WHERE oid = ? AND fp = ?",
+                        (oid, fingerprint),
+                    )
+                    conn.commit()
+                except sqlite3.DatabaseError:
+                    self._reset_connection()
+                return None
+            self.counters.hits += 1
+            try:
+                conn.execute(
+                    "UPDATE obligations SET last_used = ? WHERE oid = ? AND fp = ?",
+                    (time.time(), oid, fingerprint),
+                )
+                conn.commit()
+            except sqlite3.DatabaseError:
+                self._reset_connection()
+            return StoredVerdict(valid, status, arith, booleans)
+
+    def _reset_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    # -- writes ----------------------------------------------------------------
+
+    def record_many(
+        self,
+        fingerprint: str,
+        entries: Iterable[Tuple[str, str, str, bool, str, Optional[Tuple[Dict, Dict]]]],
+    ) -> int:
+        """Persist ``(oid, tag, region, valid, status, model)`` verdicts.
+
+        One transaction for the whole batch — readers see all of a
+        run's verdicts or none of them.  Returns the rows written.
+        """
+        now = time.time()
+        rows = [
+            (oid, fingerprint, int(valid), status, _encode_model(model),
+             tag, region, now, now)
+            for oid, tag, region, valid, status, model in entries
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            try:
+                conn = self._connect()
+                conn.executemany(
+                    "INSERT OR REPLACE INTO obligations"
+                    " (oid, fp, valid, status, model, tag, region, created, last_used)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                conn.commit()
+            except sqlite3.DatabaseError:
+                self.counters.invalid += 1
+                self._reset_connection()
+                return 0
+        self.counters.writes += len(rows)
+        return len(rows)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def entry_count(self) -> int:
+        with self._lock:
+            try:
+                conn = self._connect()
+                return conn.execute("SELECT COUNT(*) FROM obligations").fetchone()[0]
+            except sqlite3.DatabaseError:
+                self._reset_connection()
+                return 0
+
+    def gc(
+        self,
+        max_age_days: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Drop stale entries; returns how many were removed.
+
+        ``max_age_days`` removes entries not used since the cutoff;
+        ``max_entries`` then keeps only the most recently used N.
+        """
+        removed = 0
+        with self._lock:
+            try:
+                conn = self._connect()
+                if max_age_days is not None:
+                    cutoff = time.time() - max_age_days * 86400.0
+                    cursor = conn.execute(
+                        "DELETE FROM obligations WHERE last_used < ?", (cutoff,)
+                    )
+                    removed += cursor.rowcount
+                if max_entries is not None:
+                    cursor = conn.execute(
+                        "DELETE FROM obligations WHERE rowid NOT IN ("
+                        " SELECT rowid FROM obligations"
+                        " ORDER BY last_used DESC, rowid DESC LIMIT ?)",
+                        (max(0, int(max_entries)),),
+                    )
+                    removed += cursor.rowcount
+                conn.commit()
+                conn.execute("VACUUM")
+            except sqlite3.DatabaseError:
+                self._reset_connection()
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many there were."""
+        with self._lock:
+            try:
+                conn = self._connect()
+                count = conn.execute("SELECT COUNT(*) FROM obligations").fetchone()[0]
+                conn.execute("DELETE FROM obligations")
+                conn.commit()
+                conn.execute("VACUUM")
+                return count
+            except sqlite3.DatabaseError:
+                self._reset_connection()
+                return 0
+
+    # -- reporting -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """The traffic counters as a plain dict (see :class:`StoreStats`)."""
+        return self.counters.to_dict()
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        after = self.snapshot()
+        return {key: after[key] - before.get(key, 0) for key in after}
+
+    def stats(self) -> Dict[str, object]:
+        """Traffic counters plus database facts, for status endpoints."""
+        out: Dict[str, object] = dict(self.snapshot())
+        out["path"] = self.path
+        out["schema_version"] = SCHEMA_VERSION
+        out["entries"] = self.entry_count()
+        try:
+            out["bytes"] = os.path.getsize(self.path)
+        except OSError:
+            out["bytes"] = 0
+        return out
+
+    def breakdown(self) -> Dict[str, int]:
+        """Entry counts by verdict, for ``repro cache stats``."""
+        with self._lock:
+            try:
+                conn = self._connect()
+                rows = conn.execute(
+                    "SELECT valid, COUNT(*) FROM obligations GROUP BY valid"
+                ).fetchall()
+            except sqlite3.DatabaseError:
+                self._reset_connection()
+                return {"valid": 0, "refuted": 0}
+        out = {"valid": 0, "refuted": 0}
+        for flag, count in rows:
+            out["valid" if flag else "refuted"] = count
+        return out
+
+
+def resolve_store(value: object) -> Optional[ObligationStore]:
+    """An :class:`ObligationStore` from a config value.
+
+    None stays None (store disabled — the library default); an existing
+    instance passes through (the server's shared store); anything else
+    is a path.
+    """
+    if value is None:
+        return None
+    if isinstance(value, ObligationStore):
+        return value
+    return ObligationStore(str(value))

@@ -56,13 +56,22 @@ from repro.verify.discharge import (
     DischargeBackend,
     DischargeEngine,
     DischargePlan,
+    DischargeUnit,
+    EarlyExit,
     EventSink,
+    ObligationDischarged,
     ObligationFailure,
+    ObligationRefuted,
     _LockedSink,
     effective_jobs,
     resolve_backend,
 )
+from repro.verify.store import ObligationStore, resolve_store
 from repro.verify.vcgen import Obligation, VCGenerator
+
+#: The pseudo-unit id store-served verdicts are reported under in the
+#: event stream (they never reach a real discharge unit).
+STORE_UNIT = "store"
 
 
 @dataclass
@@ -108,6 +117,14 @@ class VerificationConfig:
     #: timeouts and drain in ``repro serve``).  Not part of the memo
     #: fingerprint — cancelling one request must not fork the cache.
     cancel_event: Optional[threading.Event] = None
+    #: Persistent cross-run obligation store: a path (str), a ready
+    #: :class:`~repro.verify.store.ObligationStore` instance (the
+    #: server's shared store), or None (disabled — the default).
+    #: Verdicts are consulted by ``(oid, premise fingerprint)`` before
+    #: any solve and recorded after clean complete runs; see
+    #: ``docs/cache.md``.  *Is* part of the memo fingerprint — runs with
+    #: different stores must not share one memo entry.
+    store: Optional[Union[str, ObligationStore]] = None
 
 
 @dataclass
@@ -145,6 +162,13 @@ class VerificationOutcome:
     #: (and the determinism property compares) without re-walking the
     #: program.  None on legacy construction paths.
     oids: Optional[List[str]] = None
+    #: Persistent-store traffic for this run (hits/misses/writes/invalid
+    #: plus the entry count), when a store was configured.
+    store: Optional[Dict[str, int]] = None
+    #: Raw per-worker solve totals from a process-backend run.  These
+    #: are schedule-dependent by nature; the merged counters above are
+    #: the schedule-invariant view.
+    workers: Optional[Dict[str, Dict[str, int]]] = None
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
@@ -169,6 +193,10 @@ class VerificationOutcome:
         }
         if self.profile is not None:
             stats["profile"] = dict(self.profile)
+        if self.store is not None:
+            stats["store"] = dict(self.store)
+        if self.workers is not None:
+            stats["workers"] = {pid: dict(row) for pid, row in self.workers.items()}
         return stats
 
 
@@ -266,6 +294,14 @@ class ObligationChecker(DischargeEngine):
         conjoined unit discharge.  ``emit`` receives the typed
         :class:`DischargeEvent` stream; ``fail_fast`` stops scheduling
         units after the first refutation.
+
+        With a persistent store configured (and no Houdini-style
+        callbacks, whose verdicts are about *candidates*, not the
+        program), each streamed obligation is first looked up by
+        ``(oid, fingerprint)``: hits are reported under the pseudo-unit
+        ``"store"`` without ever reaching the plan, misses flow into
+        discharge as usual, and a clean complete run writes its fresh
+        verdicts back in one transaction.
         """
         backend = resolve_backend(self.incremental, self.jobs, self.backend_choice)
         if (
@@ -277,7 +313,19 @@ class ObligationChecker(DischargeEngine):
             # through one serialized writer; single-threaded backends
             # skip the lock.
             emit = _LockedSink(emit)
+        store = self.store if (skip is None and on_failure is None) else None
+        #: store-refuted obligations, keyed by original stream index.
+        store_failures: Dict[int, ObligationFailure] = {}
+        #: filtered position → original stream index, for re-keying.
+        kept: List[int] = []
+        units_seen: List[DischargeUnit] = []
+        if store is not None:
+            obligations = self._store_filter(
+                obligations, store, store_failures, kept, emit, fail_fast
+            )
         units = DischargePlan.stream_units(obligations, emit=emit)
+        if store is not None:
+            units = _remember_units(units, units_seen)
         results: Dict[int, ObligationFailure] = {}
         accounts = backend.run(
             self,
@@ -291,7 +339,104 @@ class ObligationChecker(DischargeEngine):
         )
         self.units_run += len(accounts)
         self.merge_accounts(accounts)
+        if store is not None:
+            self._store_writeback(store, units_seen, accounts, results)
+            # Solved obligations were renumbered by the filter; restore
+            # original stream indices and fold in the store verdicts so
+            # failure order matches the unfiltered stream.
+            results = {kept[index]: failure for index, failure in results.items()}
+            results.update(store_failures)
         return [results[index] for index in sorted(results)]
+
+    def _store_filter(
+        self,
+        obligations,
+        store: ObligationStore,
+        store_failures: Dict[int, ObligationFailure],
+        kept: List[int],
+        emit: EventSink,
+        fail_fast: bool,
+    ):
+        """Yield only store-missed obligations, reporting hits inline."""
+        fingerprint = self.store_fingerprint
+        stream = iter(obligations)
+        index = -1
+        while True:
+            obligation = next(stream, None)
+            if obligation is None:
+                return
+            index += 1
+            verdict = store.lookup(obligation.oid, fingerprint)
+            if verdict is None:
+                kept.append(index)
+                yield obligation
+                continue
+            if verdict.valid:
+                if emit is not None:
+                    emit(
+                        ObligationDischarged(
+                            STORE_UNIT, obligation.oid, obligation.tag, cached=True
+                        )
+                    )
+                continue
+            model = None
+            if verdict.arith_model is not None or verdict.bool_model is not None:
+                model = (verdict.arith_model or {}, verdict.bool_model or {})
+            failure = self._failure(obligation, False, model)
+            store_failures[index] = failure
+            if emit is not None:
+                emit(
+                    ObligationRefuted(
+                        STORE_UNIT, obligation.oid, obligation.tag, failure.describe()
+                    )
+                )
+            if fail_fast:
+                # Stop the stream before the executor produces more
+                # work — but only call it an early exit if any remained.
+                if kept or next(stream, None) is not None:
+                    self.early_exited = True
+                    if emit is not None:
+                        emit(EarlyExit(STORE_UNIT, "first refutation (fail-fast)"))
+                return
+
+    def _store_writeback(
+        self,
+        store: ObligationStore,
+        units_seen: List[DischargeUnit],
+        accounts,
+        results: Dict[int, ObligationFailure],
+    ) -> None:
+        """Persist fresh verdicts from fully-discharged units.
+
+        Skipped entirely after an early exit (fail-fast or
+        cancellation): a unit the run abandoned mid-way has members
+        without verdicts, and recording them would turn "not checked"
+        into "valid" on the next run.
+        """
+        if self.early_exited:
+            return
+        completed = {index for index, _ in accounts}
+        rows = []
+        for unit in units_seen:
+            if unit.index not in completed:
+                continue
+            region = unit.region
+            for member_index, obligation, _ in unit.members:
+                failure = results.get(member_index)
+                if failure is None:
+                    rows.append(
+                        (obligation.oid, obligation.tag, region, True, "unsat", None)
+                    )
+                else:
+                    model = None
+                    status = "unknown"
+                    if failure.arith_model is not None or failure.bool_model is not None:
+                        model = (failure.arith_model or {}, failure.bool_model or {})
+                        status = "sat"
+                    rows.append(
+                        (obligation.oid, obligation.tag, region, False, status, model)
+                    )
+        store.record_many(self.store_fingerprint, rows)
 
     def check_all(
         self,
@@ -320,6 +465,13 @@ class ObligationChecker(DischargeEngine):
         """The discharge worker count actually used (env overrides and
         explicit backend instances included), for honest accounting."""
         return effective_jobs(self.effective_backend)
+
+
+def _remember_units(units, seen: List[DischargeUnit]):
+    """Tee the streamed units into ``seen`` (for store write-back)."""
+    for unit in units:
+        seen.append(unit)
+        yield unit
 
 
 # ---------------------------------------------------------------------------
@@ -356,6 +508,7 @@ def prepare_generator(
         jobs=config.jobs,
         backend=config.backend,
         cancel_event=config.cancel_event,
+        store=resolve_store(config.store),
     )
     return generator, checker
 
@@ -412,11 +565,18 @@ def verify_target(
         checker.backend_choice = resolve_backend(
             checker.incremental, checker.jobs, checker.backend_choice, cache=cache
         )
+    store_before = checker.store.snapshot() if checker.store is not None else None
     stream = generator.stream(target_cfg(target, config))
     failures = checker.discharge_stream(
         stream, emit=on_event, fail_fast=config.fail_fast
     )
     stats = checker.solver_stats()
+    store_stats: Optional[Dict[str, int]] = None
+    if checker.store is not None:
+        # Delta, not cumulative: the server shares one store across
+        # requests and each outcome reports its own traffic.
+        store_stats = checker.store.delta_since(store_before)
+        store_stats["entries"] = checker.store.entry_count()
 
     profile_dict: Optional[Dict[str, int]] = None
     if config.profile:
@@ -442,6 +602,8 @@ def verify_target(
         early_exit=checker.early_exited,
         profile=profile_dict,
         oids=[ob.oid for ob in generator.obligations],
+        store=store_stats,
+        workers=checker.worker_report,
     )
 
 

@@ -106,6 +106,8 @@ def test_config_from_wire_rationals_and_assumptions():
     assert config.jobs == 4
     assert config.backend == "threaded"
     assert config.fail_fast is True
+    # The process backend is first-class on the wire too.
+    assert protocol.config_from_wire({"backend": "process"}).backend == "process"
 
 
 def test_config_from_wire_merges_over_base():

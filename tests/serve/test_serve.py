@@ -388,6 +388,45 @@ class TestWarmStart:
             assert after["misses"] == before["misses"]  # zero new solves
 
 
+class TestObligationStore:
+    def test_status_reports_no_store_by_default(self, server):
+        _, sock = server
+        with _connect(sock) as client:
+            assert client.status()["obligation_store"] is None
+
+    def test_shared_store_serves_repeat_work_without_solving(self, tmp_path):
+        """One store behind every request: a config variation that forks
+        the stage memo (fail_fast) is still answered from disk."""
+        sock = str(tmp_path / "store.sock")
+        store_path = str(tmp_path / "store.sqlite")
+        with ServerThread(socket_path=sock, store=store_path) as st:
+            with _connect(sock) as client:
+                cold = client.verify(spec="svt")
+                status = client.status()
+                warm = client.verify(spec="svt", config={"fail_fast": True})
+        total = cold["outcome"]["obligations_total"]
+        assert cold["cached"] is False
+        assert cold["outcome"]["counters"]["store"]["writes"] == total
+        block = status["obligation_store"]
+        assert block is not None
+        assert block["path"] == store_path
+        assert block["entries"] == total
+        assert block["writes"] == total
+        # The fail_fast variation missed the memo but hit the store for
+        # every obligation: no solver work at all.
+        assert warm["cached"] is False
+        assert warm["outcome"]["counters"]["store"]["hits"] == total
+        assert warm["outcome"]["counters"]["solve_calls"] == 0
+        assert warm["outcome"]["verified"] is True
+        assert st.server.store.counters.hits == total
+
+    def test_wire_config_cannot_redirect_the_store(self):
+        """The store is server-side state, not a request knob."""
+        assert "store" not in protocol.CONFIG_KEYS
+        with pytest.raises(protocol.ProtocolError):
+            protocol.config_from_wire({"store": "/tmp/evil.sqlite"})
+
+
 # ---------------------------------------------------------------------------
 # Timeouts, drain and lifecycle
 # ---------------------------------------------------------------------------

@@ -132,6 +132,93 @@ class TestCancelEvent:
         assert outcome.verified is True
 
 
+class TestProcessBackendCancellation:
+    def test_cancel_mid_replay_drops_pending_workers(self):
+        """Cancel a ProcessPoolBackend run midway through its replay.
+
+        The parent's in-order replay re-checks the cancel event at every
+        unit; observing it must cancel the not-yet-replayed worker
+        futures, emit exactly one early-exit event, and leave the shared
+        query cache fully serviceable.
+        """
+        target, config = _svt()
+        plan = DischargePlan.from_obligations(iter_obligations(target, config))
+        assert len(plan.units) > 2
+
+        cache = QueryCache()
+        cancel = threading.Event()
+        events = []
+
+        def sink(event):
+            events.append(event)
+            discharged = sum(1 for e in events if isinstance(e, ObligationDischarged))
+            if discharged >= 3:
+                cancel.set()
+
+        with pytest.raises(DischargeCancelled):
+            verify_target(
+                target,
+                _config(config, cancel_event=cancel, backend="process", jobs=2),
+                cache=cache,
+                on_event=sink,
+            )
+
+        assert cache.stats()["pending"] == 0
+        exits = [e for e in events if isinstance(e, EarlyExit)]
+        assert len(exits) == 1
+        assert exits[0].reason == "cancelled"
+        verdicts = sum(1 for e in events if isinstance(e, ObligationDischarged))
+        assert verdicts < len(plan.obligations)
+
+        outcome = verify_target(target, config, cache=cache)
+        assert outcome.verified is True
+        assert cache.stats()["pending"] == 0
+
+    def test_worker_interrupt_drops_queued_units(self, monkeypatch, tmp_path):
+        """KeyboardInterrupt in a worker process must not run the rest
+        of the plan.
+
+        Mirrors the ThreadedBackend regression: without the
+        BaseException handler cancelling pending futures, pool shutdown
+        would feed every queued unit to the workers before the
+        exception could propagate.  Workers are forked after the patch,
+        so they inherit the exploding discharge; each records its unit
+        in a file the parent can read back.
+        """
+        spec = get("bad_svt_no_budget")  # 7 units: room for a "remainder"
+        target, config = spec.target(), spec_config(spec)
+        plan = DischargePlan.from_obligations(iter_obligations(target, config))
+        assert len(plan.units) >= 5
+
+        witness = tmp_path / "units-started.log"
+
+        def exploding(self, unit, *args, **kwargs):
+            import time
+
+            with open(witness, "a") as fh:
+                fh.write(unit.uid + "\n")
+            time.sleep(0.05)  # let the parent observe the first failure
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(DischargeEngine, "discharge_unit", exploding)
+        cache = QueryCache()
+        with pytest.raises(KeyboardInterrupt):
+            verify_target(
+                target,
+                _config(config, backend="process", jobs=1),
+                cache=cache,
+            )
+        # The worker raised on an early unit; the queued remainder was
+        # cancelled, not run.
+        started = witness.read_text().splitlines()
+        assert 1 <= len(started) < len(plan.units)
+        assert cache.stats()["pending"] == 0
+
+        monkeypatch.undo()
+        outcome = verify_target(target, config, cache=cache)
+        assert outcome.verified is False  # the buggy spec's honest verdict
+
+
 class TestPipelineCancellation:
     def test_cancelled_stage_releases_memo_flight(self):
         """A cancelled verify must not wedge the pipeline's stage memo."""

@@ -273,6 +273,7 @@ class TestBackendEquivalence:
 
     def test_resolve_backend_from_legacy_knobs(self, monkeypatch):
         monkeypatch.delenv("REPRO_VERIFY_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_VERIFY_BACKEND", raising=False)
         assert resolve_backend(True, 1).name == "serial"
         assert resolve_backend(True, 4).name == "threaded"
         assert resolve_backend(False, 1).name == "oneshot"
@@ -282,6 +283,7 @@ class TestBackendEquivalence:
 
     def test_jobs_env_var_raises_default_parallelism(self, monkeypatch):
         monkeypatch.setenv("REPRO_VERIFY_JOBS", "2")
+        monkeypatch.delenv("REPRO_VERIFY_BACKEND", raising=False)
         assert resolve_backend(True, 1).name == "threaded"
         assert effective_jobs(resolve_backend(True, 1)) == 2
         # Explicit choices and explicit job counts are not overridden.

@@ -1,0 +1,236 @@
+"""Cross-process determinism properties of :class:`ProcessPoolBackend`.
+
+The process backend's contract is exact: verdicts, obligation ids,
+failure lists and the *merged* solver counters are byte-identical to
+:class:`SerialBackend` for every job count — workers solve
+speculatively, but the parent's in-order replay against the shared
+query cache (with the workers' answer maps as solve oracles)
+reproduces the serial hit/miss/solve sequence.  Only the raw
+per-worker totals (``outcome.workers``) are schedule-dependent.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.algorithms import all_specs, get
+from repro.pipeline import spec_config
+from repro.verify.discharge import (
+    BACKEND_ENV_VAR,
+    JOBS_ENV_VAR,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadedBackend,
+    resolve_backend,
+)
+from repro.verify.verifier import verify_target
+
+
+def _config(base, **kwargs):
+    return dataclasses.replace(base, **kwargs)
+
+
+def _signature(outcome):
+    """Everything the determinism contract pins, in one comparable value."""
+    return (
+        outcome.verified,
+        outcome.obligations_total,
+        tuple(outcome.oids or ()),
+        tuple(sorted(f.obligation.oid for f in outcome.failures)),
+        tuple(
+            (f.obligation.oid, f.arith_model, f.bool_model)
+            for f in outcome.failures
+        ),
+        outcome.solver_queries,
+        outcome.cache_hits,
+        outcome.solve_calls,
+        outcome.context_pushes,
+        outcome.context_pops,
+        outcome.units,
+    )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_registry_identical_to_serial_for_every_job_count(self, spec):
+        """The acceptance property: serial vs process jobs ∈ {1, 2, 4}."""
+        config = spec_config(spec)
+        reference = _signature(
+            verify_target(spec.target(), _config(config, backend="serial"))
+        )
+        for jobs in (1, 2, 4):
+            outcome = verify_target(
+                spec.target(), _config(config, backend="process", jobs=jobs)
+            )
+            assert _signature(outcome) == reference, (spec.name, jobs)
+            assert outcome.backend == "process"
+
+    def test_verdict_stream_matches_serial(self):
+        """Replay order is plan order: the verdict-bearing events
+        (unit started/finished, obligation discharged/refuted) are
+        identical to the serial backend's.  Only ``PlanProgress``
+        interleaves differently — the process backend carves units off
+        the stream eagerly to keep workers fed."""
+        from repro.verify.discharge import PlanProgress, UnitFinished
+
+        spec = get("svt")
+        config = spec_config(spec)
+
+        def run(backend, jobs):
+            events = []
+            verify_target(
+                spec.target(),
+                _config(config, backend=backend, jobs=jobs),
+                on_event=events.append,
+            )
+            # UnitFinished carries wall-clock seconds; compare its unit
+            # and counters, and every other verdict event verbatim.
+            return [
+                (e.unit, tuple(sorted(e.stats.items())))
+                if isinstance(e, UnitFinished)
+                else e
+                for e in events
+                if not isinstance(e, PlanProgress)
+            ]
+
+        assert run("process", 3) == run("serial", 1)
+
+
+class TestWorkerReport:
+    def test_worker_totals_cover_the_plan(self):
+        spec = get("svt")
+        outcome = verify_target(
+            spec.target(),
+            _config(spec_config(spec), backend="process", jobs=2),
+        )
+        assert outcome.workers, "process runs must publish a worker report"
+        assert sum(row["units"] for row in outcome.workers.values()) == outcome.units
+        for pid, row in outcome.workers.items():
+            assert pid.startswith("pid")
+            assert set(row) == {"units", "queries", "cache_hits", "solve_calls"}
+        assert "workers" in outcome.solver_stats()
+
+    def test_serial_runs_publish_no_worker_report(self):
+        spec = get("svt")
+        outcome = verify_target(
+            spec.target(), _config(spec_config(spec), backend="serial")
+        )
+        assert outcome.workers is None
+        assert "workers" not in outcome.solver_stats()
+
+
+class TestFailFast:
+    def test_fail_fast_stops_at_the_serial_stopping_point(self):
+        """Replays run in plan order, so fail-fast stops at exactly the
+        unit serial stops at: same failures, countermodels, discharged
+        units, solver counters and early exit — whatever the worker
+        schedule.  Only the *generation* extent (obligations_total,
+        oids) may run ahead: workers solve speculatively, so the stream
+        keeps producing while the refuting unit is still in flight."""
+        spec = get("bad_svt_leaks_value")
+        config = spec_config(spec)
+        serial = verify_target(
+            spec.target(), _config(config, backend="serial", fail_fast=True)
+        )
+        assert serial.verified is False and serial.early_exit
+
+        def discharge_signature(outcome):
+            verified, total, oids, *rest = _signature(outcome)
+            return (verified, *rest)
+
+        for jobs in (1, 2, 4):
+            outcome = verify_target(
+                spec.target(),
+                _config(config, backend="process", jobs=jobs, fail_fast=True),
+            )
+            assert discharge_signature(outcome) == discharge_signature(serial), jobs
+            assert outcome.early_exit
+            assert outcome.obligations_total >= serial.obligations_total
+            assert tuple(outcome.oids[: len(serial.oids)]) == tuple(serial.oids)
+
+
+class TestResolution:
+    def test_name_resolves_to_process_backend(self):
+        backend = resolve_backend(choice="process")
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.name == "process"
+        assert resolve_backend(choice="process", jobs=4).jobs == 4
+
+    def test_env_var_overrides_unpinned_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        backend = resolve_backend()
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 2
+
+    def test_env_var_never_overrides_pinned_configs(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        # An explicit backend name wins ...
+        assert isinstance(resolve_backend(choice="serial"), SerialBackend)
+        # ... and so does an explicit job count (legacy pinning).
+        assert isinstance(resolve_backend(jobs=3), ThreadedBackend)
+        # ... and the non-incremental strategy.
+        assert resolve_backend(incremental=False).name == "oneshot"
+
+    def test_unknown_env_backend_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "quantum")
+        with pytest.raises(ValueError, match="quantum"):
+            resolve_backend()
+
+
+class TestSkipDelegation:
+    def test_houdini_skip_delegates_to_serial(self):
+        """A live ``skip`` closure cannot cross the process boundary;
+        the backend must fall back to in-process serial discharge."""
+        from repro.verify.discharge import DischargePlan
+        from repro.verify.verifier import iter_obligations, prepare_generator
+
+        spec = get("svt")
+        config = _config(spec_config(spec), backend="process", jobs=2)
+        target = spec.target()
+        _, checker = prepare_generator(target, config)
+        skipped = []
+
+        def skip(obligation):
+            skipped.append(obligation.oid)
+            return False
+
+        failures = checker.discharge_stream(
+            iter_obligations(target, config), skip=skip
+        )
+        assert failures == []
+        # The skip closure genuinely ran, in-process, for every obligation.
+        plan = DischargePlan.from_obligations(iter_obligations(target, config))
+        assert len(skipped) == len(plan.obligations)
+        # Serial delegation: no worker processes, so no worker report.
+        assert checker.worker_report is None
+
+
+class TestStoreComposition:
+    def test_store_hits_plus_solves_is_schedule_invariant(self, tmp_path):
+        """Half-warm store × process backend: the *sum* of store hits
+        and obligations solved is the plan size for every schedule, and
+        verdicts never change."""
+        spec = get("gap_svt")
+        config = spec_config(spec)
+        store_path = os.fspath(tmp_path / "store.sqlite")
+
+        cold = verify_target(
+            spec.target(),
+            _config(config, backend="process", jobs=2, store=store_path),
+        )
+        assert cold.verified is True
+        assert cold.store is not None
+        assert cold.store["hits"] == 0
+        assert cold.store["writes"] == cold.obligations_total
+
+        for jobs in (1, 3):
+            warm = verify_target(
+                spec.target(),
+                _config(config, backend="process", jobs=jobs, store=store_path),
+            )
+            assert warm.verified is True
+            assert warm.solve_calls == 0
+            assert warm.store["hits"] == cold.obligations_total
+            assert warm.store["hits"] + warm.solver_queries >= warm.obligations_total
