@@ -225,9 +225,14 @@ def _bare_target(name: str) -> TargetProgram:
     )
 
 
+#: The quick-mode unroll sweep (CI smoke and the counter guard); the
+#: chaos guard re-runs exactly this list through the process backend.
+QUICK_UNROLL_NAMES = ("noisy_max", "svt", "bad_svt_no_budget")
+
+
 def run_workloads(quick: bool, jobs: int) -> Dict:
     unroll_names = (
-        ["noisy_max", "svt", "bad_svt_no_budget"]
+        list(QUICK_UNROLL_NAMES)
         if quick
         else [s.name for s in all_specs()]
     )
@@ -686,12 +691,51 @@ def run_guard(reference_path: str, jobs: int) -> int:
               f"current={warm_solves} [{status}]")
         if warm_solves != 0:
             failed = True
+    if not run_chaos_guard(results):
+        failed = True
     if failed:
         print("bench-guard: FAILED (counters regressed beyond tolerance or "
               "serial backend diverged)", file=sys.stderr)
         return 1
     print("bench-guard: passed")
     return 0
+
+
+def run_chaos_guard(results: Dict) -> bool:
+    """The recovery-path guard leg: the quick unroll sweep through the
+    process backend with **every worker killed** must reproduce the
+    serial sweep's counters exactly — the supervisor's serial re-solve
+    is the same engine, so recovery may never change what gets solved.
+    """
+    from repro import faults
+
+    serial = results["workloads"]["registry-unroll"]["incremental"]
+    expected = {key: serial[key] for key in SERIAL_REFERENCE_COUNTERS}
+    cache = QueryCache()
+    queries = hits = solves = recovered = 0
+    faults.install("worker-kill@*")
+    try:
+        for name in QUICK_UNROLL_NAMES:
+            spec = get(name)
+            config = spec_config(spec)
+            config.backend = "process"
+            config.jobs = 2
+            outcome = verify_target(spec.target(), config, cache=cache)
+            stats = outcome.solver_stats()
+            queries += stats["queries"]
+            hits += stats["cache_hits"]
+            solves += stats["solve_calls"]
+            if outcome.recovery is not None:
+                recovered += 1
+    finally:
+        faults.install(None)
+    current = {"queries": queries, "cache_hits": hits, "solve_calls": solves}
+    ok = current == expected and recovered == len(QUICK_UNROLL_NAMES)
+    status = "OK" if ok else "REGRESSION"
+    print(f"bench-guard: chaos (worker-kill@*, process jobs=2): "
+          f"serial={expected} recovered={current} "
+          f"runs_recovered={recovered}/{len(QUICK_UNROLL_NAMES)} [{status}]")
+    return ok
 
 
 def update_reference(reference_path: str, jobs: int) -> int:

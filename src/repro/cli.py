@@ -108,6 +108,7 @@ _VERIFICATION_FLAG_DEFAULTS = {
     "progress": False,
     "solver_stats": False,
     "profile": False,
+    "faults": None,
 }
 
 
@@ -191,11 +192,26 @@ def _print_solver_stats(stats, indent: str = "") -> None:
     )
     store = stats.get("store")
     if store is not None:
+        degraded = " [DEGRADED: memory-only]" if store.get("degraded") else ""
+        busy = (
+            f", {store['busy_retries']} busy retries"
+            if store.get("busy_retries")
+            else ""
+        )
         print(
             f"{indent}store: {store['hits']} hits, {store['misses']} misses, "
             f"{store['writes']} writes, {store['invalid']} invalid "
-            f"({store.get('entries', 0)} entries on disk)"
+            f"({store.get('entries', 0)} entries on disk){busy}{degraded}"
         )
+    recovery = stats.get("recovery")
+    if recovery:
+        print(
+            f"{indent}recovery: {recovery['pool_restarts']} pool restart(s), "
+            f"{recovery['retries']} retry(ies), "
+            f"{len(recovery['recovered_units'])} unit(s) re-solved serially"
+        )
+        for incident in recovery["incidents"]:
+            print(f"{indent}  incident: {incident}")
     workers = stats.get("workers")
     if workers:
         for pid, row in sorted(workers.items()):
@@ -505,6 +521,18 @@ def cmd_client(args) -> int:
                 else:
                     _print_status(status)
                 return 0
+            if args.action == "health":
+                health = client.health()
+                if args.json:
+                    print(json.dumps(health, indent=2, sort_keys=True))
+                else:
+                    print(
+                        f"{health['status']} (up {health['uptime_seconds']:.0f}s, "
+                        f"{health['inflight']}/{health['max_queue']} in flight)"
+                    )
+                    for cause in health["causes"]:
+                        print(f"  cause: {cause}")
+                return 0 if health["status"] == "ok" else 1
             if args.action == "ping":
                 client.ping()
                 print("pong")
@@ -652,6 +680,15 @@ def _add_verification_flags(parser) -> None:
         help="collect and print the inner-loop solver profile (pivots, "
         "propagations, conflicts, restarts, interned-node hits, ...)",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=defaults["faults"],
+        help="install a deterministic fault-injection plan (testing only): "
+        "comma-separated SITE@KEY[:ARG] directives, e.g. "
+        "'worker-kill@2,store-busy@1'; equivalent to REPRO_FAULTS "
+        "(see docs/faults.md)",
+    )
 
 
 def main(argv=None) -> int:
@@ -778,11 +815,18 @@ def main(argv=None) -> int:
         "(default: REPRO_STORE env if set, else disabled)",
     )
     p_srv.add_argument("--quiet", action="store_true", help="suppress serve logging")
+    p_srv.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="install a deterministic fault-injection plan (testing only): "
+        "comma-separated SITE@KEY[:ARG] directives; equivalent to "
+        "REPRO_FAULTS (see docs/faults.md)",
+    )
     p_srv.set_defaults(func=cmd_serve)
 
     p_cl = sub.add_parser("client", help="talk to a running verification server")
     p_cl.add_argument(
-        "action", choices=("status", "verify", "sweep", "ping", "shutdown")
+        "action", choices=("status", "health", "verify", "sweep", "ping", "shutdown")
     )
     p_cl.add_argument("--socket", metavar="PATH", help="server unix socket")
     p_cl.add_argument("--host", default="127.0.0.1", help="server TCP host")
@@ -811,6 +855,15 @@ def main(argv=None) -> int:
     p_cl.set_defaults(func=cmd_client)
 
     args = parser.parse_args(argv)
+    if getattr(args, "faults", None):
+        from repro import faults
+        from repro.faults import FaultPlanError
+
+        try:
+            faults.install(args.faults)
+        except FaultPlanError as err:
+            print(f"error: --faults: {err}", file=sys.stderr)
+            return 2
     try:
         return args.func(args)
     except (ShadowDPError, ParseError) as err:

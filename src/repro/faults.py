@@ -1,0 +1,274 @@
+"""Deterministic fault injection for chaos-testing the verifier.
+
+A :class:`FaultPlan` is a comma-separated list of *directives*, each
+naming a **site** (where in the system the fault fires) and a **key**
+(which occurrence it fires on)::
+
+    worker-kill@2,store-poison@1,serve-drop@7
+
+The plan is installed process-wide — via the ``REPRO_FAULTS``
+environment variable, the ``--faults`` CLI flag, or :func:`install` —
+and consulted at a handful of hook points.  When no plan is installed
+:func:`active` returns ``None`` after one cached environment read, so
+the disabled path costs a single attribute load.
+
+Determinism contract
+--------------------
+
+Faults are keyed by *structure*, not by wall clock or scheduling:
+
+- ``worker-kill@U`` / ``solve-fail@U`` / ``solve-delay@U:S`` match the
+  discharge **unit index** ``U`` (or ``*`` for every unit) and fire on
+  every worker-side attempt at that unit.  Worker scheduling cannot
+  change which units are affected.
+- ``store-poison@N`` / ``store-busy@N`` fire on the Nth occurrence
+  (1-based) of the corresponding store operation — deterministic
+  wherever store traffic is serial, which it is (the store lock
+  serialises every operation).
+- ``serve-drop@K`` fires once, on the first connection that writes its
+  Kth frame.
+
+Every fired directive appends a typed :class:`InjectedFault` record to
+``plan.trail`` so tests and operators can assert exactly which faults
+were exercised.  Worker processes install the plan from the engine
+spec at initializer time; their trails die with the worker — the
+parent's recovery report is the authoritative record of what was
+survived.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Sites keyed by discharge-unit index (fire on every matching attempt).
+UNIT_SITES = ("worker-kill", "solve-fail", "solve-delay")
+#: Sites keyed by 1-based occurrence count (fire once on the Nth call).
+OCCURRENCE_SITES = ("store-poison", "store-busy", "serve-drop")
+SITES = UNIT_SITES + OCCURRENCE_SITES
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan spec string failed to parse."""
+
+
+class InjectedFailure(RuntimeError):
+    """An injected, by-design-recoverable failure.
+
+    Raised by ``solve-fail`` directives inside discharge workers; the
+    supervisor treats it like any transient worker failure (retry once,
+    then serial fallback).  Picklable, so it crosses the process
+    boundary intact.
+    """
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired, recorded in the plan trail."""
+
+    site: str
+    key: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.site}@{self.key}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+@dataclass
+class _Directive:
+    site: str
+    key: Union[int, str]  # unit index / occurrence count, or "*"
+    arg: Optional[str] = None
+    fired: int = 0
+
+    def spec(self) -> str:
+        text = f"{self.site}@{self.key}"
+        return f"{text}:{self.arg}" if self.arg is not None else text
+
+
+def _parse_directive(text: str) -> _Directive:
+    if "@" not in text:
+        raise FaultPlanError(
+            f"fault directive {text!r} is missing '@KEY' (expected SITE@KEY[:ARG])"
+        )
+    site, _, rest = text.partition("@")
+    site = site.strip()
+    if site not in SITES:
+        raise FaultPlanError(
+            f"unknown fault site {site!r} (expected one of: {', '.join(SITES)})"
+        )
+    key_text, sep, arg = rest.partition(":")
+    key_text = key_text.strip()
+    arg = arg.strip() if sep else None
+    key: Union[int, str]
+    if key_text == "*":
+        if site in OCCURRENCE_SITES:
+            raise FaultPlanError(
+                f"fault site {site!r} is occurrence-counted and does not accept '*'"
+            )
+        key = "*"
+    else:
+        try:
+            key = int(key_text)
+        except ValueError:
+            raise FaultPlanError(
+                f"fault key {key_text!r} in {text!r} is not an integer or '*'"
+            ) from None
+        if key < 0 or (site in OCCURRENCE_SITES and key < 1):
+            raise FaultPlanError(f"fault key in {text!r} is out of range")
+    if site == "solve-delay":
+        if arg is None:
+            raise FaultPlanError("solve-delay requires ':SECONDS' (e.g. solve-delay@0:1.5)")
+        try:
+            if float(arg) < 0:
+                raise ValueError
+        except ValueError:
+            raise FaultPlanError(f"solve-delay seconds {arg!r} is not a non-negative number") from None
+    elif site == "solve-fail":
+        if arg is not None and arg != "fatal":
+            raise FaultPlanError(f"solve-fail argument must be 'fatal', got {arg!r}")
+    elif arg is not None:
+        raise FaultPlanError(f"fault site {site!r} does not take an argument")
+    return _Directive(site=site, key=key, arg=arg)
+
+
+@dataclass
+class FaultPlan:
+    """A parsed fault plan plus the trail of faults that fired."""
+
+    spec: str
+    directives: List[_Directive] = field(default_factory=list)
+    trail: List[InjectedFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._occurrences = {site: 0 for site in OCCURRENCE_SITES}
+        if not self.directives:
+            parts = [part.strip() for part in self.spec.split(",")]
+            self.directives = [_parse_directive(part) for part in parts if part]
+        if not self.directives:
+            raise FaultPlanError("fault plan is empty")
+
+    # -- unit-keyed sites -------------------------------------------------
+
+    def _unit_directive(self, site: str, unit_index: int) -> Optional[_Directive]:
+        for directive in self.directives:
+            if directive.site != site:
+                continue
+            if directive.key == "*" or directive.key == unit_index:
+                return directive
+        return None
+
+    def _fire(self, directive: _Directive, key: str, detail: str = "") -> None:
+        with self._lock:
+            directive.fired += 1
+            self.trail.append(InjectedFault(directive.site, key, detail))
+
+    def kill_worker(self, unit_index: int) -> bool:
+        """True if the worker solving this unit should die (``os._exit``)."""
+        directive = self._unit_directive("worker-kill", unit_index)
+        if directive is None:
+            return False
+        self._fire(directive, f"u{unit_index}", f"pid {os.getpid()}")
+        return True
+
+    def worker_fail(self, unit_index: int) -> Optional[str]:
+        """``"fail"``/``"fatal"`` if this unit's worker solve should raise."""
+        directive = self._unit_directive("solve-fail", unit_index)
+        if directive is None:
+            return None
+        kind = "fatal" if directive.arg == "fatal" else "fail"
+        self._fire(directive, f"u{unit_index}", kind)
+        return kind
+
+    def worker_delay(self, unit_index: int) -> Optional[float]:
+        """Seconds this unit's worker solve should sleep, if any."""
+        directive = self._unit_directive("solve-delay", unit_index)
+        if directive is None:
+            return None
+        self._fire(directive, f"u{unit_index}", f"{directive.arg}s")
+        return float(directive.arg or 0.0)
+
+    # -- occurrence-counted sites -----------------------------------------
+
+    def _occurrence(self, site: str, detail: str = "") -> bool:
+        with self._lock:
+            self._occurrences[site] += 1
+            count = self._occurrences[site]
+            for directive in self.directives:
+                if directive.site == site and directive.key == count:
+                    directive.fired += 1
+                    self.trail.append(InjectedFault(site, str(count), detail))
+                    return True
+        return False
+
+    def store_poison(self) -> bool:
+        """True if this store write batch should poison its first row."""
+        return self._occurrence("store-poison")
+
+    def store_busy(self) -> bool:
+        """True if this store operation attempt should raise 'database is locked'."""
+        return self._occurrence("store-busy")
+
+    def drop_connection(self, frames: int) -> bool:
+        """True if a connection that just produced its ``frames``-th frame
+        should be dropped.  Fires at most once per directive, so client
+        retries against the same server succeed."""
+        with self._lock:
+            for directive in self.directives:
+                if directive.site == "serve-drop" and directive.key == frames and not directive.fired:
+                    directive.fired += 1
+                    self.trail.append(InjectedFault("serve-drop", str(frames)))
+                    return True
+        return False
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> List[Tuple[str, str, str]]:
+        with self._lock:
+            return [(f.site, f.key, f.detail) for f in self.trail]
+
+
+_LOCK = threading.Lock()
+_PLAN: Optional[FaultPlan] = None
+_INSTALLED = False
+
+
+def install(spec: Union[str, FaultPlan, None]) -> Optional[FaultPlan]:
+    """Install a process-wide fault plan (or clear it with ``None``)."""
+    global _PLAN, _INSTALLED
+    with _LOCK:
+        if spec is None:
+            _PLAN = None
+        elif isinstance(spec, FaultPlan):
+            _PLAN = spec
+        else:
+            _PLAN = FaultPlan(spec)
+        _INSTALLED = True
+        return _PLAN
+
+
+def reset() -> None:
+    """Forget any installed plan and return to lazy ``REPRO_FAULTS`` reads."""
+    global _PLAN, _INSTALLED
+    with _LOCK:
+        _PLAN = None
+        _INSTALLED = False
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, reading ``REPRO_FAULTS`` once on first call."""
+    global _PLAN, _INSTALLED
+    if _INSTALLED:
+        return _PLAN
+    with _LOCK:
+        if not _INSTALLED:
+            spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+            _PLAN = FaultPlan(spec) if spec else None
+            _INSTALLED = True
+    return _PLAN

@@ -14,7 +14,9 @@ tests, benchmarks and user scripts without an event loop.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.serve import protocol
@@ -28,12 +30,19 @@ class ServeError(RuntimeError):
 
     ``code`` is the server's error code (``protocol-mismatch``,
     ``timeout``, ``unknown-spec``, ...) or ``"connection"`` for
-    transport-level failures.
+    transport-level failures.  ``retry_after`` carries the server's
+    advisory backoff floor when it sent one (``overloaded``).
     """
 
-    def __init__(self, message: str, code: str = "connection") -> None:
+    def __init__(
+        self,
+        message: str,
+        code: str = "connection",
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
 
 class ServeClient:
@@ -45,7 +54,19 @@ class ServeClient:
 
         with ServeClient(socket_path="/tmp/repro.sock") as client:
             result = client.verify(spec="svt")
+
+    Transient failures are retried: a lost connection is re-established
+    and the request re-sent, and an ``overloaded`` rejection is retried
+    after the server's ``retry_after`` floor — both under capped
+    exponential backoff with jitter (``retries`` attempts beyond the
+    first).  A retried ``verify`` restarts its event stream from the
+    beginning, so ``on_event`` callbacks may observe events again.
+    Verdicts are unaffected: the server's stage memo and query cache
+    make the re-run answer-identical.
     """
+
+    #: Error codes worth retrying: the request never produced a verdict.
+    RETRYABLE_CODES = ("connection", "overloaded")
 
     def __init__(
         self,
@@ -53,17 +74,33 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         connect_timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("ServeClient needs a unix socket path or a TCP port")
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random()
+        self._next_id = 0
+        #: The server's ``hello``: its version and protocol revision.
+        self.server_info = self._connect()
+
+    def _connect(self) -> Dict[str, Any]:
         try:
-            if socket_path is not None:
+            if self._socket_path is not None:
                 self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                self._sock.settimeout(connect_timeout)
-                self._sock.connect(socket_path)
+                self._sock.settimeout(self._connect_timeout)
+                self._sock.connect(self._socket_path)
             else:
                 self._sock = socket.create_connection(
-                    (host, port), timeout=connect_timeout
+                    (self._host, self._port), timeout=self._connect_timeout
                 )
         except OSError as err:
             raise ServeError(f"cannot connect to server: {err}")
@@ -71,9 +108,12 @@ class ServeClient:
         # from here on are bounded by the server's own timeouts.
         self._sock.settimeout(None)
         self._reader = self._sock.makefile("rb")
-        self._next_id = 0
-        #: The server's ``hello``: its version and protocol revision.
         self.server_info = self._handshake()
+        return self.server_info
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
 
     # -- transport -------------------------------------------------------------
 
@@ -133,11 +173,46 @@ class ServeClient:
 
     # -- requests --------------------------------------------------------------
 
-    def _request(self, message: Dict[str, Any], on_event: EventCallback = None) -> Dict[str, Any]:
-        """Send one request; stream events; return the terminal message."""
+    def _request(
+        self,
+        message: Dict[str, Any],
+        on_event: EventCallback = None,
+        retryable: bool = True,
+    ) -> Dict[str, Any]:
+        """Send one request (with retry/backoff); return the terminal message."""
         self._next_id += 1
         rid = f"r{self._next_id}"
         message = {**message, "id": rid}
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(message, on_event)
+            except ServeError as err:
+                if (
+                    not retryable
+                    or err.code not in self.RETRYABLE_CODES
+                    or attempt >= self.retries
+                ):
+                    raise
+                # Capped exponential backoff with full jitter; an
+                # overloaded server's retry_after is the floor.
+                delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
+                if err.retry_after is not None:
+                    delay = max(delay, err.retry_after)
+                time.sleep(delay + self._rng.uniform(0, delay))
+                attempt += 1
+                if err.code == "connection":
+                    try:
+                        self._reconnect()
+                    except ServeError:
+                        # Connect failures surface on the next attempt's
+                        # send (or exhaust the retry budget there).
+                        continue
+
+    def _attempt(
+        self, message: Dict[str, Any], on_event: EventCallback = None
+    ) -> Dict[str, Any]:
+        """One send + stream events + terminal message round trip."""
         self._send(message)
         while True:
             answer = self._recv()
@@ -149,6 +224,7 @@ class ServeClient:
                 raise ServeError(
                     answer.get("message", "request failed"),
                     code=answer.get("code", "internal"),
+                    retry_after=answer.get("retry_after"),
                 )
             return answer
 
@@ -207,7 +283,15 @@ class ServeClient:
     def ping(self) -> Dict[str, Any]:
         return self._request({"type": "ping"})
 
+    def health(self) -> Dict[str, Any]:
+        """The server's health verdict: ``ok``/``degraded``/``draining``
+        plus the causes behind any degradation."""
+        return self._request({"type": "health"})
+
     def shutdown(self) -> Dict[str, Any]:
-        """Ask the server to drain and exit; returns the ack."""
-        answer = self._request({"type": "shutdown"})
-        return answer
+        """Ask the server to drain and exit; returns the ack.
+
+        Never retried: a connection that dies here usually means the
+        shutdown took, and a blind re-send could kill a fresh server.
+        """
+        return self._request({"type": "shutdown"}, retryable=False)

@@ -73,6 +73,7 @@ ERROR_CODES = (
     "timeout",
     "cancelled",
     "shutting-down",
+    "overloaded",
     "internal",
 )
 
@@ -133,9 +134,30 @@ def ready() -> Dict[str, Any]:
     return {"type": "ready", "protocol": PROTOCOL_VERSION}
 
 
-def error(code: str, message: str, rid: Optional[str] = None) -> Dict[str, Any]:
+def error(
+    code: str,
+    message: str,
+    rid: Optional[str] = None,
+    retry_after: Optional[float] = None,
+) -> Dict[str, Any]:
     assert code in ERROR_CODES, code
     out: Dict[str, Any] = {"type": "error", "code": code, "message": message}
+    if rid is not None:
+        out["id"] = rid
+    if retry_after is not None:
+        # Advisory backoff floor (seconds); sent with ``overloaded`` so
+        # clients do not hammer a server that is already at capacity.
+        out["retry_after"] = round(float(retry_after), 3)
+    return out
+
+
+def health(
+    status: str, causes: List[str], rid: Optional[str] = None, **extra: Any
+) -> Dict[str, Any]:
+    """The ``health`` response: ``ok``/``degraded``/``draining`` + causes."""
+    assert status in ("ok", "degraded", "draining"), status
+    out: Dict[str, Any] = {"type": "health", "status": status, "causes": list(causes)}
+    out.update(extra)
     if rid is not None:
         out["id"] = rid
     return out

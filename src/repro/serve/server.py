@@ -56,6 +56,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import __version__
+from repro import faults as faults_mod
 from repro.algorithms import registry
 from repro.core.errors import ShadowDPError
 from repro.lang.parser import ParseError
@@ -96,6 +97,15 @@ class VerifyServer:
     drain_grace:
         Seconds to wait for in-flight requests to unwind during
         shutdown before their connections are force-closed.
+    max_queue:
+        Admission control: the most verify requests admitted at once
+        (solving plus queued for a worker).  Further requests are
+        rejected immediately with a typed ``overloaded`` error carrying
+        a ``retry_after`` hint instead of queuing unboundedly.  Default
+        ``4 × max_concurrent``.
+    degraded_window:
+        How long (seconds) a recovery incident — a worker-pool restart
+        survived by a request — keeps ``health`` reporting ``degraded``.
     """
 
     def __init__(
@@ -111,6 +121,8 @@ class VerifyServer:
         store: Optional[object] = None,
         drain_grace: float = 30.0,
         quiet: bool = False,
+        max_queue: Optional[int] = None,
+        degraded_window: float = 60.0,
     ) -> None:
         if socket_path is None and port is None:
             raise ValueError("serve needs a unix socket path and/or a TCP port")
@@ -130,13 +142,24 @@ class VerifyServer:
         self.pipeline = Pipeline()
         #: Shared on-disk verdict cache (None = per-request stores only).
         self.store = resolve_store(store)
+        self.max_queue = (
+            max(1, max_queue) if max_queue is not None else 4 * self.max_concurrent
+        )
+        self.degraded_window = degraded_window
         self.counters: Dict[str, int] = {
             "received": 0,
             "completed": 0,
             "failed": 0,
             "cancelled": 0,
             "rejected": 0,
+            "overloaded": 0,
         }
+        #: Verify requests admitted and not yet finished (event-loop
+        #: thread only), compared against ``max_queue`` at admission.
+        self._inflight = 0
+        #: Recent recovery incidents as ``(monotonic time, cause)``;
+        #: pruned to ``degraded_window`` by :meth:`health_message`.
+        self._incidents: List[Tuple[float, str]] = []
         self.warmed: List[str] = []
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_concurrent, thread_name_prefix="repro-serve"
@@ -266,6 +289,16 @@ class VerifyServer:
     # -- connection handling ---------------------------------------------------
 
     async def _send(self, writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        plan = faults_mod.active()
+        if plan is not None:
+            # Chaos hook: a ``serve-drop@K`` directive severs the first
+            # connection that writes its Kth frame, exercising client
+            # reconnect/retry end to end.
+            frames = getattr(writer, "_fault_frames", 0) + 1
+            writer._fault_frames = frames
+            if plan.drop_connection(frames):
+                writer.transport.abort()
+                raise ConnectionResetError("injected connection drop")
         writer.write(protocol.encode_line(message))
         await writer.drain()
 
@@ -285,7 +318,11 @@ class VerifyServer:
                 await self._send(writer, protocol.error(err.code, str(err)))
                 return
             await self._send(writer, protocol.ready())
-            while not self._draining:
+            # Keep serving the connection while draining: verify requests
+            # are rejected in _handle_verify, but health probes must still
+            # be able to observe the "draining" status.  Teardown is
+            # handled by _stop cancelling handler tasks.
+            while True:
                 try:
                     line = await reader.readline()
                 except ValueError:
@@ -325,6 +362,9 @@ class VerifyServer:
             return True
         if kind == "ping":
             await self._send(writer, {"type": "pong", "id": rid})
+            return True
+        if kind == "health":
+            await self._send(writer, self.health_message(rid))
             return True
         if kind == "shutdown":
             await self._send(writer, {"type": "shutdown-ack", "id": rid})
@@ -377,6 +417,22 @@ class VerifyServer:
                 writer, protocol.error("shutting-down", "server is draining", rid)
             )
             return
+        if self._inflight >= self.max_queue:
+            # Admission control: reject now with a typed error and a
+            # backoff hint instead of queuing unboundedly.
+            self.counters["overloaded"] += 1
+            retry_after = min(5.0, 0.1 * max(1, self._inflight))
+            await self._send(
+                writer,
+                protocol.error(
+                    "overloaded",
+                    f"server at capacity ({self._inflight} requests in flight,"
+                    f" max_queue={self.max_queue})",
+                    rid,
+                    retry_after=retry_after,
+                ),
+            )
+            return
         cancel_event = threading.Event()
         try:
             source, base = self._resolve_request(message)
@@ -408,6 +464,7 @@ class VerifyServer:
                 pass
 
         self._active.add(cancel_event)
+        self._inflight += 1
         started = loop.time()
         timed_out = False
         try:
@@ -439,8 +496,11 @@ class VerifyServer:
                         break
                     await self._send(writer, item)
             except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
-                # Client went away mid-stream: stop the worker too.
+                # Client went away mid-stream: stop the worker too, and
+                # consume its (expected) cancellation so asyncio does not
+                # log an unretrieved-exception traceback.
                 cancel_event.set()
+                future.add_done_callback(lambda f: f.exception())
                 raise
 
             try:
@@ -472,11 +532,60 @@ class VerifyServer:
             else:
                 self.counters["completed"] += 1
                 cached = run.stages["verify"].cached
+                recovery = run.outcome.recovery
+                if recovery and not cached:
+                    restarts = recovery.get("pool_restarts", 0)
+                    recovered = len(recovery.get("recovered_units", ()))
+                    self._note_incident(
+                        f"worker-pool: {restarts} restart(s),"
+                        f" {recovered} unit(s) re-solved serially"
+                    )
                 await self._send(writer, protocol.result_to_wire(run, cached, rid))
         finally:
+            self._inflight -= 1
             self._active.discard(cancel_event)
 
     # -- introspection ---------------------------------------------------------
+
+    def _note_incident(self, cause: str) -> None:
+        """Record a survived fault so ``health`` can report ``degraded``."""
+        self._incidents.append((time.monotonic(), cause))
+
+    def health_message(self, rid: Optional[str] = None) -> Dict[str, Any]:
+        """The ``health`` response: liveness beyond "the socket accepts".
+
+        ``ok`` — fully healthy.  ``degraded`` — still serving correct
+        results, but something worth paging on happened: the obligation
+        store fell back to memory-only writes, or a request survived a
+        worker-pool restart within the last ``degraded_window`` seconds.
+        ``draining`` — shutting down; new verify requests are rejected.
+        Every degradation comes with its cause.
+        """
+        now = time.monotonic()
+        self._incidents = [
+            (when, cause)
+            for when, cause in self._incidents
+            if now - when <= self.degraded_window
+        ]
+        causes = [cause for _, cause in self._incidents]
+        if self.store is not None and self.store.degraded:
+            causes.insert(
+                0, "obligation-store degraded: verdicts kept in memory only"
+            )
+        if self._draining:
+            status = "draining"
+        elif causes:
+            status = "degraded"
+        else:
+            status = "ok"
+        return protocol.health(
+            status,
+            causes,
+            rid,
+            uptime_seconds=round(now - self._started, 3),
+            inflight=self._inflight,
+            max_queue=self.max_queue,
+        )
 
     def status_message(self, rid: Optional[str] = None) -> Dict[str, Any]:
         """The ``status`` response: identity, load, and warm-cache stats."""

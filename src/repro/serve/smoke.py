@@ -14,6 +14,14 @@ asserts the service-mode contract:
 5. clean shutdown via SIGTERM: the daemon drains and exits 0, removing
    its socket.
 
+``--chaos`` instead runs the fault-tolerance smoke (the CI
+``chaos-smoke`` job): the same daemon under a committed fault plan — a
+dropped connection mid-stream, a poisoned obligation-store row and a
+killed worker process — plus an in-process full-registry sweep through
+the process backend with every worker killed.  Verdicts must stay
+byte-identical to fault-free serial references while ``health`` reports
+``degraded`` with causes.
+
 Any violated assertion exits nonzero, failing the CI job.
 """
 
@@ -32,6 +40,17 @@ from repro.serve.client import ServeClient
 
 #: The registry rows the smoke sweeps (ISSUE floor: at least three).
 SPECS = ("svt", "noisy_max", "partial_sum")
+
+#: The committed chaos plan for the daemon leg: sever the first
+#: connection at its 4th frame (mid event stream), poison the first
+#: verdict row written to the store, kill the worker process solving
+#: unit 1 of any process-backend request.
+CHAOS_SERVE_PLAN = "serve-drop@4,store-poison@1,worker-kill@1"
+
+#: The committed chaos plan for the in-process registry sweep: every
+#: discharge unit kills its worker process, forcing the supervisor to
+#: recover the whole sweep through the serial engine.
+CHAOS_SWEEP_PLAN = "worker-kill@*"
 
 
 def _signature(result):
@@ -83,7 +102,168 @@ def check(condition: bool, label: str) -> None:
     print(f"ok: {label}")
 
 
+def chaos_serve() -> None:
+    """The daemon leg: correct results through drop + poison + kill."""
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-smoke-")
+    sock = os.path.join(tmp, "serve.sock")
+    store = os.path.join(tmp, "verdicts.sqlite")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock, "--store", store],
+        env={**os.environ, "PYTHONPATH": "src", "REPRO_FAULTS": CHAOS_SERVE_PLAN},
+    )
+    try:
+        _wait_for_socket(sock, server)
+        print(f"chaos server up on {sock} (pid {server.pid}, plan {CHAOS_SERVE_PLAN})")
+
+        reference = _serial_reference()
+
+        with ServeClient(socket_path=sock, retries=4) as client:
+            # Cold sweep: serve-drop severs the first connection mid
+            # event stream; the client must reconnect, retry and still
+            # land byte-identical on the serial reference.  The store
+            # poison corrupts the first verdict row written here.
+            cold = [client.verify(spec=name) for name in SPECS]
+            check(
+                [_signature(r) for r in cold] == reference,
+                "chaos cold sweep matches the serial reference "
+                "despite a dropped connection",
+            )
+
+            # Process-backend verify of a row the cold sweep did not
+            # touch (so the warm store cannot skip its units):
+            # worker-kill takes out the worker solving unit 1; the run
+            # must recover and still verify.
+            hurt_spec = registry.get("num_svt")
+            hurt_ref = Pipeline().run(
+                hurt_spec.source, config=spec_config(hurt_spec)
+            ).outcome
+            hurt = client.verify(
+                spec="num_svt", config={"backend": "process", "jobs": 2}
+            )
+            check(
+                (hurt["outcome"]["verified"], tuple(hurt["outcome"]["oids"]),
+                 hurt["outcome"]["obligations_total"])
+                == (hurt_ref.verified, tuple(hurt_ref.oids),
+                    hurt_ref.obligations_total),
+                "worker-kill: verdict and obligations intact",
+            )
+            recovery = hurt["outcome"]["counters"].get("recovery")
+            check(
+                bool(recovery) and recovery["pool_restarts"] >= 1,
+                "recovery counters report the survived worker crash",
+            )
+
+            # Warm re-verify of the first cold row with a different
+            # config fingerprint: the stage memo misses, the store
+            # lookup trips over the poisoned row, quarantines it and
+            # re-solves — verdict unchanged.
+            poisoned = client.verify(spec=SPECS[0], config={"jobs": 2})
+            check(
+                (poisoned["name"], poisoned["outcome"]["verified"],
+                 tuple(poisoned["outcome"]["oids"]),
+                 poisoned["outcome"]["obligations_total"]) == reference[0][:4],
+                "poisoned store row: verdict and obligations intact",
+            )
+            # The quarantine (invalid counter) lands on whichever run
+            # first re-read the poisoned row — usually the retried cold
+            # request after the connection drop, else this warm one.
+            check(
+                any(
+                    (r["outcome"]["counters"].get("store") or {}).get("invalid", 0)
+                    for r in cold + [hurt, poisoned]
+                ),
+                "poisoned store row detected and quarantined",
+            )
+
+            health = client.health()
+            check(
+                health["status"] == "degraded"
+                and any("worker-pool" in cause for cause in health["causes"]),
+                "health reports degraded with the worker-pool cause",
+            )
+
+        server.send_signal(signal.SIGTERM)
+        check(server.wait(timeout=60) == 0, "chaos server drains to a clean exit")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+def chaos_sweep() -> None:
+    """The in-process leg: full-registry process sweep, every worker killed."""
+    import dataclasses
+
+    from repro import faults
+
+    names = registry.names(include_buggy=False)
+    reference = []
+    pipe = Pipeline()
+    for name in names:
+        spec = registry.get(name)
+        outcome = pipe.run(spec.source, config=spec_config(spec)).outcome
+        reference.append(
+            (
+                name,
+                outcome.verified,
+                tuple(outcome.oids),
+                outcome.obligations_total,
+                outcome.solver_stats()["queries"],
+                outcome.solver_stats()["solve_calls"],
+            )
+        )
+    print(f"serial reference computed for the full registry ({len(names)} rows)")
+
+    faults.install(CHAOS_SWEEP_PLAN)
+    try:
+        chaotic = []
+        pipe = Pipeline()
+        recoveries = 0
+        incidents = []
+        for name in names:
+            spec = registry.get(name)
+            config = dataclasses.replace(spec_config(spec), backend="process", jobs=2)
+            outcome = pipe.run(spec.source, config=config).outcome
+            stats = outcome.solver_stats()
+            chaotic.append(
+                (
+                    name,
+                    outcome.verified,
+                    tuple(outcome.oids),
+                    outcome.obligations_total,
+                    stats["queries"],
+                    stats["solve_calls"],
+                )
+            )
+            if outcome.recovery is not None:
+                recoveries += 1
+                incidents.extend(outcome.recovery["incidents"])
+        check(
+            chaotic == reference,
+            "registry sweep with every worker killed is byte-identical "
+            "to serial (verdicts, oids, query and solve counters)",
+        )
+        check(recoveries == len(names), "every run recovered through the supervisor")
+        # The kills fire inside the worker processes (their own plan
+        # copies); the parent-side evidence is the incident log.
+        check(
+            any("worker crashed" in incident for incident in incidents),
+            "recovery incidents record the injected worker kills",
+        )
+    finally:
+        faults.install(None)
+
+
+def chaos_main() -> int:
+    chaos_serve()
+    chaos_sweep()
+    print("chaos smoke: PASS")
+    return 0
+
+
 def main() -> int:
+    if "--chaos" in sys.argv[1:]:
+        return chaos_main()
     sock = os.path.join(tempfile.mkdtemp(prefix="repro-serve-smoke-"), "serve.sock")
     server = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--socket", sock],

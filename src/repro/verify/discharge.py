@@ -39,10 +39,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import threading
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from fractions import Fraction
 from threading import Lock
@@ -58,6 +64,7 @@ from typing import (
     Union,
 )
 
+from repro import faults as faults_mod
 from repro.core import preconditions
 from repro.core.simplify import simplify
 from repro.lang import ast
@@ -88,6 +95,12 @@ JOBS_ENV_VAR = "REPRO_VERIFY_JOBS"
 #: suite through worker processes.
 BACKEND_ENV_VAR = "REPRO_VERIFY_BACKEND"
 
+#: Per-unit worker solve deadline (seconds) for the process backend
+#: when a configuration does not pin a backend instance.  A unit whose
+#: worker misses the deadline is resubmitted once, then re-solved
+#: through the serial engine.  Unset = no deadline.
+DEADLINE_ENV_VAR = "REPRO_UNIT_DEADLINE"
+
 
 class DischargeCancelled(Exception):
     """A discharge run was cancelled cooperatively before completing.
@@ -100,6 +113,26 @@ class DischargeCancelled(Exception):
     (``QueryCache.cancel``), and queued-but-unstarted work is dropped —
     no waiter deadlocks, no leaked scopes.
     """
+
+
+class DischargeWorkerError(RuntimeError):
+    """A discharge worker failed with a non-recoverable exception.
+
+    Raised by the threaded and process backends when a worker's
+    exception is neither cancellation nor a supervised fault (worker
+    death, deadline, injected failure — those recover serially).  Names
+    the unit and its obligation oids so the failure is attributable
+    without digging through a pool traceback.
+    """
+
+    def __init__(self, unit: "DischargeUnit", cause: BaseException) -> None:
+        self.unit = unit.uid
+        self.oids = unit.oids()
+        super().__init__(
+            f"discharge worker failed on unit {self.unit}"
+            f" (obligations: {', '.join(self.oids)}):"
+            f" {type(cause).__name__}: {cause}"
+        )
 
 
 @dataclass
@@ -389,6 +422,11 @@ class DischargeEngine:
         #: Per-worker raw solve totals from the last process-backend
         #: run (pid-keyed; schedule-dependent, unlike the merged view).
         self.worker_report: Optional[Dict[str, Dict[str, int]]] = None
+        #: Supervision report from the last process-backend run: pool
+        #: restarts, retries and serially re-solved units.  ``None``
+        #: when the run saw no incidents, so fault-free outcomes are
+        #: byte-identical to builds without supervision.
+        self.recovery: Optional[Dict[str, object]] = None
 
     @property
     def store_fingerprint(self) -> str:
@@ -762,8 +800,15 @@ class ThreadedBackend(DischargeBackend):
                     future = pool.submit(
                         engine.discharge_unit, unit, results, skip, on_failure, emit, batch
                     )
-                    futures.append((unit.index, future))
-                accounts = [(index, future.result()) for index, future in futures]
+                    futures.append((unit, future))
+                accounts = []
+                for unit, future in futures:
+                    try:
+                        accounts.append((unit.index, future.result()))
+                    except (DischargeCancelled, DischargeWorkerError):
+                        raise
+                    except Exception as err:
+                        raise DischargeWorkerError(unit, err) from err
             except BaseException:
                 # A worker raised (DischargeCancelled, solver error) or
                 # the main thread was interrupted mid-collection
@@ -797,6 +842,10 @@ class _EngineSpec:
     use_lemmas: bool
     collect_models: bool
     batch_limit: int
+    #: The parent's fault-plan spec, re-installed in each worker so
+    #: worker-side directives (worker-kill, solve-fail, solve-delay)
+    #: fire under both fork and spawn start methods.
+    faults: Optional[str] = None
 
 
 class _RecordingCache:
@@ -831,6 +880,19 @@ _WORKER_ENGINE: Optional[DischargeEngine] = None
 
 def _process_worker_init(spec: _EngineSpec) -> None:
     global _WORKER_ENGINE
+    # Under the fork start method the worker inherits the parent's
+    # signal state — including any asyncio wakeup fd, whose underlying
+    # pipe is SHARED with the parent's event loop.  Detach it and
+    # restore default handlers, or a signal delivered to a worker (e.g.
+    # the executor terminating siblings of a crashed worker) would echo
+    # into the parent loop as if the parent had been signalled.
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    faults_mod.install(spec.faults)
     engine = DischargeEngine(
         spec.psi,
         list(spec.assumptions),
@@ -848,6 +910,20 @@ def _process_worker_discharge(
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("process worker used before initialization")
+    plan = faults_mod.active()
+    if plan is not None:
+        delay = plan.worker_delay(unit.index)
+        if delay:
+            time.sleep(delay)
+        failure = plan.worker_fail(unit.index)
+        if failure == "fatal":
+            raise RuntimeError(f"injected fatal worker error at unit {unit.index}")
+        if failure is not None:
+            raise faults_mod.InjectedFailure(
+                f"injected solve failure at unit {unit.index}"
+            )
+        if plan.kill_worker(unit.index):
+            os._exit(43)
     recorder = _RecordingCache(engine.cache)
     engine.attach_cache(recorder)  # type: ignore[arg-type]
     try:
@@ -895,6 +971,18 @@ class ProcessPoolBackend(DischargeBackend):
     Raw per-worker solve totals (schedule-dependent, unlike the merged
     view) are published on ``engine.worker_report``.
 
+    **Supervision.**  The replay-is-the-source-of-truth design makes
+    recovery free of special cases: a replay whose worker died (or
+    missed its solve deadline, or raised an injected failure) simply
+    runs with ``oracle=None`` — which *is* a genuine serial solve
+    against the shared cache — so verdicts, failure lists, oids, the
+    event stream and the merged counters stay byte-identical to
+    :class:`SerialBackend` even when every worker is killed.  A broken
+    pool is respawned up to ``max_restarts`` times; past that budget
+    the run degrades to fully-serial discharge for the remaining units.
+    Incidents are published on ``engine.recovery`` (``None`` for clean
+    runs, so fault-free outcomes are unchanged).
+
     Houdini-style pruning (``skip``) consults a live closure per
     obligation, which cannot cross the process boundary — those runs
     delegate to :class:`SerialBackend`.
@@ -902,8 +990,13 @@ class ProcessPoolBackend(DischargeBackend):
 
     name = "process"
 
-    def __init__(self, jobs: int = 2) -> None:
+    def __init__(self, jobs: int = 2, deadline: Optional[float] = None,
+                 max_restarts: int = 2) -> None:
         self.jobs = max(1, jobs)
+        #: Per-unit worker solve deadline in seconds (None = no limit).
+        self.deadline = deadline
+        #: How many broken pools to respawn before degrading to serial.
+        self.max_restarts = max(0, max_restarts)
 
     def run(self, engine, units, results, skip=None, on_failure=None,
             emit=None, batch=True, fail_fast=False):
@@ -912,90 +1005,187 @@ class ProcessPoolBackend(DischargeBackend):
                 engine, units, results, skip=skip, on_failure=on_failure,
                 emit=emit, batch=batch, fail_fast=fail_fast,
             )
+        plan = faults_mod.active()
         spec = _EngineSpec(
             engine.psi,
             tuple(engine.assumptions),
             engine.use_lemmas,
             engine.collect_models,
             engine.batch_limit,
+            faults=plan.spec if plan is not None else None,
         )
         accounts: List[Tuple[int, Tuple[ContextStats, SolverProfile]]] = []
         per_worker: Dict[str, Dict[str, int]] = {}
-        pending: "deque[Tuple[DischargeUnit, object]]" = deque()
+        #: (unit, future-or-None, pool generation); a None future means
+        #: the pool was gone at submit time and the unit is serial-only.
+        pending: "deque[Tuple[DischargeUnit, object, int]]" = deque()
         failed_uid: Optional[str] = None
+        state = {"pool": None, "generation": 0, "restarts": 0}
+
+        def recovery() -> Dict[str, object]:
+            if engine.recovery is None:
+                engine.recovery = {
+                    "pool_restarts": 0,
+                    "retries": 0,
+                    "recovered_units": [],
+                    "incidents": [],
+                }
+            return engine.recovery
+
+        def note(unit: DischargeUnit, cause: str) -> None:
+            recovery()["incidents"].append(f"{unit.uid}: {cause}")
+
+        def spawn() -> None:
+            state["pool"] = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=_process_context(),
+                initializer=_process_worker_init,
+                initargs=(spec,),
+            )
+
+        def retire(generation: int) -> None:
+            """A pool broke: respawn within budget, else degrade to
+            serial-only for everything still outstanding.  Generation
+            guards make the many broken futures of one crash retire
+            (and count) the pool exactly once."""
+            if generation != state["generation"]:
+                return
+            state["generation"] += 1
+            pool, state["pool"] = state["pool"], None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if state["restarts"] < self.max_restarts:
+                state["restarts"] += 1
+                recovery()["pool_restarts"] += 1
+                spawn()
+
+        def submit(unit: DischargeUnit) -> Tuple[object, int]:
+            for _ in range(2):
+                pool = state["pool"]
+                if pool is None:
+                    break
+                try:
+                    future = pool.submit(_process_worker_discharge, unit, batch)
+                    return future, state["generation"]
+                except (BrokenExecutor, RuntimeError):
+                    # The pool broke between a result and this submit
+                    # (RuntimeError = submit raced its shutdown).
+                    retire(state["generation"])
+            return None, state["generation"]
+
+        def fetch(unit: DischargeUnit, future, generation: int,
+                  retried: bool = False):
+            """The worker's result tuple, or None after a supervised
+            failure — the caller then re-solves the unit serially."""
+            if future is None:
+                return None
+            try:
+                return future.result(timeout=self.deadline)
+            except FutureTimeoutError:
+                future.cancel()
+                note(unit, "deadline exceeded" + (" (retry)" if retried else ""))
+                if retried:
+                    return None
+                recovery()["retries"] += 1
+                return fetch(unit, *submit(unit), retried=True)
+            except faults_mod.InjectedFailure as err:
+                note(unit, f"worker failure: {err}" + (" (retry)" if retried else ""))
+                if retried:
+                    return None
+                recovery()["retries"] += 1
+                return fetch(unit, *submit(unit), retried=True)
+            except BrokenExecutor:
+                note(unit, "worker crashed")
+                retire(generation)
+                return None
+            except (DischargeCancelled, DischargeWorkerError):
+                raise
+            except Exception as err:
+                raise DischargeWorkerError(unit, err) from err
 
         def replay_one() -> None:
             nonlocal failed_uid
-            unit, future = pending.popleft()
-            _, pid, w_stats, w_profile, oracle = future.result()
-            bucket = per_worker.setdefault(
-                f"pid{pid}",
-                {"units": 0, "queries": 0, "cache_hits": 0, "solve_calls": 0},
-            )
-            bucket["units"] += 1
-            bucket["queries"] += w_stats.queries
-            bucket["cache_hits"] += w_stats.cache_hits
-            bucket["solve_calls"] += w_stats.solve_calls
+            unit, future, generation = pending.popleft()
+            got = fetch(unit, future, generation)
+            oracle = None
+            if got is not None:
+                _, pid, w_stats, w_profile, oracle = got
+                bucket = per_worker.setdefault(
+                    f"pid{pid}",
+                    {"units": 0, "queries": 0, "cache_hits": 0, "solve_calls": 0},
+                )
+                bucket["units"] += 1
+                bucket["queries"] += w_stats.queries
+                bucket["cache_hits"] += w_stats.cache_hits
+                bucket["solve_calls"] += w_stats.solve_calls
+            else:
+                recovery()["recovered_units"].append(unit.uid)
+            # With an oracle, the replay skips the redundant solves;
+            # with oracle=None (supervised failure) it *is* a genuine
+            # serial solve — identical counters either way.
             stats, profile = engine.discharge_unit(
                 unit, results, None, on_failure, emit, batch, oracle=oracle
             )
-            # The replay's counters are the canonical (serial-identical)
-            # account; the worker's inner-loop profile is where the
-            # pivots actually happened, so fold it in for honest
-            # --profile totals.
-            profile.merge(w_profile)
+            if got is not None:
+                # The replay's counters are the canonical (serial-
+                # identical) account; the worker's inner-loop profile is
+                # where the pivots actually happened, so fold it in for
+                # honest --profile totals.
+                profile.merge(w_profile)
             accounts.append((unit.index, (stats, profile)))
             if fail_fast and results and failed_uid is None:
                 failed_uid = unit.uid
 
         units = iter(units)
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=_process_context(),
-            initializer=_process_worker_init,
-            initargs=(spec,),
-        ) as pool:
-            try:
-                # Replays run strictly in plan order, so the first unit
-                # whose replay records a refutation is the same unit the
-                # serial backend would have stopped at — fail-fast is as
-                # deterministic as everything else, however the workers
-                # were actually scheduled.
-                while failed_uid is None:
-                    unit = next(units, None)
-                    if unit is None:
-                        break
-                    engine.check_cancelled(unit, emit)
-                    pending.append((unit, pool.submit(_process_worker_discharge, unit, batch)))
-                    # Opportunistic in-order replay keeps the parent's
-                    # shared cache warm while the stream is still
-                    # producing (and surfaces fail-fast refutations as
-                    # early as the serial backend would).
-                    while pending and pending[0][1].done() and failed_uid is None:
-                        replay_one()
-                while pending and failed_uid is None:
+        spawn()
+        try:
+            # Replays run strictly in plan order, so the first unit
+            # whose replay records a refutation is the same unit the
+            # serial backend would have stopped at — fail-fast is as
+            # deterministic as everything else, however the workers
+            # were actually scheduled (or supervised).
+            while failed_uid is None:
+                unit = next(units, None)
+                if unit is None:
+                    break
+                engine.check_cancelled(unit, emit)
+                pending.append((unit, *submit(unit)))
+                # Opportunistic in-order replay keeps the parent's
+                # shared cache warm while the stream is still
+                # producing (and surfaces fail-fast refutations as
+                # early as the serial backend would).
+                while (pending and failed_uid is None
+                       and (pending[0][1] is None or pending[0][1].done())):
                     replay_one()
-                if failed_uid is not None and (pending or next(units, None) is not None):
-                    # Mirror SerialBackend: only an early exit if work
-                    # actually remained past the refuted unit.  Units
-                    # already speculatively solved in the workers are
-                    # simply discarded unreplayed.
-                    engine.early_exited = True
-                    if emit is not None:
-                        emit(EarlyExit(failed_uid, "first refutation (fail-fast)"))
-                for _, future in pending:
-                    future.cancel()
-                pending.clear()
-            except BaseException:
-                # Mirror ThreadedBackend: a worker raised or the main
-                # thread was interrupted mid-collection.  Queued-but-
-                # unstarted units are dropped here — without this, pool
-                # shutdown would run the whole remaining plan before
-                # the exception could propagate.
-                for _, future in pending:
-                    future.cancel()
+            while pending and failed_uid is None:
+                replay_one()
+            if failed_uid is not None and (pending or next(units, None) is not None):
+                # Mirror SerialBackend: only an early exit if work
+                # actually remained past the refuted unit.  Units
+                # already speculatively solved in the workers are
+                # simply discarded unreplayed.
                 engine.early_exited = True
-                raise
+                if emit is not None:
+                    emit(EarlyExit(failed_uid, "first refutation (fail-fast)"))
+            for _, future, _ in pending:
+                if future is not None:
+                    future.cancel()
+            pending.clear()
+        except BaseException:
+            # Mirror ThreadedBackend: a worker raised or the main
+            # thread was interrupted mid-collection.  Queued-but-
+            # unstarted units are dropped here — without this, pool
+            # shutdown would run the whole remaining plan before
+            # the exception could propagate.
+            for _, future, _ in pending:
+                if future is not None:
+                    future.cancel()
+            engine.early_exited = True
+            raise
+        finally:
+            pool, state["pool"] = state["pool"], None
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
         engine.worker_report = {pid: dict(row) for pid, row in sorted(per_worker.items())}
         return accounts
 
@@ -1106,7 +1296,10 @@ def resolve_backend(
         elif name == "threaded":
             backend = ThreadedBackend(jobs=max(2, jobs) if jobs > 1 else jobs)
         elif name == "process":
-            backend = ProcessPoolBackend(jobs=max(2, jobs) if jobs > 1 else jobs)
+            backend = ProcessPoolBackend(
+                jobs=max(2, jobs) if jobs > 1 else jobs,
+                deadline=_env_deadline(),
+            )
         elif name == "oneshot":
             backend = OneShotBackend()
         else:
@@ -1117,6 +1310,18 @@ def resolve_backend(
     if cache is not None:
         backend = CachedBackend(backend, cache)
     return backend
+
+
+def _env_deadline() -> Optional[float]:
+    """The ``REPRO_UNIT_DEADLINE`` per-unit deadline, when set and sane."""
+    env = os.environ.get(DEADLINE_ENV_VAR)
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def effective_jobs(backend: DischargeBackend) -> int:

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro import faults as faults_mod
 from repro.lang import ast
 
 #: Environment variable naming a store path; the CLI consults it when
@@ -116,6 +117,13 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     invalid: int = 0
+    #: Transient ``database is locked``/``busy`` errors absorbed by the
+    #: short-backoff retry loop (the operation ultimately succeeded or
+    #: was counted elsewhere).
+    busy_retries: int = 0
+    #: Verdicts recorded in the in-memory fallback after the disk store
+    #: degraded (write failure survived instead of failing the run).
+    memory_writes: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -123,6 +131,8 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "invalid": self.invalid,
+            "busy_retries": self.busy_retries,
+            "memory_writes": self.memory_writes,
         }
 
 
@@ -160,11 +170,41 @@ class ObligationStore:
     undecodable row is deleted — each tallied in :attr:`counters`.
     """
 
+    #: Transient-busy retry policy: attempts per operation and the base
+    #: of the exponential backoff between them.
+    BUSY_ATTEMPTS = 5
+    BUSY_BACKOFF = 0.005
+
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = os.path.expanduser(path) if path else default_store_path()
         self._lock = threading.Lock()
         self._conn: Optional[sqlite3.Connection] = None
         self.counters = StoreStats()
+        #: True once a write failed past the retry budget: the store
+        #: keeps serving (and recording) verdicts from ``_memory`` so
+        #: requests degrade instead of failing; nothing persists.
+        self.degraded = False
+        self._memory: Dict[Tuple[str, str], StoredVerdict] = {}
+
+    def _run(self, action):
+        """Run one sqlite action, retrying transient busy/locked errors
+        with short exponential backoff; callers hold ``self._lock``."""
+        attempt = 0
+        while True:
+            try:
+                plan = faults_mod.active()
+                if plan is not None and plan.store_busy():
+                    raise sqlite3.OperationalError("database is locked (injected)")
+                return action()
+            except sqlite3.OperationalError as err:
+                message = str(err).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt + 1 >= self.BUSY_ATTEMPTS:
+                    raise
+                self.counters.busy_retries += 1
+                time.sleep(self.BUSY_BACKOFF * (2 ** attempt))
+                attempt += 1
 
     # -- connection management -------------------------------------------------
 
@@ -221,14 +261,23 @@ class ObligationStore:
         miss — a damaged entry costs one re-solve, never a crash.
         """
         with self._lock:
+            if self.degraded:
+                verdict = self._memory.get((oid, fingerprint))
+                if verdict is None:
+                    self.counters.misses += 1
+                else:
+                    self.counters.hits += 1
+                return verdict
             try:
                 conn = self._connect()
-                row = conn.execute(
-                    "SELECT valid, status, model FROM obligations"
-                    " WHERE oid = ? AND fp = ?",
-                    (oid, fingerprint),
-                ).fetchone()
-            except sqlite3.DatabaseError:
+                row = self._run(
+                    lambda: conn.execute(
+                        "SELECT valid, status, model FROM obligations"
+                        " WHERE oid = ? AND fp = ?",
+                        (oid, fingerprint),
+                    ).fetchone()
+                )
+            except (sqlite3.DatabaseError, OSError):
                 self.counters.invalid += 1
                 self.counters.misses += 1
                 self._reset_connection()
@@ -287,40 +336,74 @@ class ObligationStore:
 
         One transaction for the whole batch — readers see all of a
         run's verdicts or none of them.  Returns the rows written.
+
+        A write that still fails after the transient-busy retries
+        degrades the store to a counted in-memory-only mode (this batch
+        and everything after it is kept in ``_memory`` and served from
+        there) instead of failing the run.
         """
+        entries = list(entries)
+        if not entries:
+            return 0
         now = time.time()
         rows = [
             (oid, fingerprint, int(valid), status, _encode_model(model),
              tag, region, now, now)
             for oid, tag, region, valid, status, model in entries
         ]
-        if not rows:
-            return 0
+        plan = faults_mod.active()
+        if plan is not None and plan.store_poison():
+            # An undecodable row: the next lookup must count it invalid,
+            # delete it and re-solve — the corruption-is-a-miss path.
+            oid0, fp0, valid0, _, model0, tag0, region0, c0, l0 = rows[0]
+            rows[0] = (oid0, fp0, valid0, "poisoned", model0, tag0, region0, c0, l0)
         with self._lock:
+            if self.degraded:
+                return self._record_memory(fingerprint, entries)
             try:
                 conn = self._connect()
-                conn.executemany(
-                    "INSERT OR REPLACE INTO obligations"
-                    " (oid, fp, valid, status, model, tag, region, created, last_used)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    rows,
-                )
-                conn.commit()
-            except sqlite3.DatabaseError:
+
+                def write():
+                    conn.executemany(
+                        "INSERT OR REPLACE INTO obligations"
+                        " (oid, fp, valid, status, model, tag, region, created, last_used)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        rows,
+                    )
+                    conn.commit()
+
+                self._run(write)
+            except (sqlite3.DatabaseError, OSError):
                 self.counters.invalid += 1
                 self._reset_connection()
-                return 0
+                self.degraded = True
+                return self._record_memory(fingerprint, entries)
         self.counters.writes += len(rows)
         return len(rows)
+
+    def _record_memory(self, fingerprint: str, entries) -> int:
+        """Keep a batch's verdicts in memory (the degraded write path);
+        callers hold ``self._lock``."""
+        for oid, tag, region, valid, status, model in entries:
+            arith = booleans = None
+            if model is not None:
+                arith, booleans = model
+            self._memory[(oid, fingerprint)] = StoredVerdict(
+                bool(valid), status, arith, booleans
+            )
+        self.counters.memory_writes += len(entries)
+        return len(entries)
 
     # -- maintenance -----------------------------------------------------------
 
     def entry_count(self) -> int:
         with self._lock:
+            if self.degraded:
+                return len(self._memory)
             try:
                 conn = self._connect()
                 return conn.execute("SELECT COUNT(*) FROM obligations").fetchone()[0]
-            except sqlite3.DatabaseError:
+            except (sqlite3.DatabaseError, OSError):
                 self._reset_connection()
                 return 0
 
@@ -388,6 +471,7 @@ class ObligationStore:
         out["path"] = self.path
         out["schema_version"] = SCHEMA_VERSION
         out["entries"] = self.entry_count()
+        out["degraded"] = self.degraded
         try:
             out["bytes"] = os.path.getsize(self.path)
         except OSError:

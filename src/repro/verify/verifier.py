@@ -169,6 +169,12 @@ class VerificationOutcome:
     #: are schedule-dependent by nature; the merged counters above are
     #: the schedule-invariant view.
     workers: Optional[Dict[str, Dict[str, int]]] = None
+    #: Supervision report from a process-backend run that survived
+    #: worker failures (pool restarts, retries, serially re-solved
+    #: units, incident causes).  None on clean runs — the verdict
+    #: fields above are byte-identical to serial either way; only this
+    #: report records that recovery happened.
+    recovery: Optional[Dict[str, object]] = None
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
@@ -197,6 +203,8 @@ class VerificationOutcome:
             stats["store"] = dict(self.store)
         if self.workers is not None:
             stats["workers"] = {pid: dict(row) for pid, row in self.workers.items()}
+        if self.recovery is not None:
+            stats["recovery"] = dict(self.recovery)
         return stats
 
 
@@ -577,6 +585,8 @@ def verify_target(
         # requests and each outcome reports its own traffic.
         store_stats = checker.store.delta_since(store_before)
         store_stats["entries"] = checker.store.entry_count()
+        if checker.store.degraded:
+            store_stats["degraded"] = True
 
     profile_dict: Optional[Dict[str, int]] = None
     if config.profile:
@@ -604,6 +614,7 @@ def verify_target(
         oids=[ob.oid for ob in generator.obligations],
         store=store_stats,
         workers=checker.worker_report,
+        recovery=checker.recovery,
     )
 
 

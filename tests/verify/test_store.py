@@ -264,6 +264,7 @@ class TestConfiguration:
         assert failures == []
         assert checker.store.snapshot() == {
             "hits": 0, "misses": 0, "writes": 0, "invalid": 0,
+            "busy_retries": 0, "memory_writes": 0,
         }
         assert ObligationStore(path).entry_count() == 0
 

@@ -1,0 +1,125 @@
+"""Obligation-store fault tolerance: busy retries, poisoned rows,
+degraded in-memory mode."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro import faults
+from repro.algorithms import get
+from repro.pipeline import spec_config
+from repro.verify.store import ObligationStore
+from repro.verify.verifier import verify_target
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.install(None)
+    faults.reset()
+
+
+def _config(base, **kwargs):
+    return dataclasses.replace(base, **kwargs)
+
+
+class TestBusyRetry:
+    def test_transient_lock_is_retried_and_counted(self, tmp_path):
+        spec = get("svt")
+        store = ObligationStore(os.fspath(tmp_path / "store.sqlite"))
+        faults.install("store-busy@1")
+        outcome = verify_target(
+            spec.target(), _config(spec_config(spec), store=store)
+        )
+        assert outcome.verified is True
+        # The injected 'database is locked' hit one attempt; the retry
+        # landed the operation and the run never noticed.
+        assert store.counters.busy_retries == 1
+        assert store.degraded is False
+        assert outcome.store["busy_retries"] == 1
+        assert outcome.store["writes"] == outcome.obligations_total
+        assert store.stats()["busy_retries"] == 1
+
+    def test_persistent_lock_degrades_instead_of_failing(self, tmp_path):
+        """A write whose every attempt stays locked exhausts the retry
+        budget and flips the store to memory-only — the run completes."""
+        spec = get("svt")
+        store = ObligationStore(os.fspath(tmp_path / "store.sqlite"))
+        # A cold run's store traffic is one lookup per obligation, then
+        # the one write batch: lock every attempt of that write (the
+        # retry budget's worth of occurrences after the lookups).
+        total = verify_target(spec.target(), spec_config(spec)).obligations_total
+        plan = ",".join(
+            f"store-busy@{n}"
+            for n in range(total + 1, total + 1 + ObligationStore.BUSY_ATTEMPTS)
+        )
+        faults.install(plan)
+        outcome = verify_target(
+            spec.target(), _config(spec_config(spec), store=store)
+        )
+        assert outcome.verified is True
+        assert store.degraded is True
+        assert store.counters.memory_writes > 0
+        assert outcome.store["degraded"] is True
+
+
+class TestPoisonedRows:
+    def test_poisoned_row_is_quarantined_and_resolved(self, tmp_path):
+        spec = get("svt")
+        store_path = os.fspath(tmp_path / "store.sqlite")
+        faults.install("store-poison@1")
+        cold = verify_target(
+            spec.target(), _config(spec_config(spec), store=store_path)
+        )
+        assert cold.verified is True
+        total = cold.obligations_total
+
+        faults.install(None)
+        warm = verify_target(
+            spec.target(), _config(spec_config(spec), store=store_path)
+        )
+        assert warm.verified is True
+        # Exactly one row was undecodable: counted invalid, deleted,
+        # reported as a miss and re-solved; everything else warm-hit.
+        assert warm.store["invalid"] == 1
+        assert warm.store["hits"] == total - 1
+        assert warm.store["misses"] == 1
+        assert warm.store["writes"] == 1
+
+        # Third run: the quarantined row was rewritten clean.
+        healed = verify_target(
+            spec.target(), _config(spec_config(spec), store=store_path)
+        )
+        assert healed.store["invalid"] == 0
+        assert healed.store["hits"] == total
+        assert healed.solve_calls == 0
+
+
+class TestDegradedMode:
+    def test_unwritable_store_degrades_to_memory(self, tmp_path):
+        """A store whose path cannot exist (nested under a regular
+        file) degrades on first write: verdicts stay in memory, the run
+        is unaffected, and a second run through the same store object
+        answers from memory without solving."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        store = ObligationStore(os.fspath(blocker / "store.sqlite"))
+        spec = get("svt")
+
+        cold = verify_target(
+            spec.target(), _config(spec_config(spec), store=store)
+        )
+        assert cold.verified is True
+        assert store.degraded is True
+        assert cold.store["degraded"] is True
+        assert cold.store["memory_writes"] == cold.obligations_total
+        assert store.entry_count() == cold.obligations_total
+        assert store.stats()["degraded"] is True
+
+        warm = verify_target(
+            spec.target(), _config(spec_config(spec), store=store)
+        )
+        assert warm.verified is True
+        assert warm.solve_calls == 0
+        assert warm.store["hits"] - cold.store["hits"] == cold.obligations_total

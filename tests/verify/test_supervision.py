@@ -1,0 +1,257 @@
+"""Worker supervision: the process backend under injected faults.
+
+The contract under test is the strong form of the determinism property:
+verdicts, obligation ids, failure lists and merged solver counters stay
+**byte-identical** to :class:`SerialBackend` even when workers are
+killed mid-unit, exceed their solve deadline, or raise — because every
+recovery path funnels into the same serial replay that accounts
+fault-free runs.
+"""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro import faults
+from repro.algorithms import all_specs, get
+from repro.pipeline import spec_config
+from repro.verify.discharge import (
+    DEADLINE_ENV_VAR,
+    DischargeCancelled,
+    DischargeEngine,
+    DischargeWorkerError,
+    EarlyExit,
+    ObligationDischarged,
+    ProcessPoolBackend,
+    resolve_backend,
+)
+from repro.solver.context import QueryCache
+from repro.verify.verifier import verify_target
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.install(None)
+    faults.reset()
+
+
+def _config(base, **kwargs):
+    return dataclasses.replace(base, **kwargs)
+
+
+def _signature(outcome):
+    """Everything the determinism contract pins, in one comparable value."""
+    return (
+        outcome.verified,
+        outcome.obligations_total,
+        tuple(outcome.oids or ()),
+        tuple(sorted(f.obligation.oid for f in outcome.failures)),
+        tuple(
+            (f.obligation.oid, f.arith_model, f.bool_model)
+            for f in outcome.failures
+        ),
+        outcome.solver_queries,
+        outcome.cache_hits,
+        outcome.solve_calls,
+        outcome.context_pushes,
+        outcome.context_pops,
+        outcome.units,
+    )
+
+
+class TestKillRecovery:
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+    def test_registry_kills_identical_to_serial(self, spec):
+        """The acceptance property: kill the workers solving units 2 and
+        4 — verdicts, failure lists and merged counters must not move."""
+        config = spec_config(spec)
+        reference = _signature(
+            verify_target(spec.target(), _config(config, backend="serial"))
+        )
+        faults.install("worker-kill@2,worker-kill@4")
+        for jobs in (2, 4):
+            outcome = verify_target(
+                spec.target(), _config(config, backend="process", jobs=jobs)
+            )
+            assert _signature(outcome) == reference, (spec.name, jobs)
+
+    def test_kill_every_worker_still_byte_identical(self):
+        spec = get("svt")
+        config = spec_config(spec)
+        reference = _signature(
+            verify_target(spec.target(), _config(config, backend="serial"))
+        )
+        faults.install("worker-kill@*")
+        outcome = verify_target(
+            spec.target(), _config(config, backend="process", jobs=2)
+        )
+        assert _signature(outcome) == reference
+        recovery = outcome.recovery
+        assert recovery is not None
+        assert 1 <= recovery["pool_restarts"] <= 2
+        assert recovery["recovered_units"], "units must be re-solved serially"
+        assert any("worker crashed" in i for i in recovery["incidents"])
+        assert outcome.solver_stats()["recovery"] == recovery
+
+    def test_restart_budget_bounds_respawns(self):
+        spec = get("svt")
+        config = spec_config(spec)
+        reference = _signature(
+            verify_target(spec.target(), _config(config, backend="serial"))
+        )
+        faults.install("worker-kill@*")
+        backend = ProcessPoolBackend(jobs=2, max_restarts=1)
+        outcome = verify_target(
+            spec.target(), _config(config, backend=backend)
+        )
+        assert _signature(outcome) == reference
+        assert outcome.recovery["pool_restarts"] <= 1
+
+    def test_clean_run_reports_no_recovery(self):
+        spec = get("svt")
+        outcome = verify_target(
+            spec.target(), _config(spec_config(spec), backend="process", jobs=2)
+        )
+        assert outcome.recovery is None
+        assert "recovery" not in outcome.solver_stats()
+
+    def test_fail_fast_identical_under_kills(self):
+        """Fail-fast composes with recovery: replays run in plan order,
+        so the stopping point is the serial one even when every worker
+        dies."""
+        spec = get("bad_svt_leaks_value")
+        config = spec_config(spec)
+        serial = verify_target(
+            spec.target(), _config(config, backend="serial", fail_fast=True)
+        )
+        assert serial.verified is False and serial.early_exit
+
+        def discharge_signature(outcome):
+            verified, total, oids, *rest = _signature(outcome)
+            return (verified, *rest)
+
+        faults.install("worker-kill@*")
+        outcome = verify_target(
+            spec.target(),
+            _config(config, backend="process", jobs=2, fail_fast=True),
+        )
+        assert discharge_signature(outcome) == discharge_signature(serial)
+        assert outcome.early_exit
+
+    def test_cancellation_mid_recovery(self):
+        """A cancel observed while killed units are being re-solved
+        serially stops at the next boundary and leaves the shared cache
+        serviceable — recovery must not mask cancellation."""
+        spec = get("svt")
+        config = spec_config(spec)
+        cache = QueryCache()
+        cancel = threading.Event()
+        events = []
+
+        def sink(event):
+            events.append(event)
+            discharged = sum(
+                1 for e in events if isinstance(e, ObligationDischarged)
+            )
+            if discharged >= 3:
+                cancel.set()
+
+        faults.install("worker-kill@*")
+        with pytest.raises(DischargeCancelled):
+            verify_target(
+                spec.target(),
+                _config(config, backend="process", jobs=2, cancel_event=cancel),
+                cache=cache,
+                on_event=sink,
+            )
+        assert cache.stats()["pending"] == 0
+        exits = [e for e in events if isinstance(e, EarlyExit)]
+        assert len(exits) == 1 and exits[0].reason == "cancelled"
+
+        faults.install(None)
+        outcome = verify_target(spec.target(), config, cache=cache)
+        assert outcome.verified is True
+        assert cache.stats()["pending"] == 0
+
+
+class TestSolveFailures:
+    def test_injected_failure_retries_then_recovers(self):
+        """A recoverable worker failure gets one retry; since the
+        directive fires on every attempt, the unit falls through to the
+        serial path — counters still identical."""
+        spec = get("svt")
+        config = spec_config(spec)
+        reference = _signature(
+            verify_target(spec.target(), _config(config, backend="serial"))
+        )
+        faults.install("solve-fail@1")
+        outcome = verify_target(
+            spec.target(), _config(config, backend="process", jobs=2)
+        )
+        assert _signature(outcome) == reference
+        recovery = outcome.recovery
+        assert recovery["retries"] >= 1
+        assert any("worker failure" in i for i in recovery["incidents"])
+
+    def test_fatal_worker_error_is_wrapped_with_unit_and_oids(self):
+        spec = get("svt")
+        config = spec_config(spec)
+        faults.install("solve-fail@0:fatal")
+        with pytest.raises(DischargeWorkerError) as excinfo:
+            verify_target(
+                spec.target(), _config(config, backend="process", jobs=2)
+            )
+        err = excinfo.value
+        assert err.unit.startswith("u000")
+        assert err.oids, "the failing unit's obligations must be named"
+        message = str(err)
+        assert err.unit in message
+        assert all(oid in message for oid in err.oids)
+
+    def test_threaded_worker_error_is_wrapped(self, monkeypatch):
+        spec = get("svt")
+        config = spec_config(spec)
+        original = DischargeEngine.discharge_unit
+
+        def failing(self, unit, *args, **kwargs):
+            if unit.index == 1:
+                raise RuntimeError("injected thread failure")
+            return original(self, unit, *args, **kwargs)
+
+        monkeypatch.setattr(DischargeEngine, "discharge_unit", failing)
+        with pytest.raises(DischargeWorkerError) as excinfo:
+            verify_target(
+                spec.target(), _config(config, backend="threaded", jobs=2)
+            )
+        assert excinfo.value.unit.startswith("u001")
+        assert "injected thread failure" in str(excinfo.value)
+
+
+class TestDeadlines:
+    def test_deadline_recovers_through_serial(self):
+        """A unit that blows its solve deadline twice (the directive
+        delays every attempt) is re-solved serially — byte-identical."""
+        spec = get("svt")
+        config = spec_config(spec)
+        reference = _signature(
+            verify_target(spec.target(), _config(config, backend="serial"))
+        )
+        faults.install("solve-delay@1:1.0")
+        backend = ProcessPoolBackend(jobs=2, deadline=0.2)
+        outcome = verify_target(spec.target(), _config(config, backend=backend))
+        assert _signature(outcome) == reference
+        recovery = outcome.recovery
+        assert recovery["retries"] >= 1
+        assert any("deadline exceeded" in i for i in recovery["incidents"])
+
+    def test_env_var_sets_the_deadline(self, monkeypatch):
+        monkeypatch.setenv(DEADLINE_ENV_VAR, "2.5")
+        backend = resolve_backend(choice="process")
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.deadline == 2.5
+        monkeypatch.setenv(DEADLINE_ENV_VAR, "0")
+        assert resolve_backend(choice="process").deadline is None
+        monkeypatch.delenv(DEADLINE_ENV_VAR)
+        assert resolve_backend(choice="process").deadline is None
