@@ -431,6 +431,9 @@ def run_workloads(quick: bool, jobs: int) -> Dict:
     # -- persistent store: cold vs warm (registry unroll sweep) ----------------
     results["warm_store"] = run_warm_store(unroll_names)
 
+    # -- proof witnesses: emission cost + trusted revalidation -----------------
+    results["witness"] = run_witness(unroll_names)
+
     # -- totals ---------------------------------------------------------------
     totals: Dict = {}
     for side in ("baseline", "incremental"):
@@ -491,6 +494,96 @@ def run_warm_store(names: List[str]) -> Dict:
             }
     cold_s, warm_s = out["cold"]["seconds"], out["warm"]["seconds"]
     out["speedup"] = round(cold_s / warm_s, 1) if warm_s > 0 else None
+    return out
+
+
+def run_witness(names: List[str]) -> Dict:
+    """Witness emission cost and trusted-revalidation throughput.
+
+    Emission must be observationally free (identical query/hit/solve
+    counters with witnesses on and off) and near-free in wall clock —
+    the guard bounds the on/off delta at
+    :data:`WITNESS_OVERHEAD_LIMIT`.  Each side takes the best of three
+    sweeps so sub-second timing noise doesn't trip the bound.  The
+    revalidation figure is the point of the subsystem: re-checking a
+    stored sweep with the trusted kernel costs milliseconds, not
+    solves.
+    """
+    import dataclasses
+    import os
+    import sqlite3
+    import tempfile
+
+    from repro.witness import Certificate, validate
+
+    def sweep(witness: bool, store: Optional[str] = None) -> Dict:
+        cache = QueryCache()
+        queries = hits = solves = certificates = 0
+        start = time.perf_counter()
+        for name in names:
+            spec = get(name)
+            config = dataclasses.replace(
+                spec_config(spec), witness=witness, store=store
+            )
+            outcome = verify_target(spec.target(), config, cache=cache)
+            stats = outcome.solver_stats()
+            queries += stats["queries"]
+            hits += stats["cache_hits"]
+            solves += stats["solve_calls"]
+            certificates += outcome.witnesses or 0
+        return {
+            "queries": queries,
+            "cache_hits": hits,
+            "solve_calls": solves,
+            "certificates": certificates,
+            "seconds": round(time.perf_counter() - start, 3),
+        }
+
+    def best_of(witness: bool, rounds: int = 3) -> Dict:
+        return min((sweep(witness) for _ in range(rounds)),
+                   key=lambda row: row["seconds"])
+
+    out: Dict = {"plain": best_of(False), "witnessed": best_of(True)}
+    plain, witnessed = out["plain"], out["witnessed"]
+    out["identical_counters"] = all(
+        plain[key] == witnessed[key]
+        for key in ("queries", "cache_hits", "solve_calls")
+    )
+    out["emission_overhead"] = (
+        round(witnessed["seconds"] / plain["seconds"] - 1, 3)
+        if plain["seconds"] > 0
+        else None
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "obligations.sqlite")
+        sweep(True, store=store_path)
+        conn = sqlite3.connect(store_path)
+        # Content-derived oids dedup identical obligations across specs,
+        # so the store can hold fewer rows than certificates collected.
+        valid_rows, witness_rows = conn.execute(
+            "SELECT SUM(valid), COUNT(witness) FROM obligations"
+        ).fetchone()
+        texts = [
+            row[0]
+            for row in conn.execute(
+                "SELECT witness FROM obligations WHERE witness IS NOT NULL"
+            )
+        ]
+        conn.close()
+        start = time.perf_counter()
+        for text in texts:
+            validate(Certificate.from_json(text))
+        seconds = time.perf_counter() - start
+    out["revalidate"] = {
+        "certificates": len(texts),
+        "stored_valid": int(valid_rows or 0),
+        "stored_witnesses": int(witness_rows or 0),
+        "seconds": round(seconds, 3),
+        "ms_per_certificate": (
+            round(1000 * seconds / len(texts), 3) if texts else None
+        ),
+    }
     return out
 
 
@@ -606,6 +699,10 @@ GUARD_COUNTERS = ("solve_calls", "pivots")
 #: Allowed relative growth before the guard fails.
 GUARD_TOLERANCE = 0.20
 
+#: Allowed wall-clock cost of proof-certificate emission on the quick
+#: sweep (best-of-three on/off runs; the counters must match exactly).
+WITNESS_OVERHEAD_LIMIT = 0.10
+
 #: Counters the guard additionally checks for **exact** equality against
 #: the committed ``serial_reference``: the serial backend is required to
 #: be byte-identical release over release (same queries, same cache
@@ -691,6 +788,8 @@ def run_guard(reference_path: str, jobs: int) -> int:
               f"current={warm_solves} [{status}]")
         if warm_solves != 0:
             failed = True
+    if not run_witness_guard(results):
+        failed = True
     if not run_chaos_guard(results):
         failed = True
     if failed:
@@ -699,6 +798,32 @@ def run_guard(reference_path: str, jobs: int) -> int:
         return 1
     print("bench-guard: passed")
     return 0
+
+
+def run_witness_guard(results: Dict) -> bool:
+    """The witness leg: emission must leave every counter untouched and
+    cost < :data:`WITNESS_OVERHEAD_LIMIT` wall clock on the quick
+    sweep, and every emitted certificate must pass the trusted
+    validator (``revalidate`` covers the whole stored sweep)."""
+    witness = results.get("witness")
+    if witness is None:
+        print("bench-guard: no witness section, skipping")
+        return True
+    overhead = witness["emission_overhead"]
+    revalidated = witness["revalidate"]["certificates"]
+    expected = witness["revalidate"]["stored_valid"]
+    ok = (
+        witness["identical_counters"]
+        and (overhead is None or overhead <= WITNESS_OVERHEAD_LIMIT)
+        and revalidated == expected
+        and revalidated > 0
+    )
+    status = "OK" if ok else "REGRESSION"
+    print(f"bench-guard: witness: identical_counters="
+          f"{witness['identical_counters']} overhead={overhead} "
+          f"(limit {WITNESS_OVERHEAD_LIMIT}) revalidated="
+          f"{revalidated}/{expected} [{status}]")
+    return ok
 
 
 def run_chaos_guard(results: Dict) -> bool:
@@ -810,6 +935,22 @@ def render(results: Dict) -> str:
             f"{cold['store_writes']} writes) -> warm {warm['seconds']}s "
             f"({warm['solve_calls']} solves, {warm['store_hits']} store hits), "
             f"{warm_store['speedup']}x"
+        )
+    witness = results.get("witness")
+    if witness:
+        revalidate = witness["revalidate"]
+        identical = (
+            "identical counters"
+            if witness["identical_counters"]
+            else "COUNTERS DIVERGED"
+        )
+        lines.append(
+            f"witnesses: emission {witness['plain']['seconds']}s -> "
+            f"{witness['witnessed']['seconds']}s "
+            f"({witness['emission_overhead']:+.1%}, {identical}); "
+            f"revalidated {revalidate['certificates']} certificates in "
+            f"{revalidate['seconds']}s "
+            f"({revalidate['ms_per_certificate']} ms each, zero solves)"
         )
     micro = results.get("microbench")
     if micro:

@@ -36,11 +36,21 @@ obligations discharged/refuted) as they happen, ``--solver-stats``
 prints query/cache/solve-call counters after the verdict, and
 ``--profile`` additionally reports the inner-loop solver profile (SAT
 decisions/propagations/conflicts/restarts, simplex pivots,
-interned-node hits).
+interned-node hits), and ``--witness`` emits a self-contained proof
+certificate (Farkas coefficients + DRUP-style clause trail) for every
+valid obligation, persisted alongside the verdict when a store is
+active.
 ``cache ACTION``
     Inspect or maintain the persistent obligation store: ``stats``,
     ``gc`` (``--max-age-days`` / ``--max-entries``), ``clear``,
     ``path``.
+``witness ACTION``
+    Proof-certificate tooling: ``show FILE`` verifies with witnesses
+    on and prints per-obligation certificate summaries (``--oid`` dumps
+    one certificate's canonical JSON), ``check FILE`` re-validates a
+    certificate file with the trusted kernel alone (exit 1 on
+    rejection), ``sweep`` re-validates every stored certificate for the
+    registry — zero solver calls; ``--populate`` verifies first.
 ``run FILE [--input name=value ...] [--seed N]``
     Execute the source program with real Laplace noise.
 ``table1``
@@ -53,7 +63,9 @@ interned-node hits).
 ``client [--socket PATH | --port N] ACTION``
     Talk to a running server: ``status`` (cache stats, uptime,
     counters), ``verify`` (``--spec NAME`` or ``--file FILE``),
-    ``sweep`` (the whole registry), ``ping``, ``shutdown``.
+    ``sweep`` (the whole registry), ``witness`` (``--oid ID`` fetches a
+    stored certificate and re-validates it server-side; ``--full``
+    ships the canonical JSON), ``ping``, ``shutdown``.
 
 ``repro --version`` prints the package version and the serve-protocol
 revision (the server embeds both in its handshake and status reply).
@@ -109,6 +121,7 @@ _VERIFICATION_FLAG_DEFAULTS = {
     "solver_stats": False,
     "profile": False,
     "faults": None,
+    "witness": False,
 }
 
 
@@ -138,6 +151,7 @@ def _config_from_args(args) -> VerificationConfig:
         fail_fast=_flag_default(args, "fail_fast"),
         profile=_flag_default(args, "profile"),
         store=_store_from_args(args),
+        witness=_flag_default(args, "witness"),
     )
 
 
@@ -190,6 +204,8 @@ def _print_solver_stats(stats, indent: str = "") -> None:
         f"backend={stats.get('backend', 'serial')} "
         f"({stats.get('units', 0)} units, jobs={stats['jobs']})"
     )
+    if stats.get("witnesses") is not None:
+        print(f"{indent}witnesses: {stats['witnesses']} certificates collected")
     store = stats.get("store")
     if store is not None:
         degraded = " [DEGRADED: memory-only]" if store.get("degraded") else ""
@@ -198,10 +214,16 @@ def _print_solver_stats(stats, indent: str = "") -> None:
             if store.get("busy_retries")
             else ""
         )
+        witnessed = ""
+        if store.get("validated_hits") or store.get("witness_rejects"):
+            witnessed = (
+                f", {store.get('validated_hits', 0)} validated hits"
+                f", {store.get('witness_rejects', 0)} witness rejects"
+            )
         print(
             f"{indent}store: {store['hits']} hits, {store['misses']} misses, "
             f"{store['writes']} writes, {store['invalid']} invalid "
-            f"({store.get('entries', 0)} entries on disk){busy}{degraded}"
+            f"({store.get('entries', 0)} entries on disk){busy}{witnessed}{degraded}"
         )
     recovery = stats.get("recovery")
     if recovery:
@@ -449,6 +471,8 @@ def _client_wire_config(args):
         config["backend"] = args.backend
     if getattr(args, "fail_fast", False):
         config["fail_fast"] = True
+    if getattr(args, "witness", False):
+        config["witness"] = True
     return config or None
 
 
@@ -502,6 +526,11 @@ def _print_status(status) -> None:
             f"{store['hits']} hits, {store['misses']} misses, "
             f"{store['writes']} writes"
         )
+        print(
+            f"    witnesses: {store.get('witnesses', 0)} stored, "
+            f"{store.get('validated_hits', 0)} validated hits, "
+            f"{store.get('witness_rejects', 0)} rejects"
+        )
 
 
 def cmd_client(args) -> int:
@@ -543,6 +572,42 @@ def cmd_client(args) -> int:
                 return 0
             on_event = _client_event_printer(args)
             config = _client_wire_config(args)
+            if args.action == "witness":
+                if not args.oid:
+                    raise SystemExit("error: client witness needs --oid")
+                if bool(args.file) == bool(args.spec):
+                    raise SystemExit(
+                        "error: client witness needs exactly one of --file and --spec"
+                    )
+                if args.spec and len(args.spec) != 1:
+                    raise SystemExit("error: client witness takes exactly one --spec")
+                out = client.witness(
+                    args.oid,
+                    source=_read_source(args.file) if args.file else None,
+                    spec=args.spec[0] if args.spec else None,
+                    config=config,
+                    full=args.full,
+                )
+                if args.json:
+                    print(json.dumps(out, indent=2, sort_keys=True))
+                elif not out["found"]:
+                    print(f"{args.oid}: no stored verdict")
+                elif not out.get("witnessed"):
+                    verdict = "valid" if out["valid"] else "refuted"
+                    print(f"{args.oid}: {verdict}, no certificate stored")
+                elif out.get("validated"):
+                    summary = out["summary"]
+                    print(
+                        f"{args.oid}: certificate validated — "
+                        f"{summary['inputs']} inputs, {summary['lemmas']} lemmas, "
+                        f"{summary['learned']} learned clauses, "
+                        f"{summary['atoms']} atoms"
+                    )
+                    if args.full:
+                        print(out["certificate"])
+                else:
+                    print(f"{args.oid}: certificate REJECTED — {out.get('error')}")
+                return 0 if out.get("validated") else 1
             if args.action == "sweep":
                 results = client.sweep(
                     specs=args.spec or None,
@@ -599,6 +664,17 @@ def cmd_cache(args) -> int:
             f"{breakdown['refuted']} refuted), {stats['bytes']} bytes, "
             f"schema v{stats['schema_version']}"
         )
+        print(
+            f"  witnesses: {stats['witnesses']} of {breakdown['valid']} "
+            f"valid entries carry a proof certificate"
+        )
+        print(
+            f"  traffic (this process): {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['writes']} writes, "
+            f"{stats['invalid']} invalid, "
+            f"{stats['validated_hits']} validated hits, "
+            f"{stats['witness_rejects']} witness rejects"
+        )
         return 0
     if args.cache_action == "gc":
         if args.max_age_days is None and args.max_entries is None:
@@ -615,6 +691,149 @@ def cmd_cache(args) -> int:
         print(f"cleared {removed} entries")
         return 0
     raise SystemExit(f"error: unknown cache action {args.cache_action!r}")
+
+
+def _witness_show(args) -> int:
+    """Discharge one file with witnesses on; print per-oid summaries."""
+    from dataclasses import replace
+
+    from repro.verify.verifier import prepare_generator, target_cfg
+
+    config = replace(_config_from_args(args), witness=True)
+    run = Pipeline().run(_read_source(args.file), stop_after="optimize")
+    generator, checker = prepare_generator(run.target, config)
+    failures = checker.discharge_stream(
+        generator.stream(target_cfg(run.target, config)),
+        emit=_progress_sink(args),
+    )
+    refuted = {failure.obligation.oid for failure in failures}
+    if args.oid is not None:
+        text = checker.witness_text(args.oid)
+        if text is None:
+            known = any(ob.oid == args.oid for ob in generator.obligations)
+            what = "no certificate" if known else "no such obligation"
+            print(f"error: {what} for {args.oid!r}", file=sys.stderr)
+            return 1
+        print(text)
+        return 0
+    print(
+        f"{run.name}: {len(checker.certificates)} certificates for "
+        f"{len(generator.obligations)} obligations "
+        f"[fingerprint {checker.store_fingerprint[:12]}]"
+    )
+    for obligation in generator.obligations:
+        certificate = checker.certificates.get(obligation.oid)
+        if obligation.oid in refuted:
+            status = "refuted (no certificate)"
+        elif certificate is None:
+            status = "valid, no certificate"
+        else:
+            summary = certificate.summary()
+            status = (
+                f"{summary['inputs']} inputs, {summary['lemmas']} lemmas, "
+                f"{summary['learned']} learned, {summary['atoms']} atoms"
+            )
+        print(f"  {obligation.oid}  {obligation.tag:<20s} {status}")
+    return 0 if not failures else 1
+
+
+def _witness_check(args) -> int:
+    """Validate one serialized certificate with the trusted checker."""
+    from repro.witness import Certificate, WitnessError, validate
+
+    try:
+        certificate = Certificate.from_json(_read_source(args.file))
+        checked = validate(certificate)
+    except WitnessError as err:
+        print(f"REJECTED [{err.step}]: {err.detail}", file=sys.stderr)
+        return 1
+    oid = certificate.oid or "<unbound>"
+    print(
+        f"{oid}: certificate validated — {checked['inputs']} inputs, "
+        f"{checked['lemmas']} lemmas, {checked['rup_steps']} RUP steps"
+    )
+    return 0
+
+
+def _witness_sweep(args) -> int:
+    """Re-validate every stored certificate across the registry.
+
+    Pure trusted-kernel work: obligations are enumerated symbolically
+    and verdicts come from the store — no SAT/simplex solver is ever
+    constructed.  Exit 0 only when every valid obligation's certificate
+    is present and checks.
+    """
+    from dataclasses import replace
+
+    from repro.algorithms import registry
+    from repro.pipeline import spec_config
+    from repro.verify.store import (
+        STORE_ENV_VAR,
+        ObligationStore,
+        default_store_path,
+    )
+    from repro.verify.verifier import prepare_generator, target_cfg, verify_target
+    from repro.witness import Certificate, WitnessError, validate
+
+    path = args.store or os.environ.get(STORE_ENV_VAR) or default_store_path()
+    store = ObligationStore(path)
+    specs = registry.all_specs(include_buggy=False)
+    if args.spec:
+        specs = [registry.get(name) for name in args.spec]
+    pipe = Pipeline()
+    totals = {"missing": 0, "refuted": 0, "unwitnessed": 0, "validated": 0, "rejected": 0}
+    rows = []
+    for spec in specs:
+        config = replace(spec_config(spec), store=store, witness=True)
+        run = pipe.run(spec.source, config=config, stop_after="optimize")
+        if args.populate:
+            verify_target(run.target, config)
+        generator, checker = prepare_generator(run.target, config)
+        counts = dict.fromkeys(totals, 0)
+        for obligation in generator.stream(target_cfg(run.target, config)):
+            verdict = store.lookup(obligation.oid, checker.store_fingerprint)
+            if verdict is None:
+                counts["missing"] += 1
+            elif not verdict.valid:
+                counts["refuted"] += 1
+            elif verdict.witness is None:
+                counts["unwitnessed"] += 1
+            else:
+                try:
+                    validate(Certificate.from_json(verdict.witness))
+                    counts["validated"] += 1
+                except WitnessError:
+                    counts["rejected"] += 1
+        for key, value in counts.items():
+            totals[key] += value
+        rows.append({"spec": spec.name, **counts})
+    if args.json:
+        print(json.dumps({"specs": rows, "totals": totals}, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            print(
+                f"{row['spec']:<24s} {row['validated']} validated, "
+                f"{row['refuted']} refuted, {row['unwitnessed']} unwitnessed, "
+                f"{row['missing']} missing, {row['rejected']} rejected"
+            )
+        print(
+            f"total: {totals['validated']} certificates validated with zero "
+            f"solver calls ({totals['refuted']} refuted, "
+            f"{totals['unwitnessed']} unwitnessed, {totals['missing']} missing, "
+            f"{totals['rejected']} rejected)"
+        )
+    clean = not (totals["missing"] or totals["unwitnessed"] or totals["rejected"])
+    return 0 if clean else 1
+
+
+def cmd_witness(args) -> int:
+    if args.witness_action == "show":
+        return _witness_show(args)
+    if args.witness_action == "check":
+        return _witness_check(args)
+    if args.witness_action == "sweep":
+        return _witness_sweep(args)
+    raise SystemExit(f"error: unknown witness action {args.witness_action!r}")
 
 
 def _add_verification_flags(parser) -> None:
@@ -688,6 +907,13 @@ def _add_verification_flags(parser) -> None:
         "comma-separated SITE@KEY[:ARG] directives, e.g. "
         "'worker-kill@2,store-busy@1'; equivalent to REPRO_FAULTS "
         "(see docs/faults.md)",
+    )
+    parser.add_argument(
+        "--witness",
+        action="store_true",
+        default=defaults["witness"],
+        help="emit proof certificates for valid obligations (persisted with "
+        "--store; warm store hits are re-validated by the trusted checker)",
     )
 
 
@@ -782,6 +1008,56 @@ def main(argv=None) -> int:
     p_cache.add_argument("--json", action="store_true", help="machine-readable output")
     p_cache.set_defaults(func=cmd_cache)
 
+    p_wit = sub.add_parser(
+        "witness", help="emit, inspect and re-validate proof certificates"
+    )
+    wit_sub = p_wit.add_subparsers(dest="witness_action", required=True)
+    p_wshow = wit_sub.add_parser(
+        "show",
+        help="discharge FILE with witnesses on and print per-obligation "
+        "certificate summaries",
+    )
+    p_wshow.add_argument("file")
+    p_wshow.add_argument(
+        "--oid",
+        metavar="OID",
+        help="print this obligation's full canonical certificate JSON instead",
+    )
+    _add_verification_flags(p_wshow)
+    p_wshow.set_defaults(func=cmd_witness)
+    p_wcheck = wit_sub.add_parser(
+        "check",
+        help="validate a serialized certificate (JSON file) with the trusted "
+        "checker; exit 0 iff it checks",
+    )
+    p_wcheck.add_argument("file")
+    p_wcheck.set_defaults(func=cmd_witness)
+    p_wsweep = wit_sub.add_parser(
+        "sweep",
+        help="re-validate every stored certificate across the registry with "
+        "zero solver calls; exit 0 iff all valid obligations check",
+    )
+    p_wsweep.add_argument(
+        "--store",
+        metavar="PATH",
+        help="store path (default: REPRO_STORE env, else the user cache dir)",
+    )
+    p_wsweep.add_argument(
+        "--spec",
+        action="append",
+        metavar="NAME",
+        help="restrict the sweep to these registry algorithms (repeatable)",
+    )
+    p_wsweep.add_argument(
+        "--populate",
+        action="store_true",
+        help="run the witnessed verification first so the store is warm",
+    )
+    p_wsweep.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_wsweep.set_defaults(func=cmd_witness)
+
     p_srv = sub.add_parser(
         "serve", help="run the long-lived verification service (warm caches)"
     )
@@ -826,7 +1102,16 @@ def main(argv=None) -> int:
 
     p_cl = sub.add_parser("client", help="talk to a running verification server")
     p_cl.add_argument(
-        "action", choices=("status", "health", "verify", "sweep", "ping", "shutdown")
+        "action",
+        choices=(
+            "status",
+            "health",
+            "verify",
+            "sweep",
+            "witness",
+            "ping",
+            "shutdown",
+        ),
     )
     p_cl.add_argument("--socket", metavar="PATH", help="server unix socket")
     p_cl.add_argument("--host", default="127.0.0.1", help="server TCP host")
@@ -848,6 +1133,19 @@ def main(argv=None) -> int:
     p_cl.add_argument("--jobs", type=int, metavar="N")
     p_cl.add_argument("--backend", choices=("serial", "threaded", "process", "oneshot"))
     p_cl.add_argument("--fail-fast", action="store_true")
+    p_cl.add_argument(
+        "--witness",
+        action="store_true",
+        help="verify: emit proof certificates server-side",
+    )
+    p_cl.add_argument(
+        "--oid", metavar="OID", help="witness: the obligation id to look up"
+    )
+    p_cl.add_argument(
+        "--full",
+        action="store_true",
+        help="witness: also print the canonical certificate JSON",
+    )
     p_cl.add_argument(
         "--progress", action="store_true", help="print streamed discharge events"
     )

@@ -21,10 +21,10 @@ Faults are keyed by *structure*, not by wall clock or scheduling:
   discharge **unit index** ``U`` (or ``*`` for every unit) and fire on
   every worker-side attempt at that unit.  Worker scheduling cannot
   change which units are affected.
-- ``store-poison@N`` / ``store-busy@N`` fire on the Nth occurrence
-  (1-based) of the corresponding store operation — deterministic
-  wherever store traffic is serial, which it is (the store lock
-  serialises every operation).
+- ``store-poison@N`` / ``store-busy@N`` / ``witness-corrupt@N`` fire on
+  the Nth occurrence (1-based) of the corresponding store operation —
+  deterministic wherever store traffic is serial, which it is (the
+  store lock serialises every operation).
 - ``serve-drop@K`` fires once, on the first connection that writes its
   Kth frame.
 
@@ -48,7 +48,7 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 #: Sites keyed by discharge-unit index (fire on every matching attempt).
 UNIT_SITES = ("worker-kill", "solve-fail", "solve-delay")
 #: Sites keyed by 1-based occurrence count (fire once on the Nth call).
-OCCURRENCE_SITES = ("store-poison", "store-busy", "serve-drop")
+OCCURRENCE_SITES = ("store-poison", "store-busy", "serve-drop", "witness-corrupt")
 SITES = UNIT_SITES + OCCURRENCE_SITES
 
 
@@ -214,6 +214,12 @@ class FaultPlan:
     def store_busy(self) -> bool:
         """True if this store operation attempt should raise 'database is locked'."""
         return self._occurrence("store-busy")
+
+    def witness_corrupt(self) -> bool:
+        """True if this witnessed store hit should hand back a mangled
+        certificate (the validator must reject it and the hit must
+        degrade to a counted re-solve)."""
+        return self._occurrence("witness-corrupt")
 
     def drop_connection(self, frames: int) -> bool:
         """True if a connection that just produced its ``frames``-th frame

@@ -235,6 +235,9 @@ def _config_fingerprint(config: VerificationConfig) -> str:
             # write-backs, reported StoreStats), so runs against
             # different stores must not share a memo entry.
             getattr(config.store, "path", config.store),
+            # Witnessed runs report certificate counts and validate
+            # warm hits — different observable behaviour, own entry.
+            config.witness,
         )
     )
 

@@ -276,6 +276,31 @@ class ServeClient:
             self.verify(spec=name, on_event=on_event, **kwargs) for name in specs
         ]
 
+    def witness(
+        self,
+        oid: str,
+        source: Optional[str] = None,
+        spec: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        full: bool = False,
+    ) -> Dict[str, Any]:
+        """Fetch and re-validate the stored proof certificate for one
+        obligation; returns the terminal ``witness`` message.
+
+        ``source``/``spec`` identify the program exactly as in
+        :meth:`verify` (they determine the premise fingerprint the
+        obligation store is keyed on); ``full`` additionally returns the
+        canonical certificate JSON itself.
+        """
+        message: Dict[str, Any] = {"type": "witness", "oid": oid, "full": bool(full)}
+        if source is not None:
+            message["source"] = source
+        if spec is not None:
+            message["spec"] = spec
+        if config is not None:
+            message["config"] = config
+        return self._request(message)
+
     def status(self) -> Dict[str, Any]:
         """The server's introspection snapshot (cache stats, counters)."""
         return self._request({"type": "status"})

@@ -6,7 +6,8 @@ Every message is one JSON object, UTF-8 encoded, terminated by ``\\n``,
 at most :data:`MAX_LINE_BYTES` long.  The connection is strictly
 request/response *per connection*: the client sends one request line and
 reads response lines until it sees the request's terminal message
-(``result``, ``status``, ``pong``, ``shutdown-ack`` or ``error``);
+(``result``, ``status``, ``witness``, ``pong``, ``shutdown-ack`` or
+``error``);
 ``verify`` additionally streams any number of ``event`` lines before its
 terminal message.  Concurrency comes from opening several connections —
 the server multiplexes them over one warm cache.
@@ -62,6 +63,7 @@ CONFIG_KEYS = (
     "jobs",
     "backend",
     "fail_fast",
+    "witness",
 )
 
 #: Error codes the server emits (``error`` messages' ``code`` field).
@@ -250,6 +252,7 @@ def config_from_wire(
         backend=backend,
         fail_fast=bool(data.get("fail_fast", base.fail_fast)),
         cancel_event=cancel_event,
+        witness=bool(data.get("witness", base.witness)),
     )
 
 

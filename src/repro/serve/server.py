@@ -357,6 +357,9 @@ class VerifyServer:
         if kind == "verify":
             await self._handle_verify(message, writer)
             return True
+        if kind == "witness":
+            await self._handle_witness(message, writer)
+            return True
         if kind == "status":
             await self._send(writer, self.status_message(rid))
             return True
@@ -544,6 +547,89 @@ class VerifyServer:
         finally:
             self._inflight -= 1
             self._active.discard(cancel_event)
+
+    # -- witness requests ------------------------------------------------------
+
+    def _witness_lookup(
+        self, source: str, config: VerificationConfig, oid: str, full: bool
+    ) -> Dict[str, Any]:
+        """Worker-thread body of one witness request: fetch the stored
+        certificate for ``(oid, fingerprint)`` and re-validate it with
+        the trusted kernel.  No solving happens here — the target is
+        prepared only to derive the premise fingerprint."""
+        from repro.verify.verifier import prepare_generator
+        from repro.witness import Certificate, WitnessError, validate
+
+        run = self.pipeline.run(source, config=config, stop_after="optimize")
+        _, checker = prepare_generator(run.target, config)
+        out: Dict[str, Any] = {
+            "oid": oid,
+            "fingerprint": checker.store_fingerprint,
+            "found": False,
+        }
+        store = checker.store
+        if store is None:
+            out["error"] = "no obligation store configured"
+            return out
+        verdict = store.lookup(oid, checker.store_fingerprint)
+        if verdict is None:
+            return out
+        out["found"] = True
+        out["valid"] = verdict.valid
+        if verdict.witness is None:
+            out["witnessed"] = False
+            return out
+        out["witnessed"] = True
+        try:
+            certificate = Certificate.from_json(verdict.witness)
+            out["checked"] = validate(certificate)
+            out["validated"] = True
+            out["summary"] = certificate.summary()
+        except WitnessError as err:
+            out["validated"] = False
+            out["error"] = str(err)
+            return out
+        if full:
+            out["certificate"] = verdict.witness
+        return out
+
+    async def _handle_witness(self, message: Dict[str, Any], writer) -> None:
+        rid = message.get("id")
+        try:
+            oid = message.get("oid")
+            if not isinstance(oid, str) or not oid:
+                raise protocol.ProtocolError("witness needs an 'oid'")
+            source, base = self._resolve_request(message)
+            config = self._with_store(
+                protocol.config_from_wire(message.get("config"), base=base)
+            )
+        except (protocol.ProtocolError, ValueError, TypeError) as err:
+            code = getattr(err, "code", "bad-request")
+            await self._send(writer, protocol.error(code, str(err), rid))
+            return
+        try:
+            out = await self._loop.run_in_executor(
+                self._pool,
+                self._witness_lookup,
+                source,
+                config,
+                oid,
+                bool(message.get("full", False)),
+            )
+        except (ShadowDPError, ParseError) as err:
+            await self._send(writer, protocol.error("verify-error", str(err), rid))
+            return
+        except Exception as err:
+            self._log(f"internal error: {err!r}")
+            await self._send(
+                writer,
+                protocol.error("internal", f"{type(err).__name__}: {err}", rid),
+            )
+            return
+        reply: Dict[str, Any] = {"type": "witness", **out}
+        if rid is not None:
+            reply["id"] = rid
+        await self._send(writer, reply)
 
     # -- introspection ---------------------------------------------------------
 

@@ -94,11 +94,16 @@ class CacheEntry:
 
     ``status`` is the solver verdict on ``premises ∧ ¬goal`` ("unsat" =
     valid, "sat" = refuted with ``model``, "unknown" = gave up).
+    ``certificate`` is the proof witness behind a valid answer when the
+    solve ran with witnesses on (plain picklable data — it crosses both
+    the single-flight cache and the process-backend oracle unchanged);
+    None for refuted/unknown answers and for witness-off solves.
     """
 
     valid: bool
     status: str
     model: Optional[Model] = None
+    certificate: Optional[object] = None
 
 
 class QueryCache:
@@ -279,10 +284,18 @@ class SolverContext:
         cache: Optional[QueryCache] = None,
         max_rounds: int = 100_000,
         oracle: Optional[Dict[str, CacheEntry]] = None,
+        witness: bool = False,
     ) -> None:
         self.bool_vars = set(bool_vars or ())
         self.encoder = Encoder(bool_vars=self.bool_vars)
         self.solver = SMTSolver(max_rounds=max_rounds)
+        #: Emit proof certificates for valid answers (see repro.witness).
+        self.witness = witness
+        #: The certificate behind the most recent valid answer (solve,
+        #: cache hit or oracle replay), or None.
+        self.last_certificate: Optional[object] = None
+        if witness:
+            self.solver.enable_proof()
         self.cache = cache
         #: Pre-solved answers keyed by :func:`oracle_digest` — the
         #: process backend's replay path: a cache miss whose answer the
@@ -344,6 +357,7 @@ class SolverContext:
             entry = self.cache.acquire(key)
             if entry is not None:
                 self.stats.cache_hits += 1
+                self.last_certificate = entry.certificate
                 return entry.valid, entry.model
 
         if self.oracle is not None and key is not None:
@@ -359,6 +373,7 @@ class SolverContext:
                 self.stats.pops += 1
                 self.stats.solve_calls += 1
                 self.cache.store(key, entry)
+                self.last_certificate = entry.certificate
                 return entry.valid, entry.model
 
         try:
@@ -377,6 +392,11 @@ class SolverContext:
         self.stats.solve_calls += 1
 
         entry = entry_from_result(result)
+        if self.witness and entry.valid:
+            from repro.witness.emit import certificate_from_solver
+
+            entry.certificate = certificate_from_solver(self.solver)
+        self.last_certificate = entry.certificate
         if self.cache is not None and key is not None:
             self.cache.store(key, entry)
         return entry.valid, entry.model

@@ -41,12 +41,17 @@ class ValidityChecker:
         self,
         bool_vars: Optional[Set[str]] = None,
         cache: Optional[QueryCache] = None,
+        witness: bool = False,
     ) -> None:
         self.bool_vars = set(bool_vars or ())
         self.cache = cache if cache is not None else QueryCache()
         self.queries = 0
         self.cache_hits = 0
         self.solve_calls = 0
+        #: Emit proof certificates for valid answers (see repro.witness).
+        self.witness = witness
+        #: The certificate behind the most recent valid answer, or None.
+        self.last_certificate = None
         #: Inner-loop counters accumulated over every solve this checker ran.
         self.profile = SolverProfile()
 
@@ -73,15 +78,21 @@ class ValidityChecker:
         entry = self.cache.acquire(key)
         if entry is not None:
             self.cache_hits += 1
+            self.last_certificate = entry.certificate
             return entry.valid, entry.model
 
         try:
-            result = self._solve(goal, premises)
+            result, solver = self._solve(goal, premises)
         except BaseException:
             self.cache.cancel(key)
             raise
         self.solve_calls += 1
         entry = entry_from_result(result)
+        if self.witness and entry.valid:
+            from repro.witness.emit import certificate_from_solver
+
+            entry.certificate = certificate_from_solver(solver)
+        self.last_certificate = entry.certificate
         self.cache.store(key, entry)
         return entry.valid, entry.model
 
@@ -117,13 +128,17 @@ class ValidityChecker:
 
     # -- internals -------------------------------------------------------------
 
-    def _solve(self, goal: ast.Expr, premises: Tuple[ast.Expr, ...]) -> SatResult:
+    def _solve(
+        self, goal: ast.Expr, premises: Tuple[ast.Expr, ...]
+    ) -> Tuple[SatResult, SMTSolver]:
         encoder = Encoder(bool_vars=self.bool_vars)
         solver = SMTSolver(profile=self.profile)
+        if self.witness:
+            solver.enable_proof()
         for premise in premises:
             solver.add(encoder.boolean(premise))
         solver.add(F.mk_not(encoder.boolean(goal)))
-        return solver.check()
+        return solver.check(), solver
 
 
 def is_valid(goal: ast.Expr, premises: Iterable[ast.Expr] = (), bool_vars: Optional[Set[str]] = None) -> bool:

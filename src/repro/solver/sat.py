@@ -92,6 +92,11 @@ class CDCLSolver:
         # var is bumped (a fresher entry is pushed) — stale pops are skipped.
         self._heap: List[Tuple[float, int]] = []
         self._unsat = False
+        #: Optional shared proof-event log (the witness subsystem's DRUP
+        #: trail).  When set, every learned clause is appended as a
+        #: ``("learn", clause)`` event in learn order — each is checkable
+        #: by reverse unit propagation against the events before it.
+        self.proof: Optional[List[Tuple]] = None
         self.ensure_vars(num_vars)
 
     # -- variable / clause management ---------------------------------------
@@ -404,6 +409,8 @@ class CDCLSolver:
                         # Conflict under assumptions only.
                         return False
                     learned, back_level = self._analyze(conflict)
+                    if self.proof is not None:
+                        self.proof.append(("learn", tuple(learned)))
                     back_level = max(back_level, len(assumptions))
                     self._backtrack(back_level)
                     conflicts_since_restart += 1

@@ -58,11 +58,24 @@ class Bound:
 
 
 class Infeasible(Exception):
-    """Raised by ``assert_bound``/``check`` with a conflict set of tags."""
+    """Raised by ``assert_bound``/``check`` with a conflict set of tags.
 
-    def __init__(self, conflict: Set[object]) -> None:
+    ``farkas`` is the conflict's certificate: ``(bound, coefficient)``
+    pairs such that the nonnegative rational combination of the bound
+    inequalities (each ``var <= value`` or ``var >= value``) cancels
+    every variable and leaves a contradictory constant.  The witness
+    subsystem turns it into an independently checkable Farkas lemma;
+    the conflict-set semantics are unchanged.
+    """
+
+    def __init__(
+        self,
+        conflict: Set[object],
+        farkas: Tuple[Tuple[Bound, Fraction], ...] = (),
+    ) -> None:
         super().__init__(f"infeasible: {conflict}")
         self.conflict = conflict
+        self.farkas = farkas
 
 
 class Simplex:
@@ -212,7 +225,8 @@ class Simplex:
         self.profile.bound_asserts += 1
         lower = self._lower[vid]
         if lower is not None and value < lower.value:
-            raise Infeasible({tag, lower.tag})
+            new = Bound(var, True, value, tag)
+            raise Infeasible({tag, lower.tag}, farkas=((new, _ONE), (lower, _ONE)))
         upper = self._upper[vid]
         if upper is not None and upper.value <= value:
             return
@@ -226,7 +240,8 @@ class Simplex:
         self.profile.bound_asserts += 1
         upper = self._upper[vid]
         if upper is not None and upper.value < value:
-            raise Infeasible({tag, upper.tag})
+            new = Bound(var, False, value, tag)
+            raise Infeasible({tag, upper.tag}, farkas=((new, _ONE), (upper, _ONE)))
         lower = self._lower[vid]
         if lower is not None and lower.value >= value:
             return
@@ -357,7 +372,7 @@ class Simplex:
                 elif candidate < 0 or var < candidate:
                     candidate = var
             if candidate < 0:
-                raise Infeasible(self._conflict_from_row(violating, below))
+                raise self._conflict_from_row(violating, below)
             target = lower[violating].value if below else upper[violating].value
             self._pivot_and_update(violating, candidate, target)
             pivots += 1
@@ -370,14 +385,24 @@ class Simplex:
         lower = self._lower[vid]
         return lower is None or self._assignment[vid] > lower.value
 
-    def _conflict_from_row(self, basic: int, below: bool) -> Set[object]:
+    def _conflict_from_row(self, basic: int, below: bool) -> Infeasible:
         """The Farkas conflict: the violated bound on ``basic`` plus the
         binding bounds on every row variable (they jointly pin the row's
-        value on the wrong side)."""
+        value on the wrong side).
+
+        The attached Farkas coefficients are the textbook ones: 1 for the
+        violated bound itself and ``|coeff|`` for each binding row-variable
+        bound — the row equation ``basic = Σ coeff·var`` makes the variable
+        parts of that combination cancel exactly, because every tableau row
+        stays in the linear span of the slack definitional equations under
+        pivoting.
+        """
         self.profile.theory_conflicts += 1
         conflict: Set[object] = set()
+        farkas: List[Tuple[Bound, Fraction]] = []
         own = self._lower[basic] if below else self._upper[basic]
         conflict.add(own.tag)
+        farkas.append((own, _ONE))
         for var, coeff in self._rows[basic].items():
             if (coeff > 0) == below:
                 bound = self._upper[var]
@@ -385,8 +410,9 @@ class Simplex:
                 bound = self._lower[var]
             if bound is not None:
                 conflict.add(bound.tag)
+                farkas.append((bound, -coeff if coeff < 0 else coeff))
         conflict.discard("%one")
-        return conflict
+        return Infeasible(conflict, farkas=tuple(farkas))
 
     # -- introspection (tests, debugging) -----------------------------------------
 

@@ -94,6 +94,36 @@ class SMTSolver:
         self._splits_done: Set[int] = set()  # equality atoms already split
         self._scopes: List[int] = []  # active selector variables
         self.solve_calls = 0
+        # Proof bookkeeping (witness mode).  ``_atom_meta`` maps each
+        # theory SAT var to ``(sign, factor)`` relating the asserted
+        # simplex bounds back to the atom's own expression: the bound
+        # inequality equals ``(±sign/factor) · atom.expr OP 0`` (see
+        # ``_farkas_entries``).  ``_proof`` is the chronological event
+        # log shared with the SAT core; ``last_proof`` snapshots
+        # ``(assumptions, events)`` at each unsat answer.
+        self._atom_meta: Dict[int, Tuple[int, Fraction]] = {}
+        self._proof: Optional[List[Tuple]] = None
+        self.last_proof: Optional[Tuple[Tuple[int, ...], Tuple[Tuple, ...]]] = None
+
+    def enable_proof(self) -> None:
+        """Start recording a proof-event log for certificate emission.
+
+        Events — ``("input", clause)``, ``("learn", clause)`` and
+        ``("lemma", clause, farkas_entries)`` — are appended in exactly
+        the order the SAT core receives the clauses, so a validator can
+        replay them: inputs are axioms, learned clauses are RUP against
+        the prefix, and theory lemmas carry their own Farkas witness.
+        Must be called before the first :meth:`check`; idempotent.
+        """
+        if self._proof is None:
+            if self._synced:
+                raise RuntimeError("enable_proof must precede the first check")
+            self._proof = []
+            self._sat.proof = self._proof
+
+    def atom_items(self) -> List[Tuple[int, F.FAtom]]:
+        """The current SAT var -> theory atom table (for certificates)."""
+        return list(self._encoder.cnf.atom_of_var.items())
 
     # -- assertion scopes ------------------------------------------------------
 
@@ -142,8 +172,12 @@ class SMTSolver:
         cnf = self._encoder.cnf
         self._add_equality_splits()
         self._sat.ensure_vars(cnf.num_vars)
+        proof = self._proof
         while self._synced < len(cnf.clauses):
-            self._sat.add_clause(cnf.clauses[self._synced])
+            clause = cnf.clauses[self._synced]
+            self._sat.add_clause(clause)
+            if proof is not None:
+                proof.append(("input", tuple(clause)))
             self._synced += 1
 
         assumptions = tuple(self._scopes)
@@ -154,6 +188,8 @@ class SMTSolver:
             rounds += 1
             self.profile.rounds += 1
             if not self._sat.solve(assumptions):
+                if proof is not None:
+                    self.last_proof = (assumptions, tuple(proof))
                 return SatResult("unsat")
             sat_values = self._sat._values  # direct view; True/False/None
 
@@ -187,6 +223,7 @@ class SMTSolver:
                     simplex.check()
                 except Infeasible as err:
                     conflict = {t for t in err.conflict if isinstance(t, int)}
+                    farkas = err.farkas
 
                 if conflict is None:
                     arith = self._simplex.concrete_model()
@@ -203,18 +240,56 @@ class SMTSolver:
             # Learn the theory conflict and continue.  Theory lemmas are
             # valid independently of any scope, so they persist across
             # pops — the incremental payoff.
-            self._sat.add_clause([-lit for lit in conflict])
+            lemma = [-lit for lit in conflict]
+            if proof is not None:
+                proof.append(("lemma", tuple(lemma), self._farkas_entries(farkas)))
+            self._sat.add_clause(lemma)
         return SatResult("unknown")
 
     # -- helpers ---------------------------------------------------------------
 
-    def _bound_target(self, expr: LinExpr) -> Tuple[str, int, Fraction]:
+    def _farkas_entries(self, farkas) -> Tuple[Tuple[int, Fraction], ...]:
+        """Convert a simplex conflict's bound-level Farkas coefficients to
+        atom-level ``(literal, coefficient)`` pairs.
+
+        The simplex speaks bounds on targets (variables or slacks); the
+        validator speaks inequalities over the atoms' own expressions.
+        ``_atom_meta`` holds the bridge: for atom literal ``v`` with
+        ``(sign, factor)``, the asserted *upper* bound inequality equals
+        ``(sign/factor)·atom.expr OP 0`` and the *lower* bound inequality
+        ``(-sign/factor)·atom.expr OP 0``.  For every inequality atom the
+        polarity the plan asserts matches the validator's fixed literal
+        denotation, so the converted coefficient is simply ``λ/factor``;
+        equality atoms (both bounds, one positive literal) carry a signed
+        coefficient.  ``%one`` bounds never reach a conflict (slack rows
+        are constant-free) and are skipped defensively — the validator
+        rejects, never accepts, if that assumption were ever violated.
+        """
+        atoms = self._encoder.cnf.atom_of_var
+        entries: List[Tuple[int, Fraction]] = []
+        for bound, coeff in farkas:
+            tag = bound.tag
+            if not isinstance(tag, int):
+                continue
+            sign, factor = self._atom_meta[abs(tag)]
+            if atoms[abs(tag)].op == "=":
+                mu = coeff * sign / factor
+                if not bound.is_upper:
+                    mu = -mu
+            else:
+                mu = coeff / factor
+            entries.append((tag, mu))
+        return tuple(entries)
+
+    def _bound_target(self, expr: LinExpr) -> Tuple[str, int, Fraction, Fraction]:
         """Map ``expr OP 0`` to a bound on a single simplex variable.
 
-        Returns ``(var, sign, limit)`` such that ``expr <= 0`` is
+        Returns ``(var, sign, limit, factor)`` such that ``expr <= 0`` is
         ``var <= limit`` when ``sign > 0`` and ``var >= limit`` when
         ``sign < 0`` (strictness carries over; ``expr = 0`` pins ``var``
-        to ``limit`` either way).
+        to ``limit`` either way); ``factor`` is the positive scale with
+        ``expr == canonical_form * factor``, kept for certificate
+        emission.
 
         Single-variable expressions bound the variable directly — in
         *both* orientations, so ``x >= c`` (normalized ``-x + c``) costs
@@ -222,7 +297,7 @@ class SMTSolver:
         per sign-canonical form: ``x - y`` and ``y - x`` hit the same
         row with opposite signs.
         """
-        canon, _ = expr.normalized()
+        canon, factor = expr.normalized()
         shift = canon.const
         body = canon - shift
         names = body.variables()
@@ -232,10 +307,10 @@ class SMTSolver:
             # normalized() scales by |lead coeff|, so coeff is ±1 here.
             if coeff == 1:
                 self._simplex.add_variable(name)
-                return name, 1, -shift
+                return name, 1, -shift, factor
             if coeff == -1:
                 self._simplex.add_variable(name)
-                return name, -1, shift
+                return name, -1, shift, factor
         sign = 1
         if body.coeff(names[0]) < 0:
             body = -body
@@ -248,7 +323,7 @@ class SMTSolver:
             slack_entry = self._slack_of[body]
         slack, _ = slack_entry
         # canon OP 0  ⇔  sign*body + shift OP 0  ⇔  sign*slack OP -shift.
-        return slack, sign, -shift if sign > 0 else shift
+        return slack, sign, (-shift if sign > 0 else shift), factor
 
     def _add_equality_splits(self) -> None:
         cnf = self._encoder.cnf
@@ -281,7 +356,8 @@ class SMTSolver:
         carry a ∓δ.  A negated equality asserts nothing — it is handled
         by the equality split clause.
         """
-        target, sign, limit = self._bound_target(atom.expr)
+        target, sign, limit, factor = self._bound_target(atom.expr)
+        self._atom_meta[var] = (sign, factor)
         weak = DeltaRat(limit)
         if atom.op == "=":
             plan = (target, weak, weak, None, None)

@@ -392,6 +392,7 @@ class DischargeEngine:
         backend: Optional[Union[str, "DischargeBackend"]] = None,
         cancel_event: Optional[threading.Event] = None,
         store: Optional[ObligationStore] = None,
+        witness: bool = False,
     ) -> None:
         self.psi = psi
         self.assumptions = [simplify(a) for a in assumptions]
@@ -409,7 +410,13 @@ class DischargeEngine:
         #: ``early-exit`` event).  This is the cooperative cancellation
         #: hook behind per-request timeouts and server drain.
         self.cancel_event = cancel_event
-        self.validity = ValidityChecker(cache=self.cache)
+        #: Emit proof certificates for ``valid`` verdicts (repro.witness).
+        self.witness = witness
+        #: Certificates captured this run, keyed by obligation id.  A
+        #: conjoined chunk shares one certificate object across all of
+        #: its members (the proof covers the conjunction).
+        self.certificates: Dict[str, object] = {}
+        self.validity = ValidityChecker(cache=self.cache, witness=witness)
         self.stats = ContextStats()
         #: Work units discharged so far (all strategies).
         self.units_run = 0
@@ -509,6 +516,8 @@ class DischargeEngine:
         valid, model = self.validity.entailment(
             obligation.goal, self.premises_for(obligation)
         )
+        if valid and self.witness:
+            self._record_certificate(obligation, self.validity.last_certificate)
         return self._failure(obligation, valid, model)
 
     # -- incremental unit discharge --------------------------------------------
@@ -536,7 +545,7 @@ class DischargeEngine:
         if emit is not None:
             emit(UnitStarted(unit.uid, len(unit.members)))
         start = time.perf_counter()
-        context = SolverContext(cache=self.cache, oracle=oracle)
+        context = SolverContext(cache=self.cache, oracle=oracle, witness=self.witness)
         for premise in self.assumptions:
             context.assert_expr(premise)
         for premise in unit.base:
@@ -569,6 +578,8 @@ class DischargeEngine:
                 results[index] = failure
                 if on_failure is not None:
                     on_failure(obligation)
+            elif self.witness:
+                self._record_certificate(obligation, context.last_certificate)
             self._emit_verdict(emit, unit, obligation, failure, valid, cached)
 
     def _discharge_batched(self, context, unit, results, on_failure, emit) -> None:
@@ -616,6 +627,9 @@ class DischargeEngine:
             valid, model = context.check_entailment(conjunction, extras)
             if valid:
                 for _, obligation, _, _ in pending:
+                    if self.witness:
+                        # The conjoined proof certifies every member.
+                        self._record_certificate(obligation, context.last_certificate)
                     self._emit_verdict(emit, unit, obligation, None, True, None)
                 return
             if model is None:
@@ -644,9 +658,23 @@ class DischargeEngine:
                 results[index] = failure
                 if on_failure is not None:
                     on_failure(obligation)
+            elif self.witness:
+                self._record_certificate(obligation, context.last_certificate)
             self._emit_verdict(emit, unit, obligation, failure, valid, None)
 
     # -- shared helpers --------------------------------------------------------
+
+    def _record_certificate(self, obligation: Obligation, certificate) -> None:
+        """Remember the certificate behind a ``valid`` verdict.
+
+        ``certificate`` may be ``None`` (the answer came from a source
+        with no attached proof — e.g. a cache entry populated before
+        witnesses were enabled); those verdicts simply go unwitnessed.
+        Dict assignment is atomic, so threaded workers can record
+        concurrently without a lock.
+        """
+        if certificate is not None:
+            self.certificates[obligation.oid] = certificate
 
     def _failure(
         self, obligation: Obligation, valid: bool, model
@@ -846,6 +874,9 @@ class _EngineSpec:
     #: worker-side directives (worker-kill, solve-fail, solve-delay)
     #: fire under both fork and spawn start methods.
     faults: Optional[str] = None
+    #: Whether workers emit proof certificates (they ride back to the
+    #: parent's authoritative replay inside the oracle's cache entries).
+    witness: bool = False
 
 
 class _RecordingCache:
@@ -898,6 +929,7 @@ def _process_worker_init(spec: _EngineSpec) -> None:
         list(spec.assumptions),
         use_lemmas=spec.use_lemmas,
         collect_models=spec.collect_models,
+        witness=spec.witness,
     )
     engine.batch_limit = spec.batch_limit
     _WORKER_ENGINE = engine
@@ -1013,6 +1045,7 @@ class ProcessPoolBackend(DischargeBackend):
             engine.collect_models,
             engine.batch_limit,
             faults=plan.spec if plan is not None else None,
+            witness=engine.witness,
         )
         accounts: List[Tuple[int, Tuple[ContextStats, SolverProfile]]] = []
         per_worker: Dict[str, Dict[str, int]] = {}

@@ -53,7 +53,7 @@ STORE_ENV_VAR = "REPRO_STORE"
 #: On-disk layout version, recorded in ``PRAGMA user_version``.  Bump on
 #: any change to the table shape or the meaning of stored fields; a
 #: mismatched database is cleared, never reinterpreted.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _TABLE = """
 CREATE TABLE IF NOT EXISTS obligations (
@@ -62,6 +62,7 @@ CREATE TABLE IF NOT EXISTS obligations (
     valid      INTEGER NOT NULL,
     status     TEXT NOT NULL,
     model      TEXT,
+    witness    TEXT,
     tag        TEXT NOT NULL DEFAULT '',
     region     TEXT NOT NULL DEFAULT '',
     created    REAL NOT NULL,
@@ -101,12 +102,18 @@ def premise_fingerprint(
 
 @dataclass(frozen=True)
 class StoredVerdict:
-    """One persisted obligation verdict, decoded and type-checked."""
+    """One persisted obligation verdict, decoded and type-checked.
+
+    ``witness`` is the canonical-JSON proof certificate behind a valid
+    verdict, when the recording run emitted one (see ``repro.witness``);
+    consumers must *validate* it before trusting a witnessed hit.
+    """
 
     valid: bool
     status: str
     arith_model: Optional[Dict[str, Fraction]] = None
     bool_model: Optional[Dict[str, bool]] = None
+    witness: Optional[str] = None
 
 
 @dataclass
@@ -124,6 +131,12 @@ class StoreStats:
     #: Verdicts recorded in the in-memory fallback after the disk store
     #: degraded (write failure survived instead of failing the run).
     memory_writes: int = 0
+    #: Warm hits whose stored proof certificate was re-checked by the
+    #: trusted witness kernel and accepted.
+    validated_hits: int = 0
+    #: Warm hits whose stored certificate failed decoding or validation;
+    #: each one was degraded to a counted re-solve, never trusted.
+    witness_rejects: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -133,6 +146,8 @@ class StoreStats:
             "invalid": self.invalid,
             "busy_retries": self.busy_retries,
             "memory_writes": self.memory_writes,
+            "validated_hits": self.validated_hits,
+            "witness_rejects": self.witness_rejects,
         }
 
 
@@ -272,7 +287,7 @@ class ObligationStore:
                 conn = self._connect()
                 row = self._run(
                     lambda: conn.execute(
-                        "SELECT valid, status, model FROM obligations"
+                        "SELECT valid, status, model, witness FROM obligations"
                         " WHERE oid = ? AND fp = ?",
                         (oid, fingerprint),
                     ).fetchone()
@@ -291,6 +306,7 @@ class ObligationStore:
                 if status not in ("unsat", "sat", "unknown"):
                     raise ValueError(f"bad status {status!r}")
                 arith, booleans = _decode_model(row[2])
+                witness = str(row[3]) if row[3] is not None else None
                 if valid and status != "unsat":
                     raise ValueError("valid verdict with non-unsat status")
             except (ValueError, KeyError, TypeError, ZeroDivisionError,
@@ -307,6 +323,12 @@ class ObligationStore:
                     self._reset_connection()
                 return None
             self.counters.hits += 1
+            if witness is not None:
+                plan = faults_mod.active()
+                if plan is not None and plan.witness_corrupt():
+                    # Truncation keeps the row intact on disk while
+                    # guaranteeing the validator rejects what we serve.
+                    witness = witness[: len(witness) // 2]
             try:
                 conn.execute(
                     "UPDATE obligations SET last_used = ? WHERE oid = ? AND fp = ?",
@@ -315,7 +337,7 @@ class ObligationStore:
                 conn.commit()
             except sqlite3.DatabaseError:
                 self._reset_connection()
-            return StoredVerdict(valid, status, arith, booleans)
+            return StoredVerdict(valid, status, arith, booleans, witness)
 
     def _reset_connection(self) -> None:
         if self._conn is not None:
@@ -330,12 +352,17 @@ class ObligationStore:
     def record_many(
         self,
         fingerprint: str,
-        entries: Iterable[Tuple[str, str, str, bool, str, Optional[Tuple[Dict, Dict]]]],
+        entries: Iterable[
+            Tuple[str, str, str, bool, str, Optional[Tuple[Dict, Dict]], Optional[str]]
+        ],
     ) -> int:
-        """Persist ``(oid, tag, region, valid, status, model)`` verdicts.
+        """Persist ``(oid, tag, region, valid, status, model, witness)``
+        verdicts.
 
-        One transaction for the whole batch — readers see all of a
-        run's verdicts or none of them.  Returns the rows written.
+        ``witness`` is the serialized proof certificate for a valid
+        verdict (None when witnesses were off or unavailable).  One
+        transaction for the whole batch — readers see all of a run's
+        verdicts or none of them.  Returns the rows written.
 
         A write that still fails after the transient-busy retries
         degrades the store to a counted in-memory-only mode (this batch
@@ -348,15 +375,15 @@ class ObligationStore:
         now = time.time()
         rows = [
             (oid, fingerprint, int(valid), status, _encode_model(model),
-             tag, region, now, now)
-            for oid, tag, region, valid, status, model in entries
+             witness, tag, region, now, now)
+            for oid, tag, region, valid, status, model, witness in entries
         ]
         plan = faults_mod.active()
         if plan is not None and plan.store_poison():
             # An undecodable row: the next lookup must count it invalid,
             # delete it and re-solve — the corruption-is-a-miss path.
-            oid0, fp0, valid0, _, model0, tag0, region0, c0, l0 = rows[0]
-            rows[0] = (oid0, fp0, valid0, "poisoned", model0, tag0, region0, c0, l0)
+            oid0, fp0, valid0, _, model0, w0, tag0, region0, c0, l0 = rows[0]
+            rows[0] = (oid0, fp0, valid0, "poisoned", model0, w0, tag0, region0, c0, l0)
         with self._lock:
             if self.degraded:
                 return self._record_memory(fingerprint, entries)
@@ -366,8 +393,9 @@ class ObligationStore:
                 def write():
                     conn.executemany(
                         "INSERT OR REPLACE INTO obligations"
-                        " (oid, fp, valid, status, model, tag, region, created, last_used)"
-                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        " (oid, fp, valid, status, model, witness,"
+                        "  tag, region, created, last_used)"
+                        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                         rows,
                     )
                     conn.commit()
@@ -384,12 +412,12 @@ class ObligationStore:
     def _record_memory(self, fingerprint: str, entries) -> int:
         """Keep a batch's verdicts in memory (the degraded write path);
         callers hold ``self._lock``."""
-        for oid, tag, region, valid, status, model in entries:
+        for oid, tag, region, valid, status, model, witness in entries:
             arith = booleans = None
             if model is not None:
                 arith, booleans = model
             self._memory[(oid, fingerprint)] = StoredVerdict(
-                bool(valid), status, arith, booleans
+                bool(valid), status, arith, booleans, witness
             )
         self.counters.memory_writes += len(entries)
         return len(entries)
@@ -403,6 +431,20 @@ class ObligationStore:
             try:
                 conn = self._connect()
                 return conn.execute("SELECT COUNT(*) FROM obligations").fetchone()[0]
+            except (sqlite3.DatabaseError, OSError):
+                self._reset_connection()
+                return 0
+
+    def witness_count(self) -> int:
+        """How many stored verdicts carry a proof certificate."""
+        with self._lock:
+            if self.degraded:
+                return sum(1 for v in self._memory.values() if v.witness is not None)
+            try:
+                conn = self._connect()
+                return conn.execute(
+                    "SELECT COUNT(*) FROM obligations WHERE witness IS NOT NULL"
+                ).fetchone()[0]
             except (sqlite3.DatabaseError, OSError):
                 self._reset_connection()
                 return 0
@@ -471,6 +513,7 @@ class ObligationStore:
         out["path"] = self.path
         out["schema_version"] = SCHEMA_VERSION
         out["entries"] = self.entry_count()
+        out["witnesses"] = self.witness_count()
         out["degraded"] = self.degraded
         try:
             out["bytes"] = os.path.getsize(self.path)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import (
     Callable,
@@ -68,6 +68,7 @@ from repro.verify.discharge import (
 )
 from repro.verify.store import ObligationStore, resolve_store
 from repro.verify.vcgen import Obligation, VCGenerator
+from repro.witness import Certificate, WitnessError, validate as validate_witness
 
 #: The pseudo-unit id store-served verdicts are reported under in the
 #: event stream (they never reach a real discharge unit).
@@ -125,6 +126,14 @@ class VerificationConfig:
     #: ``docs/cache.md``.  *Is* part of the memo fingerprint — runs with
     #: different stores must not share one memo entry.
     store: Optional[Union[str, ObligationStore]] = None
+    #: Emit a machine-checkable proof certificate for every ``valid``
+    #: verdict (see :mod:`repro.witness` and ``docs/witness.md``).
+    #: Certificates are collected on the checker, persisted alongside
+    #: store verdicts, and re-validated on warm store hits — a hit whose
+    #: certificate fails the trusted kernel degrades to a counted
+    #: re-solve.  Off by default: the recording hooks sit on conflict
+    #: paths only, but emission still costs a snapshot per UNSAT answer.
+    witness: bool = False
 
 
 @dataclass
@@ -175,6 +184,9 @@ class VerificationOutcome:
     #: fields above are byte-identical to serial either way; only this
     #: report records that recovery happened.
     recovery: Optional[Dict[str, object]] = None
+    #: How many proof certificates the run collected (fresh emissions
+    #: plus validated warm hits).  None when witnesses were off.
+    witnesses: Optional[int] = None
 
     def describe(self) -> str:
         status = "VERIFIED" if self.verified else "REFUTED"
@@ -205,6 +217,8 @@ class VerificationOutcome:
             stats["workers"] = {pid: dict(row) for pid, row in self.workers.items()}
         if self.recovery is not None:
             stats["recovery"] = dict(self.recovery)
+        if self.witnesses is not None:
+            stats["witnesses"] = self.witnesses
         return stats
 
 
@@ -380,6 +394,15 @@ class ObligationChecker(DischargeEngine):
                 yield obligation
                 continue
             if verdict.valid:
+                if self.witness and verdict.witness is not None:
+                    # Witnessed regime: a warm hit is only trusted after
+                    # its stored certificate passes the trusted kernel.
+                    # A reject (corruption, tampering) degrades this hit
+                    # to an ordinary re-solve — counted, never trusted.
+                    if not self._validated_hit(store, obligation, verdict.witness):
+                        kept.append(index)
+                        yield obligation
+                        continue
                 if emit is not None:
                     emit(
                         ObligationDischarged(
@@ -407,6 +430,25 @@ class ObligationChecker(DischargeEngine):
                         emit(EarlyExit(STORE_UNIT, "first refutation (fail-fast)"))
                 return
 
+    def _validated_hit(
+        self, store: ObligationStore, obligation: Obligation, witness_text: str
+    ) -> bool:
+        """Re-check a stored certificate; True iff the kernel accepts it.
+
+        Accepted certificates are re-collected on the checker (so a
+        fully-warm run still exposes every proof), and the validation is
+        tallied on the store's counters either way.
+        """
+        try:
+            certificate = Certificate.from_json(witness_text)
+            validate_witness(certificate)
+        except WitnessError:
+            store.counters.witness_rejects += 1
+            return False
+        store.counters.validated_hits += 1
+        self.certificates[obligation.oid] = certificate
+        return True
+
     def _store_writeback(
         self,
         store: ObligationStore,
@@ -433,7 +475,8 @@ class ObligationChecker(DischargeEngine):
                 failure = results.get(member_index)
                 if failure is None:
                     rows.append(
-                        (obligation.oid, obligation.tag, region, True, "unsat", None)
+                        (obligation.oid, obligation.tag, region, True, "unsat", None,
+                         self.witness_text(obligation.oid))
                     )
                 else:
                     model = None
@@ -442,9 +485,23 @@ class ObligationChecker(DischargeEngine):
                         model = (failure.arith_model or {}, failure.bool_model or {})
                         status = "sat"
                     rows.append(
-                        (obligation.oid, obligation.tag, region, False, status, model)
+                        (obligation.oid, obligation.tag, region, False, status, model,
+                         None)
                     )
         store.record_many(self.store_fingerprint, rows)
+
+    def witness_text(self, oid: str) -> Optional[str]:
+        """The canonical serialized certificate for ``oid``, or None.
+
+        The oid and premise fingerprint are baked into the stored form
+        without mutating the (possibly chunk-shared) in-memory object.
+        """
+        certificate = self.certificates.get(oid)
+        if certificate is None:
+            return None
+        return replace(
+            certificate, oid=oid, fingerprint=self.store_fingerprint
+        ).to_json()
 
     def check_all(
         self,
@@ -517,6 +574,7 @@ def prepare_generator(
         backend=config.backend,
         cancel_event=config.cancel_event,
         store=resolve_store(config.store),
+        witness=config.witness,
     )
     return generator, checker
 
@@ -615,6 +673,7 @@ def verify_target(
         store=store_stats,
         workers=checker.worker_report,
         recovery=checker.recovery,
+        witnesses=len(checker.certificates) if config.witness else None,
     )
 
 

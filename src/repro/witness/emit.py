@@ -1,0 +1,40 @@
+"""Certificate assembly from the solver's recorded proof state.
+
+The emission side of the witness subsystem: after an UNSAT
+:meth:`~repro.solver.smt.SMTSolver.check` (with proof recording enabled
+via ``enable_proof()``), :func:`certificate_from_solver` snapshots the
+solver's proof log — assumptions, chronological clause events, Farkas
+entries — together with the theory atom table into a self-contained,
+picklable :class:`~repro.witness.certificate.Certificate`.
+
+This module is *untrusted* emission code: a bug here yields a
+certificate the trusted kernel rejects, never one it wrongly accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.witness.certificate import Certificate
+
+
+def certificate_from_solver(solver) -> Optional[Certificate]:
+    """Build a certificate from ``solver``'s last UNSAT proof snapshot.
+
+    ``solver`` is an :class:`~repro.solver.smt.SMTSolver` with proof
+    recording on; returns ``None`` when no snapshot exists (proof mode
+    off, or no UNSAT answer yet).  The snapshot covers the solver's full
+    incremental history, so certificates from later queries of one
+    context are supersets of earlier ones — each remains independently
+    checkable.
+    """
+    proof = solver.last_proof
+    if proof is None:
+        return None
+    assumptions, events = proof
+    atoms = {}
+    for var, atom in solver.atom_items():
+        expr = atom.expr
+        coeffs = tuple(sorted(expr.iter_terms()))
+        atoms[var] = (atom.op, coeffs, expr.const)
+    return Certificate(atoms=atoms, assumptions=tuple(assumptions), events=events)

@@ -1,0 +1,83 @@
+"""The ``witness`` request: stored certificates fetched and
+re-validated over the wire."""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, ServerThread
+
+
+@pytest.fixture()
+def server(tmp_path):
+    sock = os.fspath(tmp_path / "serve.sock")
+    store = os.fspath(tmp_path / "store.sqlite")
+    with ServerThread(socket_path=sock, store=store):
+        yield sock, store
+
+
+def _populate(sock):
+    with ServeClient(socket_path=sock) as client:
+        result = client.verify(spec="svt", config={"witness": True}, stream=False)
+    assert result["outcome"]["verified"]
+    assert result["outcome"]["counters"]["witnesses"] == (
+        result["outcome"]["obligations_total"]
+    )
+    return result["outcome"]["oids"]
+
+
+class TestWitnessRequest:
+    def test_round_trip_validates(self, server):
+        sock, _ = server
+        oids = _populate(sock)
+        with ServeClient(socket_path=sock) as client:
+            out = client.witness(oids[0], spec="svt", full=True)
+        assert out["type"] == "witness"
+        assert out["found"] and out["valid"] and out["witnessed"]
+        assert out["validated"] is True
+        assert out["checked"]["rup_steps"] >= 1
+        assert out["summary"]["inputs"] > 0
+        # full=True ships the canonical JSON itself.
+        assert json.loads(out["certificate"])["oid"] == oids[0]
+
+    def test_without_full_omits_certificate_body(self, server):
+        sock, _ = server
+        oids = _populate(sock)
+        with ServeClient(socket_path=sock) as client:
+            out = client.witness(oids[0], spec="svt")
+        assert out["validated"] is True
+        assert "certificate" not in out
+
+    def test_unknown_oid_reports_not_found(self, server):
+        sock, _ = server
+        _populate(sock)
+        with ServeClient(socket_path=sock) as client:
+            out = client.witness("feedfacecafe", spec="svt")
+        assert out["found"] is False
+        assert "validated" not in out
+
+    def test_tampered_store_row_is_rejected_not_served(self, server):
+        sock, store = server
+        oids = _populate(sock)
+        conn = sqlite3.connect(store)
+        conn.execute(
+            "UPDATE obligations SET witness = substr(witness, 1, 40) "
+            "WHERE oid = ?",
+            (oids[0],),
+        )
+        conn.commit()
+        conn.close()
+        with ServeClient(socket_path=sock) as client:
+            out = client.witness(oids[0], spec="svt")
+        assert out["found"] and out["witnessed"]
+        assert out["validated"] is False
+        assert "decode" in out["error"]
+
+    def test_missing_oid_field_is_a_bad_request(self, server):
+        sock, _ = server
+        with ServeClient(socket_path=sock) as client:
+            with pytest.raises(ServeError) as err:
+                client._request({"type": "witness", "spec": "svt"})
+        assert err.value.code == "bad-request"

@@ -250,3 +250,39 @@ class TestPipelineCancellation:
         )
         assert first.stages["verify"].cached is False
         assert again.stages["verify"].cached is True
+
+
+class TestOneShotBackendCancellation:
+    def test_cancel_between_obligations_stops_the_unit(self):
+        """OneShotBackend re-checks the cancel event before every member
+        of a unit, not just at unit boundaries — a cancellation arriving
+        mid-unit must stop after the in-flight obligation."""
+        target, config = _svt()
+        config = _config(config, incremental=False, backend="oneshot")
+        plan = DischargePlan.from_obligations(iter_obligations(target, config))
+        total = len(plan.obligations)
+        assert total > 3
+
+        cancel = threading.Event()
+        events = []
+
+        def sink(event):
+            events.append(event)
+            discharged = sum(1 for e in events if isinstance(e, ObligationDischarged))
+            if discharged >= 2:
+                cancel.set()
+
+        with pytest.raises(DischargeCancelled):
+            verify_target(
+                target,
+                _config(config, cancel_event=cancel),
+                on_event=sink,
+            )
+
+        exits = [e for e in events if isinstance(e, EarlyExit)]
+        assert len(exits) == 1
+        assert exits[0].reason == "cancelled"
+        verdicts = sum(1 for e in events if isinstance(e, ObligationDischarged))
+        # Stopped promptly: at most one obligation past the trigger.
+        assert 2 <= verdicts <= 3
+        assert verdicts < total

@@ -123,13 +123,13 @@ class TestResilience:
         assert store.lookup("oid", "fp") is None
         assert store.counters.invalid >= 1
         # And the recreated store is fully serviceable.
-        assert store.record_many("fp", [("oid", "t", "r", True, "unsat", None)]) == 1
+        assert store.record_many("fp", [("oid", "t", "r", True, "unsat", None, None)]) == 1
         assert store.lookup("oid", "fp") == StoredVerdict(True, "unsat")
 
     def test_schema_version_mismatch_clears(self, tmp_path):
         path = os.fspath(tmp_path / "store.sqlite")
         first = ObligationStore(path)
-        first.record_many("fp", [("oid", "t", "r", True, "unsat", None)])
+        first.record_many("fp", [("oid", "t", "r", True, "unsat", None, None)])
         first.close()
         conn = sqlite3.connect(path)
         conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1:d}")
@@ -162,7 +162,7 @@ class TestResilience:
 
     def test_valid_verdict_with_non_unsat_status_is_rejected(self, tmp_path):
         store = ObligationStore(os.fspath(tmp_path / "store.sqlite"))
-        store.record_many("fp", [("oid", "t", "r", True, "unsat", None)])
+        store.record_many("fp", [("oid", "t", "r", True, "unsat", None, None)])
         conn = sqlite3.connect(store.path)
         conn.execute("UPDATE obligations SET status = 'sat'")
         conn.commit()
@@ -176,7 +176,8 @@ class TestMaintenance:
     def _seed(self, store, count):
         store.record_many(
             "fp",
-            [(f"oid{i}", "t", "r", i % 2 == 0, "unsat" if i % 2 == 0 else "unknown", None)
+            [(f"oid{i}", "t", "r", i % 2 == 0, "unsat" if i % 2 == 0 else "unknown",
+              None, None)
              for i in range(count)],
         )
 
@@ -265,6 +266,7 @@ class TestConfiguration:
         assert checker.store.snapshot() == {
             "hits": 0, "misses": 0, "writes": 0, "invalid": 0,
             "busy_retries": 0, "memory_writes": 0,
+            "validated_hits": 0, "witness_rejects": 0,
         }
         assert ObligationStore(path).entry_count() == 0
 
@@ -276,7 +278,7 @@ class TestCacheCLI:
         path = os.fspath(tmp_path / "store.sqlite")
         store = ObligationStore(path)
         store.record_many(
-            "fp", [(f"oid{i}", "t", "r", True, "unsat", None) for i in range(6)]
+            "fp", [(f"oid{i}", "t", "r", True, "unsat", None, None) for i in range(6)]
         )
         store.close()
 

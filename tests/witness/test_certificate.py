@@ -1,0 +1,106 @@
+"""Certificate serialization: canonical JSON, decode errors, and the
+obligation-store round trip."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.algorithms import get
+from repro.pipeline import Pipeline, spec_config
+from repro.verify.store import ObligationStore
+from repro.verify.verifier import prepare_generator, target_cfg, verify_target
+from repro.witness import SCHEMA_VERSION, Certificate, WitnessError, validate
+
+
+@pytest.fixture(scope="module")
+def svt_certificates():
+    """oid → Certificate for a witnessed SVT discharge (one solve pass)."""
+    spec = get("svt")
+    config = dataclasses.replace(spec_config(spec), witness=True)
+    generator, checker = prepare_generator(spec.target(), config)
+    failures = checker.discharge_stream(
+        generator.stream(target_cfg(spec.target(), config))
+    )
+    assert not failures
+    assert checker.certificates
+    return checker
+
+
+class TestCanonicalJson:
+    def test_round_trip_is_identity(self, svt_certificates):
+        for certificate in svt_certificates.certificates.values():
+            text = certificate.to_json()
+            again = Certificate.from_json(text)
+            assert again.to_json() == text
+            assert again == certificate
+
+    def test_serialization_is_canonical(self, svt_certificates):
+        # Sorted keys, no whitespace, exact rationals as "p/q" strings —
+        # byte-stable across processes so fingerprints and tests can
+        # compare texts directly.
+        certificate = next(iter(svt_certificates.certificates.values()))
+        text = certificate.to_json()
+        data = json.loads(text)
+        assert text == json.dumps(data, separators=(",", ":"), sort_keys=True)
+        assert data["schema"] == SCHEMA_VERSION
+
+    def test_oid_and_fingerprint_baked_without_mutation(self, svt_certificates):
+        checker = svt_certificates
+        oid = next(iter(checker.certificates))
+        original = checker.certificates[oid]
+        text = checker.witness_text(oid)
+        bound = Certificate.from_json(text)
+        assert bound.oid == oid
+        assert bound.fingerprint == checker.store_fingerprint
+        # The in-memory object (possibly shared across chunk members)
+        # was not touched.
+        assert original.oid is None or original.oid == oid
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "not json",
+            "[]",
+            '{"schema": 999}',
+            '{"schema": 1}',
+        ],
+    )
+    def test_malformed_text_is_a_decode_error(self, text):
+        with pytest.raises(WitnessError) as err:
+            Certificate.from_json(text)
+        assert err.value.step == "decode"
+
+
+class TestStoreRoundTrip:
+    def test_witness_survives_persistence(self, tmp_path, svt_certificates):
+        checker = svt_certificates
+        store = ObligationStore(os.fspath(tmp_path / "store.sqlite"))
+        fingerprint = checker.store_fingerprint
+        rows = [
+            (oid, "assert", "fn", True, "unsat", None, checker.witness_text(oid))
+            for oid in checker.certificates
+        ]
+        store.record_many(fingerprint, rows)
+        assert store.witness_count() == len(rows)
+        for oid, *_ in rows:
+            verdict = store.lookup(oid, fingerprint)
+            assert verdict is not None and verdict.valid
+            assert verdict.witness is not None
+            certificate = Certificate.from_json(verdict.witness)
+            assert certificate.oid == oid
+            validate(certificate)
+
+    def test_full_run_persists_one_witness_per_valid_oid(self, tmp_path):
+        spec = get("svt")
+        store_path = os.fspath(tmp_path / "store.sqlite")
+        config = dataclasses.replace(
+            spec_config(spec), store=store_path, witness=True
+        )
+        run = Pipeline().run(spec.source, config=config)
+        assert run.outcome.verified
+        store = ObligationStore(store_path)
+        assert store.witness_count() == run.outcome.obligations_total
+        assert store.stats()["witnesses"] == run.outcome.obligations_total

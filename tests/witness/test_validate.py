@@ -1,0 +1,103 @@
+"""The trusted validator: real certificates check, mutated ones don't.
+
+Mutations cover the three ways a certificate can lie — a missing
+premise (the proof no longer follows from what was asserted), a
+perturbed Farkas coefficient (the linear combination no longer cancels
+the variables), and a truncated derivation (unit propagation can no
+longer refute the negated assumptions).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.algorithms import get
+from repro.pipeline import spec_config
+from repro.verify.verifier import prepare_generator, target_cfg
+from repro.witness import Certificate, WitnessError, validate
+
+
+@pytest.fixture(scope="module")
+def certificate():
+    """One real certificate, chosen to exercise a lemma with entries."""
+    spec = get("svt")
+    config = dataclasses.replace(spec_config(spec), witness=True)
+    generator, checker = prepare_generator(spec.target(), config)
+    failures = checker.discharge_stream(
+        generator.stream(target_cfg(spec.target(), config))
+    )
+    assert not failures
+    for cert in checker.certificates.values():
+        if any(event[0] == "lemma" and event[2] for event in cert.events):
+            return cert
+    raise AssertionError("no certificate with a nonempty Farkas lemma")
+
+
+def mutate(certificate, fn):
+    """Round-trip the certificate through JSON, edit, and re-parse."""
+    data = json.loads(certificate.to_json())
+    fn(data)
+    return Certificate.from_json(json.dumps(data))
+
+
+class TestAccepts:
+    def test_real_certificate_validates(self, certificate):
+        checked = validate(certificate)
+        assert checked["inputs"] > 0
+        assert checked["rup_steps"] >= 1
+
+    def test_validation_is_pure(self, certificate):
+        # Validating twice returns identical reports and leaves the
+        # certificate unchanged (the kernel never mutates its input).
+        before = certificate.to_json()
+        assert validate(certificate) == validate(certificate)
+        assert certificate.to_json() == before
+
+
+class TestRejects:
+    def test_dropped_premise(self, certificate):
+        def drop(data):
+            assert data["assumptions"], "fixture must carry assumptions"
+            data["assumptions"] = data["assumptions"][:-1]
+
+        with pytest.raises(WitnessError):
+            validate(mutate(certificate, drop))
+
+    def test_perturbed_farkas_coefficient(self, certificate):
+        def perturb(data):
+            for event in data["events"]:
+                if event[0] == "lemma" and event[2]:
+                    event[2][0][1] = str(7 + 3 * len(event[2]))
+                    return
+            raise AssertionError("no Farkas entries to perturb")
+
+        with pytest.raises(WitnessError) as err:
+            validate(mutate(certificate, perturb))
+        assert err.value.step.startswith("lemma")
+
+    def test_truncated_rup_derivation(self, certificate):
+        def truncate(data):
+            # Drop every learned/lemma step: the final RUP check must
+            # then fail to refute the negated assumptions.
+            data["events"] = [ev for ev in data["events"] if ev[0] == "input"]
+
+        with pytest.raises(WitnessError) as err:
+            validate(mutate(certificate, truncate))
+        assert err.value.step == "goal"
+
+    def test_negated_equality_literal_is_rejected(self, certificate):
+        # The kernel's literal denotation has no sound reading for a
+        # negated equality atom inside a Farkas combination; a
+        # certificate using one must be rejected, not guessed at.
+        def negate(data):
+            for event in data["events"]:
+                if event[0] == "lemma" and event[2]:
+                    lit = event[2][0][0]
+                    tag = str(abs(lit))
+                    data["atoms"][tag]["op"] = "="
+                    event[2][0][0] = -abs(lit)
+                    return
+
+        with pytest.raises(WitnessError):
+            validate(mutate(certificate, negate))

@@ -1,0 +1,123 @@
+"""Warm store hits are never trusted blindly: each witnessed hit is
+re-validated by the trusted kernel, and a certificate that fails to
+check degrades to a counted re-solve — including under the
+``witness-corrupt`` fault site."""
+
+import dataclasses
+import os
+import sqlite3
+
+import pytest
+
+from repro import faults
+from repro.algorithms import get
+from repro.pipeline import Pipeline
+from repro.pipeline import spec_config
+from repro.verify.store import ObligationStore
+from repro.verify.verifier import verify_target
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.install(None)
+    faults.reset()
+
+
+def _witnessed_config(spec, store_path):
+    return dataclasses.replace(
+        spec_config(spec), store=os.fspath(store_path), witness=True
+    )
+
+
+class TestValidatedHits:
+    def test_warm_run_validates_every_hit_with_zero_solves(self, tmp_path):
+        spec = get("svt")
+        config = _witnessed_config(spec, tmp_path / "store.sqlite")
+        cold = verify_target(spec.target(), config)
+        assert cold.verified and cold.store["writes"] == cold.obligations_total
+
+        warm = verify_target(spec.target(), config)
+        assert warm.verified
+        assert warm.solve_calls == 0
+        assert warm.store["hits"] == warm.obligations_total
+        assert warm.store["validated_hits"] == warm.obligations_total
+        assert warm.store["witness_rejects"] == 0
+        # The re-validated certificates are collected again.
+        assert warm.witnesses == warm.obligations_total
+
+    def test_unwitnessed_runs_skip_validation(self, tmp_path):
+        spec = get("svt")
+        config = _witnessed_config(spec, tmp_path / "store.sqlite")
+        verify_target(spec.target(), config)
+        warm = verify_target(
+            spec.target(), dataclasses.replace(config, witness=False)
+        )
+        assert warm.verified and warm.solve_calls == 0
+        assert warm.store["validated_hits"] == 0
+
+
+class TestRejectedWitnessDegradesToReSolve:
+    def test_tampered_row_is_recounted_and_resolved(self, tmp_path):
+        spec = get("svt")
+        store_path = tmp_path / "store.sqlite"
+        config = _witnessed_config(spec, store_path)
+        cold = verify_target(spec.target(), config)
+
+        # Corrupt one stored certificate on disk (valid JSON prefix cut).
+        conn = sqlite3.connect(os.fspath(store_path))
+        oid = conn.execute(
+            "SELECT oid FROM obligations WHERE witness IS NOT NULL LIMIT 1"
+        ).fetchone()[0]
+        conn.execute(
+            "UPDATE obligations SET witness = substr(witness, 1, 40) "
+            "WHERE oid = ?",
+            (oid,),
+        )
+        conn.commit()
+        conn.close()
+
+        warm = verify_target(spec.target(), config)
+        assert warm.verified
+        assert warm.store["witness_rejects"] == 1
+        assert warm.store["validated_hits"] == cold.obligations_total - 1
+        # The rejected entry was re-solved, not trusted ...
+        assert warm.solve_calls >= 1
+        # ... and the clean run re-persisted a fresh certificate.
+        store = ObligationStore(os.fspath(store_path))
+        assert store.witness_count() == cold.obligations_total
+
+    def test_witness_corrupt_fault_site(self, tmp_path):
+        """The chaos seam: ``witness-corrupt@N`` serves the Nth
+        witnessed hit truncated, without touching the row on disk."""
+        spec = get("svt")
+        store_path = tmp_path / "store.sqlite"
+        config = _witnessed_config(spec, store_path)
+        cold = verify_target(spec.target(), config)
+        before = ObligationStore(os.fspath(store_path)).witness_count()
+
+        faults.install("witness-corrupt@3")
+        warm = verify_target(spec.target(), config)
+        assert warm.verified
+        assert warm.store["witness_rejects"] == 1
+        assert warm.store["validated_hits"] == cold.obligations_total - 1
+        assert [(f.site, f.key) for f in faults.active().trail] == [
+            ("witness-corrupt", "3")
+        ]
+        # The disk row was never harmed — only the served copy.
+        assert ObligationStore(os.fspath(store_path)).witness_count() == before
+
+    def test_pipeline_fingerprint_separates_witnessed_runs(self, tmp_path):
+        # A witnessed run and a plain run of the same source must not
+        # share a stage-memo entry: their outcomes differ observably
+        # (witness counts, validated-hit traffic).
+        spec = get("svt")
+        pipe = Pipeline()
+        config = _witnessed_config(spec, tmp_path / "store.sqlite")
+        witnessed = pipe.run(spec.source, config=config)
+        plain = pipe.run(
+            spec.source, config=dataclasses.replace(config, witness=False)
+        )
+        assert witnessed.outcome.witnesses == witnessed.outcome.obligations_total
+        assert plain.outcome.witnesses is None
+        assert not plain.stages["verify"].cached
